@@ -1,0 +1,25 @@
+//! Fault-free payload CONGEST algorithms.
+//!
+//! These are the algorithms `A` that the Fischer–Parter compilers protect:
+//! they are written against the round-by-round
+//! [`congest_sim::CongestAlgorithm`] interface, are correct when their messages
+//! are delivered verbatim, and make *no* attempt to defend themselves — every
+//! defensive property in the experiments comes from the compilers wrapping
+//! them.
+//!
+//! | Algorithm | Rounds | Congestion | Role in the experiments |
+//! |---|---|---|---|
+//! | [`broadcast::FloodBroadcast`] | `D` | O(1) | low-congestion secure/resilient payload |
+//! | [`broadcast::LeaderElection`] | `D` | `D` | payload whose output is a single global value |
+//! | [`aggregation::BfsTreeAlgorithm`] | `D` | O(1) | structured output (parent/depth) |
+//! | [`aggregation::ConvergecastSum`] | `3D+2` | O(1) | secure-aggregation example payload |
+//! | [`gossip::TokenDissemination`] | `D + n/batch` | `n` | high-congestion payload (Thm 1.3, clique) |
+//! | [`gossip::RandomizedColoring`] | configurable | O(rounds) | randomized payload with verifiable output |
+
+pub mod aggregation;
+pub mod broadcast;
+pub mod gossip;
+
+pub use aggregation::{BfsTreeAlgorithm, ConvergecastSum};
+pub use broadcast::{FloodBroadcast, LeaderElection};
+pub use gossip::{RandomizedColoring, TokenDissemination};

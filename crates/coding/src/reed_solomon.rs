@@ -1,0 +1,397 @@
+//! Reed–Solomon codes with Berlekamp–Welch error decoding.
+//!
+//! Theorem 1.8 of the paper uses an `[ℓ, k, δ]_q` Reed–Solomon code with
+//! relative distance `δ = (k - ℓ + 1)/k`.  The `ECCSafeBroadcast` procedure
+//! (Lemma 3.6) encodes the root's message into `k` shares, ships one share per
+//! tree of the packing, and lets every node decode the *closest codeword* from
+//! the shares it received — a bounded fraction of which were corrupted by the
+//! mobile adversary.  Berlekamp–Welch recovers the message as long as fewer
+//! than `(k - ℓ + 1)/2` shares are wrong, which is exactly the guarantee the
+//! lemma needs.
+
+use crate::field::{lagrange_interpolate, poly_degree, poly_divmod, poly_eval, Field};
+use crate::{CodingError, Result};
+
+/// A Reed–Solomon code with message length `ell` and block length `k` over `F`.
+///
+/// Codewords are evaluations of the degree-`< ell` message polynomial at the
+/// canonical points `1, 2, …, k`.
+#[derive(Debug, Clone)]
+pub struct ReedSolomon<F: Field> {
+    ell: usize,
+    k: usize,
+    points: Vec<F>,
+}
+
+impl<F: Field> ReedSolomon<F> {
+    /// Create a code with message length `ell` and block length `k`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodingError::InvalidParameters`] when `ell == 0`, `ell > k`, or
+    /// `k` exceeds the number of non-zero field elements.
+    pub fn new(ell: usize, k: usize) -> Result<Self> {
+        if ell == 0 {
+            return Err(CodingError::InvalidParameters(
+                "message length must be positive".into(),
+            ));
+        }
+        if ell > k {
+            return Err(CodingError::InvalidParameters(format!(
+                "message length {ell} exceeds block length {k}"
+            )));
+        }
+        if k as u64 >= F::order() {
+            return Err(CodingError::InvalidParameters(format!(
+                "block length {k} does not fit in field of order {}",
+                F::order()
+            )));
+        }
+        let points = (1..=k as u64).map(F::from_u64).collect();
+        Ok(ReedSolomon { ell, k, points })
+    }
+
+    /// Message length `ℓ`.
+    pub fn message_len(&self) -> usize {
+        self.ell
+    }
+
+    /// Block length `k`.
+    pub fn block_len(&self) -> usize {
+        self.k
+    }
+
+    /// Number of symbol errors the decoder is guaranteed to correct:
+    /// `⌊(k - ℓ)/2⌋`.
+    pub fn error_capacity(&self) -> usize {
+        (self.k - self.ell) / 2
+    }
+
+    /// Encode a message of `ℓ` symbols into a codeword of `k` symbols.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodingError::LengthMismatch`] if the message length is wrong.
+    pub fn encode(&self, message: &[F]) -> Result<Vec<F>> {
+        if message.len() != self.ell {
+            return Err(CodingError::LengthMismatch {
+                expected: self.ell,
+                got: message.len(),
+            });
+        }
+        Ok(self
+            .points
+            .iter()
+            .map(|&x| poly_eval(message, x))
+            .collect())
+    }
+
+    /// Decode a (possibly corrupted) word of `k` symbols back to the `ℓ`-symbol
+    /// message, correcting up to [`Self::error_capacity`] errors using the
+    /// Berlekamp–Welch algorithm.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodingError::DecodingFailure`] if more errors occurred than the
+    /// code can correct, and [`CodingError::LengthMismatch`] for wrong input length.
+    pub fn decode(&self, received: &[F]) -> Result<Vec<F>> {
+        if received.len() != self.k {
+            return Err(CodingError::LengthMismatch {
+                expected: self.k,
+                got: received.len(),
+            });
+        }
+        // Fast path: the received word may already be a codeword.
+        if let Some(msg) = self.try_exact(received) {
+            return Ok(msg);
+        }
+        let max_e = self.error_capacity();
+        for e in (1..=max_e).rev() {
+            if let Some(msg) = self.berlekamp_welch(received, e) {
+                return Ok(msg);
+            }
+        }
+        Err(CodingError::DecodingFailure(format!(
+            "no codeword within distance {max_e}"
+        )))
+    }
+
+    /// Erasure decoding: reconstruct the message from `ℓ` or more symbols whose
+    /// positions are known to be correct.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodingError::DecodingFailure`] if fewer than `ℓ` positions are
+    /// supplied or positions are out of range / duplicated.
+    pub fn decode_erasures(&self, symbols: &[(usize, F)]) -> Result<Vec<F>> {
+        if symbols.len() < self.ell {
+            return Err(CodingError::DecodingFailure(format!(
+                "need at least {} symbols, got {}",
+                self.ell,
+                symbols.len()
+            )));
+        }
+        let mut pts = Vec::with_capacity(self.ell);
+        let mut used = std::collections::HashSet::new();
+        for &(pos, val) in symbols.iter() {
+            if pos >= self.k {
+                return Err(CodingError::DecodingFailure(format!(
+                    "position {pos} out of range"
+                )));
+            }
+            if !used.insert(pos) {
+                return Err(CodingError::DecodingFailure(format!(
+                    "duplicate position {pos}"
+                )));
+            }
+            pts.push((self.points[pos], val));
+            if pts.len() == self.ell {
+                break;
+            }
+        }
+        let mut coeffs = lagrange_interpolate(&pts);
+        coeffs.resize(self.ell, F::ZERO);
+        Ok(coeffs)
+    }
+
+    fn try_exact(&self, received: &[F]) -> Option<Vec<F>> {
+        let pts: Vec<(F, F)> = self
+            .points
+            .iter()
+            .copied()
+            .zip(received.iter().copied())
+            .take(self.ell)
+            .collect();
+        let mut coeffs = lagrange_interpolate(&pts);
+        coeffs.resize(self.ell, F::ZERO);
+        let reencoded = self.encode(&coeffs).ok()?;
+        if &reencoded == received {
+            Some(coeffs)
+        } else {
+            None
+        }
+    }
+
+    /// One round of Berlekamp–Welch assuming exactly at most `e` errors.
+    fn berlekamp_welch(&self, received: &[F], e: usize) -> Option<Vec<F>> {
+        let k = self.k;
+        let ell = self.ell;
+        // Unknowns: E(x) monic of degree e  (e unknown coefficients),
+        //           Q(x) of degree <= e + ell - 1 (e + ell unknowns).
+        // Equations: Q(x_i) = r_i * E(x_i) for all i in [k].
+        let num_unknowns = e + (e + ell);
+        if num_unknowns > k {
+            return None;
+        }
+        // Build the linear system: for each i,
+        //   sum_{j<e+ell} Q_j x_i^j - r_i * sum_{j<e} E_j x_i^j = r_i * x_i^e
+        let rows = k;
+        let cols = num_unknowns;
+        let mut a = vec![vec![F::ZERO; cols + 1]; rows];
+        for i in 0..rows {
+            let xi = self.points[i];
+            let ri = received[i];
+            let mut p = F::ONE;
+            for j in 0..(e + ell) {
+                a[i][j] = p;
+                p = p * xi;
+            }
+            let mut p = F::ONE;
+            for j in 0..e {
+                a[i][e + ell + j] = -(ri * p);
+                p = p * xi;
+            }
+            // rhs: r_i * x_i^e
+            a[i][cols] = ri * xi.pow(e as u64);
+        }
+        let solution = solve_linear_system(&mut a, cols)?;
+        let q_coeffs: Vec<F> = solution[..e + ell].to_vec();
+        let mut e_coeffs: Vec<F> = solution[e + ell..].to_vec();
+        e_coeffs.push(F::ONE); // monic of degree e
+        let (quot, rem) = poly_divmod(&q_coeffs, &e_coeffs);
+        if poly_degree(&rem).is_some() {
+            return None;
+        }
+        let mut msg = quot;
+        msg.resize(ell, F::ZERO);
+        if poly_degree(&msg).unwrap_or(0) >= ell {
+            return None;
+        }
+        // Verify: the decoded codeword must be within distance e of `received`.
+        let cw = self.encode(&msg).ok()?;
+        let dist = cw
+            .iter()
+            .zip(received.iter())
+            .filter(|(a, b)| a != b)
+            .count();
+        if dist <= e {
+            Some(msg)
+        } else {
+            None
+        }
+    }
+}
+
+/// Solve the linear system given by an augmented matrix (`cols` unknowns, last
+/// column is the RHS) by Gaussian elimination; returns any solution if the
+/// system is consistent (free variables are set to zero).
+fn solve_linear_system<F: Field>(a: &mut [Vec<F>], cols: usize) -> Option<Vec<F>> {
+    let rows = a.len();
+    let mut pivot_of_col: Vec<Option<usize>> = vec![None; cols];
+    let mut row = 0usize;
+    for col in 0..cols {
+        // Find a pivot.
+        let pivot = (row..rows).find(|&r| !a[r][col].is_zero());
+        let Some(p) = pivot else { continue };
+        a.swap(row, p);
+        let inv = a[row][col].inv();
+        for c in col..=cols {
+            a[row][c] = a[row][c] * inv;
+        }
+        for r in 0..rows {
+            if r != row && !a[r][col].is_zero() {
+                let factor = a[r][col];
+                for c in col..=cols {
+                    a[r][c] = a[r][c] - factor * a[row][c];
+                }
+            }
+        }
+        pivot_of_col[col] = Some(row);
+        row += 1;
+        if row == rows {
+            break;
+        }
+    }
+    // Inconsistency check: a zero row with non-zero RHS.
+    for r in row..rows {
+        if a[r][..cols].iter().all(|c| c.is_zero()) && !a[r][cols].is_zero() {
+            return None;
+        }
+    }
+    let mut solution = vec![F::ZERO; cols];
+    for col in 0..cols {
+        if let Some(r) = pivot_of_col[col] {
+            solution[col] = a[r][cols];
+        }
+    }
+    Some(solution)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gf2_16::Gf2_16;
+    use rand::{seq::SliceRandom, Rng, SeedableRng};
+    use rand_chacha::ChaCha8Rng;
+
+    type F = Gf2_16;
+    type Rs = ReedSolomon<F>;
+
+    fn random_message(rng: &mut impl Rng, ell: usize) -> Vec<F> {
+        (0..ell).map(|_| F::from_u64(rng.gen())).collect()
+    }
+
+    #[test]
+    fn parameter_validation() {
+        assert!(Rs::new(0, 5).is_err());
+        assert!(Rs::new(6, 5).is_err());
+        assert!(Rs::new(3, 1 << 17).is_err());
+        assert!(Rs::new(3, 7).is_ok());
+    }
+
+    #[test]
+    fn encode_rejects_wrong_length() {
+        let rs = Rs::new(3, 7).unwrap();
+        assert!(rs.encode(&[F::ONE; 2]).is_err());
+        assert!(rs.decode(&[F::ONE; 6]).is_err());
+    }
+
+    #[test]
+    fn clean_roundtrip() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        for (ell, k) in [(1, 3), (2, 8), (5, 15), (10, 31)] {
+            let rs = Rs::new(ell, k).unwrap();
+            let msg = random_message(&mut rng, ell);
+            let cw = rs.encode(&msg).unwrap();
+            assert_eq!(rs.decode(&cw).unwrap(), msg);
+        }
+    }
+
+    #[test]
+    fn corrects_up_to_capacity() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        for (ell, k) in [(2, 10), (4, 16), (8, 33)] {
+            let rs = Rs::new(ell, k).unwrap();
+            let cap = rs.error_capacity();
+            for trial in 0..10 {
+                let msg = random_message(&mut rng, ell);
+                let mut cw = rs.encode(&msg).unwrap();
+                let mut idx: Vec<usize> = (0..k).collect();
+                idx.shuffle(&mut rng);
+                let errs = if trial % 2 == 0 { cap } else { rng.gen_range(0..=cap) };
+                for &i in idx.iter().take(errs) {
+                    // Flip to a guaranteed-different symbol.
+                    cw[i] = cw[i] + F::from_u64(rng.gen_range(1..u64::from(u16::MAX)));
+                }
+                assert_eq!(rs.decode(&cw).unwrap(), msg, "ell={ell} k={k} errs={errs}");
+            }
+        }
+    }
+
+    #[test]
+    fn too_many_errors_fails_or_misdecodes_gracefully() {
+        let rs = Rs::new(4, 8).unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let msg = random_message(&mut rng, 4);
+        let mut cw = rs.encode(&msg).unwrap();
+        // Corrupt more than capacity (capacity = 2): 5 symbols.
+        for slot in cw.iter_mut().take(5) {
+            *slot = F::from_u64(rng.gen());
+        }
+        // The decoder may fail or return some other message, but it must not panic,
+        // and it must not claim the original message decoded from 5 errors is "close".
+        match rs.decode(&cw) {
+            Ok(decoded) => {
+                let recw = rs.encode(&decoded).unwrap();
+                let dist = recw.iter().zip(cw.iter()).filter(|(a, b)| a != b).count();
+                assert!(dist <= rs.error_capacity());
+            }
+            Err(CodingError::DecodingFailure(_)) => {}
+            Err(e) => panic!("unexpected error {e:?}"),
+        }
+    }
+
+    #[test]
+    fn erasure_decoding() {
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let rs = Rs::new(5, 12).unwrap();
+        let msg = random_message(&mut rng, 5);
+        let cw = rs.encode(&msg).unwrap();
+        // Any 5 correct positions suffice.
+        let symbols: Vec<(usize, F)> = [11usize, 0, 7, 3, 9].iter().map(|&i| (i, cw[i])).collect();
+        assert_eq!(rs.decode_erasures(&symbols).unwrap(), msg);
+        // Too few symbols.
+        assert!(rs.decode_erasures(&symbols[..4]).is_err());
+        // Duplicate position.
+        let dup = vec![(0, cw[0]), (0, cw[0]), (1, cw[1]), (2, cw[2]), (3, cw[3])];
+        assert!(rs.decode_erasures(&dup).is_err());
+    }
+
+    #[test]
+    fn relative_distance_matches_theorem() {
+        // delta = (k - ell + 1) / k: two distinct codewords differ in >= k - ell + 1 positions.
+        let rs = Rs::new(3, 9).unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        for _ in 0..50 {
+            let m1 = random_message(&mut rng, 3);
+            let mut m2 = random_message(&mut rng, 3);
+            if m1 == m2 {
+                m2[0] = m2[0] + F::ONE;
+            }
+            let c1 = rs.encode(&m1).unwrap();
+            let c2 = rs.encode(&m2).unwrap();
+            let dist = c1.iter().zip(c2.iter()).filter(|(a, b)| a != b).count();
+            assert!(dist >= 9 - 3 + 1, "distance {dist} too small");
+        }
+    }
+}

@@ -1,0 +1,518 @@
+//! Edge adversaries: who is corrupted, when, and how.
+//!
+//! The paper's adversarial model (Section 1.4) is an all-powerful entity that
+//! each round controls a set of edges whose identity the nodes do not know.
+//! Two *roles* are distinguished:
+//!
+//! * **eavesdropper** — passively records the traffic on controlled edges
+//!   (the security experiments inspect the recorded view);
+//! * **byzantine** — rewrites the traffic on controlled edges arbitrarily.
+//!
+//! Orthogonally, a *budget* constrains which sets may be controlled:
+//! a fixed set (static adversary), at most `f` edges per round (mobile
+//! adversary), or a total of `f·r` edge-rounds (round-error-rate adversary).
+//! The [`crate::network::Network`] enforces the budget; strategies only express
+//! *intent*.
+
+use crate::traffic::{Payload, Traffic};
+use netgraph::{EdgeId, Graph};
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Whether the adversary reads or rewrites the traffic it controls.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdversaryRole {
+    /// Record traffic on controlled edges (security experiments).
+    Eavesdropper,
+    /// Corrupt traffic on controlled edges (resilience experiments).
+    Byzantine,
+}
+
+/// The budget constraining which edges may be controlled over time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CorruptionBudget {
+    /// No edges may ever be controlled (fault-free execution).
+    None,
+    /// A fixed set of edges is controlled in every round (static adversary).
+    Static(Vec<EdgeId>),
+    /// At most `f` (arbitrary, possibly different) edges per round (mobile adversary).
+    Mobile { f: usize },
+    /// A total budget of `total` edge-rounds across the whole execution
+    /// (round-error-rate adversary: `total = f · r`).
+    RoundErrorRate { total: usize },
+}
+
+impl CorruptionBudget {
+    /// The per-round cap implied by the budget given the remaining allowance.
+    pub(crate) fn round_cap(&self, spent: usize) -> usize {
+        match self {
+            CorruptionBudget::None => 0,
+            CorruptionBudget::Static(edges) => edges.len(),
+            CorruptionBudget::Mobile { f } => *f,
+            CorruptionBudget::RoundErrorRate { total } => total.saturating_sub(spent),
+        }
+    }
+
+    /// Whether an edge is eligible under a static budget.
+    pub(crate) fn allows_edge(&self, e: EdgeId) -> bool {
+        match self {
+            CorruptionBudget::Static(edges) => edges.contains(&e),
+            CorruptionBudget::None => false,
+            _ => true,
+        }
+    }
+}
+
+/// How a byzantine adversary rewrites a controlled message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CorruptionMode {
+    /// Replace the payload with uniformly random words of the same length
+    /// (length 1 if the original message was empty).
+    ReplaceRandom,
+    /// XOR the first word with 1 (minimal, hard-to-detect corruption).
+    FlipLowBit,
+    /// Drop the message entirely.
+    Drop,
+    /// Replace with a fixed word repeated to the original length.
+    Constant(u64),
+}
+
+impl CorruptionMode {
+    /// Apply the corruption to an optional payload.
+    pub fn apply<R: Rng + ?Sized>(&self, original: Option<&Payload>, rng: &mut R) -> Option<Payload> {
+        match self {
+            CorruptionMode::ReplaceRandom => {
+                let len = original.map(|p| p.len().max(1)).unwrap_or(1);
+                Some((0..len).map(|_| rng.gen()).collect())
+            }
+            CorruptionMode::FlipLowBit => {
+                let mut p = original.cloned().unwrap_or_else(|| vec![0]);
+                if p.is_empty() {
+                    p.push(0);
+                }
+                p[0] ^= 1;
+                Some(p)
+            }
+            CorruptionMode::Drop => None,
+            CorruptionMode::Constant(w) => {
+                let len = original.map(|p| p.len().max(1)).unwrap_or(1);
+                Some(vec![*w; len])
+            }
+        }
+    }
+}
+
+/// A strategy deciding which edges the adversary *wants* to control each round.
+///
+/// The network intersects the request with the configured budget, so a strategy
+/// never needs to worry about exceeding `f`; asking for more than allowed just
+/// means the surplus is ignored (in request order).
+pub trait AdversaryStrategy: Send {
+    /// Human-readable name for experiment reports.
+    fn name(&self) -> String;
+
+    /// Edges the adversary wants to control in this round.  The strategy sees
+    /// the full outgoing traffic of the round (the adversary is all-powerful and
+    /// rushing), but not the nodes' private randomness.
+    fn choose_edges(&mut self, round: usize, graph: &Graph, traffic: &Traffic) -> Vec<EdgeId>;
+
+    /// How controlled byzantine messages are rewritten (ignored for eavesdroppers).
+    fn corruption_mode(&self) -> CorruptionMode {
+        CorruptionMode::ReplaceRandom
+    }
+}
+
+/// A strategy that never controls any edge (fault-free baseline).
+#[derive(Debug, Default, Clone)]
+pub struct NoAdversary;
+
+impl AdversaryStrategy for NoAdversary {
+    fn name(&self) -> String {
+        "none".into()
+    }
+    fn choose_edges(&mut self, _round: usize, _graph: &Graph, _traffic: &Traffic) -> Vec<EdgeId> {
+        Vec::new()
+    }
+}
+
+/// Controls the same fixed set of edges every round (the classical static adversary).
+#[derive(Debug, Clone)]
+pub struct FixedEdges {
+    edges: Vec<EdgeId>,
+    mode: CorruptionMode,
+}
+
+impl FixedEdges {
+    /// Control exactly these edges every round.
+    pub fn new(edges: Vec<EdgeId>) -> Self {
+        FixedEdges {
+            edges,
+            mode: CorruptionMode::ReplaceRandom,
+        }
+    }
+
+    /// Select the corruption mode.
+    pub fn with_mode(mut self, mode: CorruptionMode) -> Self {
+        self.mode = mode;
+        self
+    }
+}
+
+impl AdversaryStrategy for FixedEdges {
+    fn name(&self) -> String {
+        format!("static({})", self.edges.len())
+    }
+    fn choose_edges(&mut self, _round: usize, _graph: &Graph, _traffic: &Traffic) -> Vec<EdgeId> {
+        self.edges.clone()
+    }
+    fn corruption_mode(&self) -> CorruptionMode {
+        self.mode
+    }
+}
+
+/// Controls `f` uniformly random edges, re-drawn every round — the canonical
+/// mobile adversary.
+#[derive(Debug, Clone)]
+pub struct RandomMobile {
+    f: usize,
+    rng: ChaCha8Rng,
+    mode: CorruptionMode,
+}
+
+impl RandomMobile {
+    /// Control `f` random edges per round, using `seed` for reproducibility.
+    pub fn new(f: usize, seed: u64) -> Self {
+        RandomMobile {
+            f,
+            rng: ChaCha8Rng::seed_from_u64(seed),
+            mode: CorruptionMode::ReplaceRandom,
+        }
+    }
+
+    /// Select the corruption mode.
+    pub fn with_mode(mut self, mode: CorruptionMode) -> Self {
+        self.mode = mode;
+        self
+    }
+}
+
+impl AdversaryStrategy for RandomMobile {
+    fn name(&self) -> String {
+        format!("random-mobile(f={})", self.f)
+    }
+    fn choose_edges(&mut self, _round: usize, graph: &Graph, _traffic: &Traffic) -> Vec<EdgeId> {
+        let m = graph.edge_count();
+        if m == 0 {
+            return Vec::new();
+        }
+        let mut chosen = Vec::with_capacity(self.f);
+        let mut tries = 0;
+        while chosen.len() < self.f.min(m) && tries < 20 * self.f.max(1) {
+            let e = self.rng.gen_range(0..m);
+            if !chosen.contains(&e) {
+                chosen.push(e);
+            }
+            tries += 1;
+        }
+        chosen
+    }
+    fn corruption_mode(&self) -> CorruptionMode {
+        self.mode
+    }
+}
+
+/// Sweeps over the edge set round-robin, `f` edges at a time — guarantees that
+/// *every* edge is eventually corrupted, which defeats any protocol relying on
+/// some edge staying clean forever (the attack that breaks static compilers in
+/// the mobile setting).
+#[derive(Debug, Clone)]
+pub struct SweepMobile {
+    f: usize,
+    cursor: usize,
+    mode: CorruptionMode,
+}
+
+impl SweepMobile {
+    /// Control `f` consecutive edges per round, advancing the window each round.
+    pub fn new(f: usize) -> Self {
+        SweepMobile {
+            f,
+            cursor: 0,
+            mode: CorruptionMode::ReplaceRandom,
+        }
+    }
+
+    /// Select the corruption mode.
+    pub fn with_mode(mut self, mode: CorruptionMode) -> Self {
+        self.mode = mode;
+        self
+    }
+}
+
+impl AdversaryStrategy for SweepMobile {
+    fn name(&self) -> String {
+        format!("sweep-mobile(f={})", self.f)
+    }
+    fn choose_edges(&mut self, _round: usize, graph: &Graph, _traffic: &Traffic) -> Vec<EdgeId> {
+        let m = graph.edge_count();
+        if m == 0 {
+            return Vec::new();
+        }
+        let mut chosen = Vec::with_capacity(self.f);
+        for i in 0..self.f.min(m) {
+            chosen.push((self.cursor + i) % m);
+        }
+        self.cursor = (self.cursor + self.f) % m;
+        chosen
+    }
+    fn corruption_mode(&self) -> CorruptionMode {
+        self.mode
+    }
+}
+
+/// Prefers the edges currently carrying the most data ("greedy heaviest"):
+/// a natural attack against aggregation trees, where high-traffic edges are the
+/// ones carrying combined sketches.
+#[derive(Debug, Clone)]
+pub struct GreedyHeaviest {
+    f: usize,
+    mode: CorruptionMode,
+}
+
+impl GreedyHeaviest {
+    /// Control the `f` edges with the largest total payload each round.
+    pub fn new(f: usize) -> Self {
+        GreedyHeaviest {
+            f,
+            mode: CorruptionMode::ReplaceRandom,
+        }
+    }
+
+    /// Select the corruption mode.
+    pub fn with_mode(mut self, mode: CorruptionMode) -> Self {
+        self.mode = mode;
+        self
+    }
+}
+
+impl AdversaryStrategy for GreedyHeaviest {
+    fn name(&self) -> String {
+        format!("greedy-heaviest(f={})", self.f)
+    }
+    fn choose_edges(&mut self, _round: usize, graph: &Graph, traffic: &Traffic) -> Vec<EdgeId> {
+        let mut weight = vec![0usize; graph.edge_count()];
+        for (arc, payload) in traffic.iter_present() {
+            let (e, _, _) = graph.arc_endpoints(arc);
+            weight[e] += payload.len();
+        }
+        let mut edges: Vec<EdgeId> = (0..graph.edge_count()).collect();
+        edges.sort_by_key(|&e| std::cmp::Reverse(weight[e]));
+        edges.truncate(self.f);
+        edges
+    }
+    fn corruption_mode(&self) -> CorruptionMode {
+        self.mode
+    }
+}
+
+/// A bursty adversary for the round-error-rate model: quiet for `quiet` rounds,
+/// then corrupts as many edges as it can for `burst` rounds, repeating.
+/// Combined with a [`CorruptionBudget::RoundErrorRate`] budget this realises
+/// the "invest a large budget of faults in specific rounds" behaviour of
+/// Section 4.
+#[derive(Debug, Clone)]
+pub struct BurstAdversary {
+    quiet: usize,
+    burst: usize,
+    per_burst_round: usize,
+    rng: ChaCha8Rng,
+    mode: CorruptionMode,
+}
+
+impl BurstAdversary {
+    /// Quiet for `quiet` rounds, then corrupt `per_burst_round` random edges in
+    /// each of the next `burst` rounds, repeating.
+    pub fn new(quiet: usize, burst: usize, per_burst_round: usize, seed: u64) -> Self {
+        BurstAdversary {
+            quiet,
+            burst,
+            per_burst_round,
+            rng: ChaCha8Rng::seed_from_u64(seed),
+            mode: CorruptionMode::ReplaceRandom,
+        }
+    }
+
+    /// Select the corruption mode.
+    pub fn with_mode(mut self, mode: CorruptionMode) -> Self {
+        self.mode = mode;
+        self
+    }
+}
+
+impl AdversaryStrategy for BurstAdversary {
+    fn name(&self) -> String {
+        format!(
+            "burst(quiet={},burst={},per={})",
+            self.quiet, self.burst, self.per_burst_round
+        )
+    }
+    fn choose_edges(&mut self, round: usize, graph: &Graph, _traffic: &Traffic) -> Vec<EdgeId> {
+        let period = self.quiet + self.burst;
+        if period == 0 || round % period < self.quiet {
+            return Vec::new();
+        }
+        let m = graph.edge_count();
+        let mut chosen = Vec::new();
+        let mut tries = 0;
+        while chosen.len() < self.per_burst_round.min(m) && tries < 20 * self.per_burst_round.max(1)
+        {
+            let e = self.rng.gen_range(0..m);
+            if !chosen.contains(&e) {
+                chosen.push(e);
+            }
+            tries += 1;
+        }
+        chosen
+    }
+    fn corruption_mode(&self) -> CorruptionMode {
+        self.mode
+    }
+}
+
+/// An eavesdropping schedule that follows an explicit per-round list of edges —
+/// used by the security tests to couple the adversary's view across executions
+/// on different inputs.
+#[derive(Debug, Clone)]
+pub struct ScheduledEdges {
+    schedule: Vec<Vec<EdgeId>>,
+}
+
+impl ScheduledEdges {
+    /// Control exactly `schedule[i]` in round `i` (empty after the schedule ends).
+    pub fn new(schedule: Vec<Vec<EdgeId>>) -> Self {
+        ScheduledEdges { schedule }
+    }
+}
+
+impl AdversaryStrategy for ScheduledEdges {
+    fn name(&self) -> String {
+        format!("scheduled({} rounds)", self.schedule.len())
+    }
+    fn choose_edges(&mut self, round: usize, _graph: &Graph, _traffic: &Traffic) -> Vec<EdgeId> {
+        self.schedule.get(round).cloned().unwrap_or_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netgraph::generators;
+
+    fn empty_traffic(g: &Graph) -> Traffic {
+        Traffic::new(g)
+    }
+
+    #[test]
+    fn budgets_round_caps() {
+        assert_eq!(CorruptionBudget::None.round_cap(0), 0);
+        assert_eq!(CorruptionBudget::Mobile { f: 3 }.round_cap(100), 3);
+        assert_eq!(CorruptionBudget::Static(vec![1, 2]).round_cap(0), 2);
+        let rate = CorruptionBudget::RoundErrorRate { total: 10 };
+        assert_eq!(rate.round_cap(0), 10);
+        assert_eq!(rate.round_cap(7), 3);
+        assert_eq!(rate.round_cap(12), 0);
+    }
+
+    #[test]
+    fn corruption_modes() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let orig = vec![5u64, 6];
+        assert_eq!(CorruptionMode::Drop.apply(Some(&orig), &mut rng), None);
+        assert_eq!(
+            CorruptionMode::FlipLowBit.apply(Some(&orig), &mut rng),
+            Some(vec![4, 6])
+        );
+        assert_eq!(
+            CorruptionMode::Constant(9).apply(Some(&orig), &mut rng),
+            Some(vec![9, 9])
+        );
+        let r = CorruptionMode::ReplaceRandom.apply(Some(&orig), &mut rng).unwrap();
+        assert_eq!(r.len(), 2);
+        // Empty original still yields a (non-empty) fabricated message.
+        assert_eq!(CorruptionMode::Constant(3).apply(None, &mut rng), Some(vec![3]));
+    }
+
+    #[test]
+    fn random_mobile_respects_f_and_is_reproducible() {
+        let g = generators::complete(8);
+        let t = empty_traffic(&g);
+        let mut a = RandomMobile::new(4, 99);
+        let mut b = RandomMobile::new(4, 99);
+        for round in 0..10 {
+            let ea = a.choose_edges(round, &g, &t);
+            let eb = b.choose_edges(round, &g, &t);
+            assert_eq!(ea, eb);
+            assert!(ea.len() <= 4);
+            let unique: std::collections::HashSet<_> = ea.iter().collect();
+            assert_eq!(unique.len(), ea.len());
+        }
+    }
+
+    #[test]
+    fn sweep_covers_all_edges() {
+        let g = generators::cycle(7);
+        let t = empty_traffic(&g);
+        let mut s = SweepMobile::new(2);
+        let mut covered = std::collections::HashSet::new();
+        for round in 0..10 {
+            for e in s.choose_edges(round, &g, &t) {
+                covered.insert(e);
+            }
+        }
+        assert_eq!(covered.len(), g.edge_count());
+    }
+
+    #[test]
+    fn greedy_heaviest_targets_busy_edges() {
+        let g = generators::path(4);
+        let mut t = Traffic::new(&g);
+        t.send(&g, 1, 2, vec![1, 2, 3, 4, 5]);
+        t.send(&g, 0, 1, vec![1]);
+        let mut adv = GreedyHeaviest::new(1);
+        let chosen = adv.choose_edges(0, &g, &t);
+        assert_eq!(chosen, vec![g.edge_between(1, 2).unwrap()]);
+    }
+
+    #[test]
+    fn burst_adversary_is_quiet_then_bursts() {
+        let g = generators::complete(5);
+        let t = empty_traffic(&g);
+        let mut adv = BurstAdversary::new(3, 2, 4, 1);
+        assert!(adv.choose_edges(0, &g, &t).is_empty());
+        assert!(adv.choose_edges(2, &g, &t).is_empty());
+        assert!(!adv.choose_edges(3, &g, &t).is_empty());
+        assert!(!adv.choose_edges(4, &g, &t).is_empty());
+        assert!(adv.choose_edges(5, &g, &t).is_empty());
+    }
+
+    #[test]
+    fn scheduled_edges_follow_schedule() {
+        let g = generators::cycle(4);
+        let t = empty_traffic(&g);
+        let mut adv = ScheduledEdges::new(vec![vec![0], vec![], vec![1, 2]]);
+        assert_eq!(adv.choose_edges(0, &g, &t), vec![0]);
+        assert!(adv.choose_edges(1, &g, &t).is_empty());
+        assert_eq!(adv.choose_edges(2, &g, &t), vec![1, 2]);
+        assert!(adv.choose_edges(3, &g, &t).is_empty());
+    }
+
+    #[test]
+    fn static_budget_filters_edges() {
+        let b = CorruptionBudget::Static(vec![3, 5]);
+        assert!(b.allows_edge(3));
+        assert!(!b.allows_edge(4));
+        assert!(CorruptionBudget::Mobile { f: 1 }.allows_edge(4));
+        assert!(!CorruptionBudget::None.allows_edge(0));
+    }
+}

@@ -1,0 +1,160 @@
+//! The round-by-round algorithm interface consumed by the compilers.
+//!
+//! Fischer–Parter compilers take *any* CONGEST algorithm `A` and simulate it
+//! round by round, transporting each round's messages resiliently (or
+//! securely).  The [`CongestAlgorithm`] trait exposes exactly the hooks such a
+//! simulation needs:
+//!
+//! * [`CongestAlgorithm::send`] — the messages every node sends in round `i`
+//!   (a function of what its nodes received in rounds `< i`),
+//! * [`CongestAlgorithm::receive`] — delivery of the (possibly corrected)
+//!   round-`i` messages,
+//! * [`CongestAlgorithm::outputs`] — per-node outputs when the algorithm ends.
+//!
+//! Implementations keep per-node state internally; the contract (enforced by
+//! the honest implementations in `congest-algorithms`, and relied on by the
+//! compilers' correctness arguments) is that a node's outgoing messages depend
+//! only on *its own* prior inbox and randomness.
+
+use crate::network::Network;
+use crate::traffic::{Output, Traffic};
+
+/// A CONGEST algorithm expressed round by round.
+pub trait CongestAlgorithm {
+    /// A short human-readable name used in experiment reports.
+    fn name(&self) -> String;
+
+    /// The total number of rounds the algorithm runs.
+    fn rounds(&self) -> usize;
+
+    /// Outgoing messages for round `round` (0-based).
+    fn send(&mut self, round: usize) -> Traffic;
+
+    /// Deliver the messages received in round `round`.
+    fn receive(&mut self, round: usize, inbox: &Traffic);
+
+    /// Per-node outputs once all rounds have been delivered.
+    fn outputs(&self) -> Vec<Output>;
+
+    /// The worst-case number of messages the algorithm sends over a single
+    /// edge across its whole execution, if known.  The congestion-sensitive
+    /// compiler (Theorem 1.3) keys its parameters off this value.
+    fn congestion_bound(&self) -> Option<usize> {
+        None
+    }
+}
+
+/// Run an algorithm in the fault-free setting (no network, no adversary):
+/// every round's messages are delivered verbatim.  Returns the outputs.
+pub fn run_fault_free<A: CongestAlgorithm + ?Sized>(alg: &mut A) -> Vec<Output> {
+    for round in 0..alg.rounds() {
+        let traffic = alg.send(round);
+        alg.receive(round, &traffic);
+    }
+    alg.outputs()
+}
+
+/// Run an algorithm *uncompiled* on a network: each of its rounds is one
+/// network round, so a byzantine adversary corrupts whatever it likes.  This is
+/// the baseline the compilers are compared against.
+pub fn run_on_network<A: CongestAlgorithm + ?Sized>(alg: &mut A, net: &mut Network) -> Vec<Output> {
+    for round in 0..alg.rounds() {
+        let traffic = alg.send(round);
+        let delivered = net.exchange(traffic);
+        alg.receive(round, &delivered);
+    }
+    alg.outputs()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adversary::{AdversaryRole, CorruptionBudget, CorruptionMode, FixedEdges};
+    use netgraph::{generators, Graph};
+
+    /// A toy algorithm: in round 0 every node sends its id to all neighbours;
+    /// the output of a node is the sorted list of ids it received.
+    struct ExchangeIds {
+        graph: Graph,
+        received: Vec<Vec<u64>>,
+    }
+
+    impl ExchangeIds {
+        fn new(graph: Graph) -> Self {
+            let n = graph.node_count();
+            ExchangeIds {
+                graph,
+                received: vec![Vec::new(); n],
+            }
+        }
+    }
+
+    impl CongestAlgorithm for ExchangeIds {
+        fn name(&self) -> String {
+            "exchange-ids".into()
+        }
+        fn rounds(&self) -> usize {
+            1
+        }
+        fn send(&mut self, _round: usize) -> Traffic {
+            let mut t = Traffic::new(&self.graph);
+            for v in self.graph.nodes() {
+                for &(u, _) in self.graph.neighbors(v) {
+                    t.send(&self.graph, v, u, vec![v as u64]);
+                }
+            }
+            t
+        }
+        fn receive(&mut self, _round: usize, inbox: &Traffic) {
+            for v in self.graph.nodes() {
+                for (_, payload) in inbox.inbox_of(&self.graph, v) {
+                    self.received[v].push(payload[0]);
+                }
+                self.received[v].sort_unstable();
+            }
+        }
+        fn outputs(&self) -> Vec<Output> {
+            self.received.clone()
+        }
+        fn congestion_bound(&self) -> Option<usize> {
+            Some(1)
+        }
+    }
+
+    #[test]
+    fn fault_free_run_collects_neighbours() {
+        let g = generators::cycle(5);
+        let mut alg = ExchangeIds::new(g);
+        let out = run_fault_free(&mut alg);
+        assert_eq!(out[0], vec![1, 4]);
+        assert_eq!(out[2], vec![1, 3]);
+    }
+
+    #[test]
+    fn uncompiled_run_on_clean_network_matches_fault_free() {
+        let g = generators::cycle(5);
+        let fault_free = run_fault_free(&mut ExchangeIds::new(g.clone()));
+        let mut net = Network::fault_free(g.clone());
+        let networked = run_on_network(&mut ExchangeIds::new(g), &mut net);
+        assert_eq!(fault_free, networked);
+        assert_eq!(net.round(), 1);
+    }
+
+    #[test]
+    fn uncompiled_run_is_vulnerable_to_byzantine_corruption() {
+        let g = generators::cycle(5);
+        let clean = run_fault_free(&mut ExchangeIds::new(g.clone()));
+        let target = g.edge_between(0, 1).unwrap();
+        let strategy = FixedEdges::new(vec![target]).with_mode(CorruptionMode::Constant(999));
+        let mut net = Network::new(
+            g.clone(),
+            AdversaryRole::Byzantine,
+            Box::new(strategy),
+            CorruptionBudget::Static(vec![target]),
+            0,
+        );
+        let corrupted = run_on_network(&mut ExchangeIds::new(g), &mut net);
+        assert_ne!(clean, corrupted, "the baseline must be breakable");
+        assert!(corrupted[0].contains(&999) || corrupted[1].contains(&999));
+    }
+}

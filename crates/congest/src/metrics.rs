@@ -1,0 +1,126 @@
+//! Execution metrics: rounds, messages, congestion, bandwidth, corruption.
+//!
+//! Every experiment reports these alongside the protocol's output so the
+//! round-overhead shapes claimed by the paper's theorems can be compared
+//! against measurements.
+
+use crate::traffic::Traffic;
+use netgraph::{EdgeId, Graph};
+
+/// Counters accumulated over an execution on a [`crate::network::Network`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Metrics {
+    /// Number of communication rounds executed (calls to `exchange`).
+    pub rounds: usize,
+    /// Bandwidth-normalised rounds: each exchange is charged
+    /// `ceil(max payload words / bandwidth_words)`.
+    pub bandwidth_rounds: usize,
+    /// Total number of (non-empty) messages sent.
+    pub messages: usize,
+    /// Total number of payload words sent.
+    pub words: usize,
+    /// Per-edge count of messages (both directions) — the congestion profile.
+    pub edge_messages: Vec<usize>,
+    /// Number of edge-rounds the adversary controlled.
+    pub corrupted_edge_rounds: usize,
+    /// Number of individual messages the adversary actually altered or dropped.
+    pub corrupted_messages: usize,
+}
+
+impl Metrics {
+    /// Fresh metrics for a graph.
+    pub fn new(g: &Graph) -> Self {
+        Metrics {
+            edge_messages: vec![0; g.edge_count()],
+            ..Default::default()
+        }
+    }
+
+    /// Maximum number of messages that crossed any single edge (the congestion
+    /// of the executed algorithm, in the paper's sense).
+    pub fn max_edge_congestion(&self) -> usize {
+        self.edge_messages.iter().copied().max().unwrap_or(0)
+    }
+
+    pub(crate) fn record_exchange(&mut self, g: &Graph, traffic: &Traffic, bandwidth_words: usize) {
+        self.rounds += 1;
+        let max_words = traffic.max_words();
+        self.bandwidth_rounds += max_words.div_ceil(bandwidth_words).max(1);
+        for (arc, payload) in traffic.iter_present() {
+            let (e, _, _) = g.arc_endpoints(arc);
+            self.messages += 1;
+            self.words += payload.len();
+            self.edge_messages[e] += 1;
+        }
+    }
+
+    pub(crate) fn record_corruption(&mut self, edges: &[EdgeId], altered_messages: usize) {
+        self.corrupted_edge_rounds += edges.len();
+        self.corrupted_messages += altered_messages;
+    }
+}
+
+impl std::fmt::Display for Metrics {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "rounds={} bw_rounds={} msgs={} words={} max_cong={} corrupted_edge_rounds={} corrupted_msgs={}",
+            self.rounds,
+            self.bandwidth_rounds,
+            self.messages,
+            self.words,
+            self.max_edge_congestion(),
+            self.corrupted_edge_rounds,
+            self.corrupted_messages,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netgraph::generators;
+
+    #[test]
+    fn record_exchange_counts() {
+        let g = generators::path(3);
+        let mut m = Metrics::new(&g);
+        let mut t = Traffic::new(&g);
+        t.send(&g, 0, 1, vec![1, 2, 3]);
+        t.send(&g, 1, 0, vec![4]);
+        m.record_exchange(&g, &t, 2);
+        assert_eq!(m.rounds, 1);
+        assert_eq!(m.bandwidth_rounds, 2); // 3 words / 2 per round
+        assert_eq!(m.messages, 2);
+        assert_eq!(m.words, 4);
+        assert_eq!(m.edge_messages[g.edge_between(0, 1).unwrap()], 2);
+        assert_eq!(m.max_edge_congestion(), 2);
+    }
+
+    #[test]
+    fn empty_exchange_still_counts_a_round() {
+        let g = generators::path(2);
+        let mut m = Metrics::new(&g);
+        m.record_exchange(&g, &Traffic::new(&g), 2);
+        assert_eq!(m.rounds, 1);
+        assert_eq!(m.bandwidth_rounds, 1);
+        assert_eq!(m.messages, 0);
+    }
+
+    #[test]
+    fn corruption_counters() {
+        let g = generators::path(3);
+        let mut m = Metrics::new(&g);
+        m.record_corruption(&[0, 1], 3);
+        m.record_corruption(&[1], 1);
+        assert_eq!(m.corrupted_edge_rounds, 3);
+        assert_eq!(m.corrupted_messages, 4);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        let g = generators::path(2);
+        let m = Metrics::new(&g);
+        assert!(!format!("{m}").is_empty());
+    }
+}

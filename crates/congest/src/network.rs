@@ -1,0 +1,399 @@
+//! The round-synchronous network with adversary interposition.
+//!
+//! A [`Network`] owns the communication graph, an adversary (role + strategy +
+//! budget) and the execution metrics.  Protocols drive it through
+//! [`Network::exchange`]: they hand over the round's outgoing [`Traffic`], the
+//! adversary picks the edges it controls (within its budget), either records or
+//! rewrites the traffic on those edges, and the resulting traffic is what the
+//! receiving nodes observe.
+//!
+//! The network also keeps the **corruption history** (which edges were
+//! controlled in which round) and, for eavesdroppers, the **view log** (what
+//! the adversary saw).  The first feeds the interactive-coding oracle of
+//! Theorem 3.2; the second feeds the perfect-security experiments.
+
+use crate::adversary::{AdversaryRole, AdversaryStrategy, CorruptionBudget, NoAdversary};
+use crate::metrics::Metrics;
+use crate::traffic::{Payload, Traffic};
+use netgraph::{EdgeId, Graph};
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// One observation made by an eavesdropper: both directions of one edge in one round.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ViewEntry {
+    /// The round in which the observation was made.
+    pub round: usize,
+    /// The observed edge.
+    pub edge: EdgeId,
+    /// Payload flowing from the edge's smaller endpoint to the larger one.
+    pub forward: Option<Payload>,
+    /// Payload flowing from the larger endpoint to the smaller one.
+    pub backward: Option<Payload>,
+}
+
+/// Everything the eavesdropper saw during an execution.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ViewLog {
+    /// Observations in chronological order.
+    pub entries: Vec<ViewEntry>,
+}
+
+impl ViewLog {
+    /// A canonical flattening of the view, suitable for comparing the
+    /// distribution of views across executions (perfect security states the
+    /// distributions must be identical for any two inputs).
+    pub fn canonical(&self) -> Vec<u64> {
+        let mut out = Vec::new();
+        for e in &self.entries {
+            out.push(e.round as u64);
+            out.push(e.edge as u64);
+            for side in [&e.forward, &e.backward] {
+                match side {
+                    Some(p) => {
+                        out.push(1 + p.len() as u64);
+                        out.extend_from_slice(p);
+                    }
+                    None => out.push(0),
+                }
+            }
+        }
+        out
+    }
+
+    /// Number of observations.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether nothing was observed.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+/// The round-synchronous network simulator.
+pub struct Network {
+    graph: Graph,
+    role: AdversaryRole,
+    strategy: Box<dyn AdversaryStrategy>,
+    budget: CorruptionBudget,
+    metrics: Metrics,
+    view_log: ViewLog,
+    corruption_history: Vec<Vec<EdgeId>>,
+    budget_spent: usize,
+    bandwidth_words: usize,
+    corruption_rng: ChaCha8Rng,
+}
+
+impl std::fmt::Debug for Network {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Network")
+            .field("nodes", &self.graph.node_count())
+            .field("edges", &self.graph.edge_count())
+            .field("role", &self.role)
+            .field("strategy", &self.strategy.name())
+            .field("budget", &self.budget)
+            .field("rounds", &self.metrics.rounds)
+            .finish()
+    }
+}
+
+impl Network {
+    /// A fault-free network over `graph`.
+    pub fn fault_free(graph: Graph) -> Self {
+        Network::new(
+            graph,
+            AdversaryRole::Byzantine,
+            Box::new(NoAdversary),
+            CorruptionBudget::None,
+            0,
+        )
+    }
+
+    /// A network with the given adversary configuration.
+    ///
+    /// `seed` drives the randomness the adversary uses when fabricating
+    /// corrupted payloads (the nodes' randomness is separate and never exposed
+    /// to the adversary).
+    pub fn new(
+        graph: Graph,
+        role: AdversaryRole,
+        strategy: Box<dyn AdversaryStrategy>,
+        budget: CorruptionBudget,
+        seed: u64,
+    ) -> Self {
+        let metrics = Metrics::new(&graph);
+        Network {
+            graph,
+            role,
+            strategy,
+            budget,
+            metrics,
+            view_log: ViewLog::default(),
+            corruption_history: Vec::new(),
+            budget_spent: 0,
+            bandwidth_words: 2,
+            corruption_rng: ChaCha8Rng::seed_from_u64(seed ^ 0xAD5E_55A7),
+        }
+    }
+
+    /// The communication graph.
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// Metrics accumulated so far.
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// Number of communication rounds executed so far.
+    pub fn round(&self) -> usize {
+        self.metrics.rounds
+    }
+
+    /// The eavesdropper's view (empty unless the role is `Eavesdropper`).
+    pub fn view_log(&self) -> &ViewLog {
+        &self.view_log
+    }
+
+    /// Which edges were controlled in each executed round.
+    pub fn corruption_history(&self) -> &[Vec<EdgeId>] {
+        &self.corruption_history
+    }
+
+    /// The adversary strategy's display name.
+    pub fn adversary_name(&self) -> String {
+        self.strategy.name()
+    }
+
+    /// Change the number of words per bandwidth-normalised round (default 2).
+    pub fn set_bandwidth_words(&mut self, words: usize) {
+        self.bandwidth_words = words.max(1);
+    }
+
+    /// Execute one communication round: the adversary interposes on `outgoing`
+    /// and the returned traffic is what receivers observe.
+    pub fn exchange(&mut self, outgoing: Traffic) -> Traffic {
+        let round = self.metrics.rounds;
+        self.metrics
+            .record_exchange(&self.graph, &outgoing, self.bandwidth_words);
+
+        // 1. Let the strategy pick edges, then clamp to the budget.
+        let wanted = self
+            .strategy
+            .choose_edges(round, &self.graph, &outgoing);
+        let cap = self.budget.round_cap(self.budget_spent);
+        let mut controlled: Vec<EdgeId> = Vec::new();
+        for e in wanted {
+            if controlled.len() >= cap {
+                break;
+            }
+            if e < self.graph.edge_count() && self.budget.allows_edge(e) && !controlled.contains(&e)
+            {
+                controlled.push(e);
+            }
+        }
+        if matches!(self.budget, CorruptionBudget::RoundErrorRate { .. }) {
+            self.budget_spent += controlled.len();
+        }
+
+        // 2. Apply the adversary's role on the controlled edges.
+        let mut delivered = outgoing;
+        let mut altered = 0usize;
+        for &e in &controlled {
+            let edge = self.graph.edge(e);
+            let fwd_arc = self.graph.arc(e, edge.u, edge.v);
+            let bwd_arc = self.graph.arc(e, edge.v, edge.u);
+            match self.role {
+                AdversaryRole::Eavesdropper => {
+                    self.view_log.entries.push(ViewEntry {
+                        round,
+                        edge: e,
+                        forward: delivered.get_arc(fwd_arc).cloned(),
+                        backward: delivered.get_arc(bwd_arc).cloned(),
+                    });
+                }
+                AdversaryRole::Byzantine => {
+                    let mode = self.strategy.corruption_mode();
+                    for arc in [fwd_arc, bwd_arc] {
+                        let original = delivered.get_arc(arc).cloned();
+                        let replacement = mode.apply(original.as_ref(), &mut self.corruption_rng);
+                        if replacement != original {
+                            altered += 1;
+                        }
+                        delivered.set_arc(arc, replacement);
+                    }
+                }
+            }
+        }
+        self.metrics.record_corruption(&controlled, altered);
+        self.corruption_history.push(controlled);
+        delivered
+    }
+
+    /// Run `count` empty rounds (used to model waiting / padding rounds; the
+    /// adversary still gets to act, which matters for budget accounting).
+    pub fn idle_rounds(&mut self, count: usize) {
+        for _ in 0..count {
+            let t = Traffic::new(&self.graph);
+            let _ = self.exchange(t);
+        }
+    }
+
+    /// Deterministic per-node private randomness stream: node `v`'s RNG derived
+    /// from `run_seed`.  The adversary has no access to these streams.
+    pub fn node_rng(run_seed: u64, node: usize) -> ChaCha8Rng {
+        let mixed = run_seed
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add((node as u64).wrapping_mul(0xBF58_476D_1CE4_E5B9))
+            .rotate_left(17);
+        ChaCha8Rng::seed_from_u64(mixed)
+    }
+
+    /// Convenience: a fresh uniformly random word from the network-owned
+    /// "public coin" (usable where the paper allows shared public randomness
+    /// that the adversary may know).
+    pub fn public_coin(&mut self) -> u64 {
+        self.corruption_rng.gen()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adversary::{CorruptionMode, FixedEdges, RandomMobile};
+    use netgraph::generators;
+
+    fn full_traffic(g: &Graph, value: u64) -> Traffic {
+        let mut t = Traffic::new(g);
+        for e in g.edges() {
+            t.send(g, e.u, e.v, vec![value]);
+            t.send(g, e.v, e.u, vec![value + 1]);
+        }
+        t
+    }
+
+    #[test]
+    fn fault_free_delivers_verbatim() {
+        let g = generators::cycle(5);
+        let mut net = Network::fault_free(g.clone());
+        let t = full_traffic(&g, 3);
+        let out = net.exchange(t.clone());
+        assert!(out.agrees_with(&t));
+        assert_eq!(net.round(), 1);
+        assert_eq!(net.metrics().messages, 10);
+        assert!(net.corruption_history()[0].is_empty());
+    }
+
+    #[test]
+    fn byzantine_static_corrupts_only_fixed_edges() {
+        let g = generators::cycle(5);
+        let target = g.edge_between(0, 1).unwrap();
+        let strategy = FixedEdges::new(vec![target]).with_mode(CorruptionMode::Constant(77));
+        let mut net = Network::new(
+            g.clone(),
+            AdversaryRole::Byzantine,
+            Box::new(strategy),
+            CorruptionBudget::Static(vec![target]),
+            0,
+        );
+        let t = full_traffic(&g, 3);
+        let out = net.exchange(t.clone());
+        assert_eq!(out.get(&g, 0, 1), Some(&vec![77]));
+        assert_eq!(out.get(&g, 1, 0), Some(&vec![77]));
+        // Every other edge is untouched.
+        for e in g.edges() {
+            if g.edge_between(e.u, e.v).unwrap() != target {
+                assert_eq!(out.get(&g, e.u, e.v), t.get(&g, e.u, e.v));
+            }
+        }
+        assert_eq!(net.metrics().corrupted_edge_rounds, 1);
+        assert_eq!(net.metrics().corrupted_messages, 2);
+    }
+
+    #[test]
+    fn mobile_budget_clamps_requests() {
+        let g = generators::complete(6);
+        // Strategy wants 10 edges, budget allows only 2.
+        let strategy = RandomMobile::new(10, 7);
+        let mut net = Network::new(
+            g.clone(),
+            AdversaryRole::Byzantine,
+            Box::new(strategy),
+            CorruptionBudget::Mobile { f: 2 },
+            1,
+        );
+        for _ in 0..5 {
+            let _ = net.exchange(full_traffic(&g, 1));
+        }
+        for round_edges in net.corruption_history() {
+            assert!(round_edges.len() <= 2);
+        }
+        assert_eq!(net.metrics().corrupted_edge_rounds, 10);
+    }
+
+    #[test]
+    fn round_error_rate_budget_is_exhausted() {
+        let g = generators::complete(5);
+        let strategy = RandomMobile::new(5, 3);
+        let mut net = Network::new(
+            g.clone(),
+            AdversaryRole::Byzantine,
+            Box::new(strategy),
+            CorruptionBudget::RoundErrorRate { total: 7 },
+            2,
+        );
+        for _ in 0..10 {
+            let _ = net.exchange(full_traffic(&g, 1));
+        }
+        assert_eq!(net.metrics().corrupted_edge_rounds, 7);
+        // Later rounds must be clean.
+        assert!(net.corruption_history()[9].is_empty() || net.metrics().corrupted_edge_rounds == 7);
+    }
+
+    #[test]
+    fn eavesdropper_records_but_does_not_modify() {
+        let g = generators::path(3);
+        let e01 = g.edge_between(0, 1).unwrap();
+        let strategy = FixedEdges::new(vec![e01]);
+        let mut net = Network::new(
+            g.clone(),
+            AdversaryRole::Eavesdropper,
+            Box::new(strategy),
+            CorruptionBudget::Static(vec![e01]),
+            0,
+        );
+        let t = full_traffic(&g, 9);
+        let out = net.exchange(t.clone());
+        assert!(out.agrees_with(&t), "eavesdropper must not alter traffic");
+        assert_eq!(net.view_log().len(), 1);
+        let entry = &net.view_log().entries[0];
+        assert_eq!(entry.edge, e01);
+        assert_eq!(entry.forward, Some(vec![9]));
+        assert_eq!(entry.backward, Some(vec![10]));
+        assert!(!net.view_log().canonical().is_empty());
+    }
+
+    #[test]
+    fn idle_rounds_advance_the_clock() {
+        let g = generators::path(2);
+        let mut net = Network::fault_free(g);
+        net.idle_rounds(4);
+        assert_eq!(net.round(), 4);
+    }
+
+    #[test]
+    fn node_rngs_are_distinct_and_deterministic() {
+        let mut a = Network::node_rng(7, 0);
+        let mut a2 = Network::node_rng(7, 0);
+        let mut b = Network::node_rng(7, 1);
+        let xs: Vec<u64> = (0..4).map(|_| a.gen()).collect();
+        let xs2: Vec<u64> = (0..4).map(|_| a2.gen()).collect();
+        let ys: Vec<u64> = (0..4).map(|_| b.gen()).collect();
+        assert_eq!(xs, xs2);
+        assert_ne!(xs, ys);
+    }
+}

@@ -1,0 +1,173 @@
+//! Per-round message traffic.
+//!
+//! A [`Traffic`] value holds, for every directed arc of the communication
+//! graph, the (optional) payload sent over that arc in a single round.  This is
+//! the unit that flows through the network: protocols build a `Traffic`, the
+//! network lets the adversary interpose on it, and the (possibly corrupted)
+//! `Traffic` is what the receivers observe.
+
+use netgraph::{ArcId, Graph, NodeId};
+
+/// A message payload: a short sequence of machine words.
+///
+/// The CONGEST model allows `B = O(log n)` bits per edge per round; the
+/// simulator treats one `u64` word as `Θ(log n)` bits and reports how many
+/// bandwidth-normalised rounds a payload of `w` words would cost.
+pub type Payload = Vec<u64>;
+
+/// Per-node protocol output: an arbitrary word sequence.
+pub type Output = Vec<u64>;
+
+/// The messages sent over every directed arc in one communication round.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Traffic {
+    arcs: Vec<Option<Payload>>,
+}
+
+impl Traffic {
+    /// Empty traffic for a graph (no messages on any arc).
+    pub fn new(g: &Graph) -> Self {
+        Traffic {
+            arcs: vec![None; g.arc_count()],
+        }
+    }
+
+    /// Number of arcs (2·m).
+    pub fn arc_slots(&self) -> usize {
+        self.arcs.len()
+    }
+
+    /// Set the message sent from `from` to `to`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `(from, to)` is not an edge of the graph.
+    pub fn send(&mut self, g: &Graph, from: NodeId, to: NodeId, payload: Payload) {
+        let arc = g
+            .arc_between(from, to)
+            .unwrap_or_else(|| panic!("({from},{to}) is not an edge"));
+        self.arcs[arc] = Some(payload);
+    }
+
+    /// The message sent from `from` to `to`, if any.
+    pub fn get(&self, g: &Graph, from: NodeId, to: NodeId) -> Option<&Payload> {
+        let arc = g.arc_between(from, to)?;
+        self.arcs[arc].as_ref()
+    }
+
+    /// The message on a specific arc, if any.
+    pub fn get_arc(&self, arc: ArcId) -> Option<&Payload> {
+        self.arcs.get(arc).and_then(|o| o.as_ref())
+    }
+
+    /// Overwrite the message on a specific arc (used by the adversary).
+    pub fn set_arc(&mut self, arc: ArcId, payload: Option<Payload>) {
+        self.arcs[arc] = payload;
+    }
+
+    /// Iterate over all present messages as `(arc, payload)`.
+    pub fn iter_present(&self) -> impl Iterator<Item = (ArcId, &Payload)> {
+        self.arcs
+            .iter()
+            .enumerate()
+            .filter_map(|(a, p)| p.as_ref().map(|p| (a, p)))
+    }
+
+    /// Number of non-empty messages.
+    pub fn message_count(&self) -> usize {
+        self.arcs.iter().filter(|p| p.is_some()).count()
+    }
+
+    /// Largest payload length (in words) over all messages, 0 if empty.
+    pub fn max_words(&self) -> usize {
+        self.arcs
+            .iter()
+            .flatten()
+            .map(|p| p.len())
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Collect the messages *received by* node `v`: a list of `(sender, payload)`.
+    pub fn inbox_of(&self, g: &Graph, v: NodeId) -> Vec<(NodeId, Payload)> {
+        let mut inbox = Vec::new();
+        for &(u, e) in g.neighbors(v) {
+            let arc = g.arc(e, u, v);
+            if let Some(p) = &self.arcs[arc] {
+                inbox.push((u, p.clone()));
+            }
+        }
+        inbox
+    }
+
+    /// Whether two traffic snapshots agree on every arc.
+    pub fn agrees_with(&self, other: &Traffic) -> bool {
+        self.arcs == other.arcs
+    }
+
+    /// The arcs on which two snapshots differ.
+    pub fn diff_arcs(&self, other: &Traffic) -> Vec<ArcId> {
+        (0..self.arcs.len().max(other.arcs.len()))
+            .filter(|&a| self.arcs.get(a) != other.arcs.get(a))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netgraph::generators;
+
+    #[test]
+    fn send_and_receive() {
+        let g = generators::path(3);
+        let mut t = Traffic::new(&g);
+        t.send(&g, 0, 1, vec![42]);
+        t.send(&g, 2, 1, vec![7, 8]);
+        assert_eq!(t.get(&g, 0, 1), Some(&vec![42]));
+        assert_eq!(t.get(&g, 1, 0), None);
+        assert_eq!(t.message_count(), 2);
+        assert_eq!(t.max_words(), 2);
+        let inbox = t.inbox_of(&g, 1);
+        assert_eq!(inbox.len(), 2);
+        assert!(inbox.contains(&(0, vec![42])));
+        assert!(inbox.contains(&(2, vec![7, 8])));
+        assert!(t.inbox_of(&g, 0).is_empty());
+    }
+
+    #[test]
+    #[should_panic]
+    fn send_on_non_edge_panics() {
+        let g = generators::path(3);
+        let mut t = Traffic::new(&g);
+        t.send(&g, 0, 2, vec![1]);
+    }
+
+    #[test]
+    fn diff_and_agreement() {
+        let g = generators::cycle(4);
+        let mut a = Traffic::new(&g);
+        let mut b = Traffic::new(&g);
+        assert!(a.agrees_with(&b));
+        a.send(&g, 0, 1, vec![1]);
+        b.send(&g, 0, 1, vec![1]);
+        assert!(a.agrees_with(&b));
+        b.send(&g, 1, 2, vec![9]);
+        assert!(!a.agrees_with(&b));
+        let diff = a.diff_arcs(&b);
+        assert_eq!(diff.len(), 1);
+        assert_eq!(diff[0], g.arc_between(1, 2).unwrap());
+    }
+
+    #[test]
+    fn arc_level_access() {
+        let g = generators::path(2);
+        let mut t = Traffic::new(&g);
+        let arc = g.arc_between(1, 0).unwrap();
+        t.set_arc(arc, Some(vec![5]));
+        assert_eq!(t.get_arc(arc), Some(&vec![5]));
+        assert_eq!(t.get(&g, 1, 0), Some(&vec![5]));
+        t.set_arc(arc, None);
+        assert_eq!(t.message_count(), 0);
+    }
+}

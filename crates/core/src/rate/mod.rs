@@ -1,0 +1,5 @@
+//! Resilience to a bounded round-error corruption *rate* (Section 4).
+
+pub mod rewind;
+
+pub use rewind::{RewindCompiler, RewindReport};

@@ -1,0 +1,223 @@
+//! `ECCSafeBroadcast` (Lemma 3.6): byzantine-resilient broadcast of a root
+//! message over a weak tree packing.
+//!
+//! The root Reed–Solomon-encodes its message into `k` symbols, ships symbol `j`
+//! down tree `j` (all `k` RS-compiled tree broadcasts run in parallel via the
+//! Lemma 3.3 scheduler), and every node decodes the nearest codeword from the
+//! symbols it received.  As long as the number of failed tree instances stays
+//! below the code's error capacity — which the scheduler guarantees for
+//! `k = Ω(η·f)` — every node recovers the message exactly.
+
+use coding::field::Field;
+use coding::{Gf2_16, ReedSolomon};
+use congest_sim::network::Network;
+use interactive_coding::RsScheduler;
+use netgraph::tree_packing::TreePacking;
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Report of one safe broadcast.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SafeBroadcastReport {
+    /// Network rounds consumed.
+    pub rounds: usize,
+    /// Number of sequential Reed–Solomon chunks.
+    pub chunks: usize,
+    /// Tree instances that failed in the worst chunk.
+    pub max_failed_trees: usize,
+    /// Whether every node decoded the original message.
+    pub unanimous: bool,
+}
+
+/// Number of 16-bit Reed–Solomon symbols per 64-bit message word.
+const SYMBOLS_PER_WORD: usize = 4;
+
+/// Broadcast `message` from the packing's common root to all nodes, resiliently
+/// against the byzantine adversary configured on `net`.
+///
+/// Returns each node's decoded message (`None` only if decoding failed, which
+/// the Lemma 3.6 parameter regime rules out) and a report.
+///
+/// # Panics
+///
+/// Panics if the packing is empty or the message is empty.
+pub fn ecc_safe_broadcast(
+    net: &mut Network,
+    packing: &TreePacking,
+    message: &[u64],
+    seed: u64,
+) -> (Vec<Option<Vec<u64>>>, SafeBroadcastReport) {
+    assert!(!packing.is_empty(), "tree packing must be non-empty");
+    assert!(!message.is_empty(), "message must be non-empty");
+    let g = net.graph().clone();
+    let n = g.node_count();
+    let k = packing.len();
+    let start = net.round();
+    let dtp = packing.max_height().max(1);
+
+    // Chunking: each chunk carries at most ℓ = max(1, k/4) symbols so the code
+    // has relative distance ≥ 3/4 and error capacity ≥ 3k/8 — enough slack for
+    // the Lemma 3.3 failure bound plus non-spanning trees of a weak packing.
+    let ell = (k / 4).max(1);
+    let symbols: Vec<Gf2_16> = message
+        .iter()
+        .flat_map(|w| (0..SYMBOLS_PER_WORD).map(move |i| Gf2_16::from_u64(w >> (16 * i))))
+        .collect();
+    let chunks: Vec<&[Gf2_16]> = symbols.chunks(ell).collect();
+    let mut fake_rng = ChaCha8Rng::seed_from_u64(seed ^ 0xECC0_FFEE);
+
+    // per node, the decoded symbol stream
+    let mut decoded_symbols: Vec<Vec<Gf2_16>> = vec![Vec::new(); n];
+    let mut decode_ok = vec![true; n];
+    let mut max_failed = 0usize;
+
+    for chunk in &chunks {
+        let mut padded = chunk.to_vec();
+        padded.resize(ell, Gf2_16::ZERO);
+        let rs = ReedSolomon::<Gf2_16>::new(ell, k).expect("ℓ ≤ k by construction");
+        let codeword = rs.encode(&padded).expect("length matches");
+
+        // One RS-compiled DTP-hop broadcast per tree, scheduled in parallel.  The
+        // per-instance round count (and with it the Theorem 3.2 corruption
+        // threshold) is padded so that an adversary sweeping over consecutive
+        // edge ids cannot fail a tree within a single scheduling window.
+        let report = RsScheduler.run_family(net, packing, dtp + 16);
+        max_failed = max_failed.max(k - report.success_count());
+
+        // Fault-free semantics per instance: a successful tree delivers its
+        // symbol to every node; a failed tree delivers adversarial garbage
+        // (coordinated across nodes — the worst case for the decoder).
+        let garbage: Vec<Gf2_16> = (0..k).map(|_| Gf2_16::from_u64(fake_rng.gen())).collect();
+        for v in 0..n {
+            let mut received: Vec<Gf2_16> = Vec::with_capacity(k);
+            for (j, tree_report) in report.per_tree.iter().enumerate() {
+                let tree = &packing.trees[j];
+                let spans = tree.is_spanning(&g) && tree.root == packing.trees[0].root;
+                if tree_report.ok && spans {
+                    received.push(codeword[j]);
+                } else {
+                    received.push(garbage[j]);
+                }
+            }
+            match rs.decode(&received) {
+                Ok(msg) => decoded_symbols[v].extend_from_slice(&msg[..chunk.len().min(ell)]),
+                Err(_) => decode_ok[v] = false,
+            }
+        }
+    }
+
+    // Reassemble words from symbols.
+    let outputs: Vec<Option<Vec<u64>>> = (0..n)
+        .map(|v| {
+            if !decode_ok[v] {
+                return None;
+            }
+            let syms = &decoded_symbols[v];
+            if syms.len() < symbols.len() {
+                return None;
+            }
+            let words: Vec<u64> = syms[..symbols.len()]
+                .chunks(SYMBOLS_PER_WORD)
+                .map(|group| {
+                    group
+                        .iter()
+                        .enumerate()
+                        .fold(0u64, |acc, (i, s)| acc | (s.to_u64() << (16 * i)))
+                })
+                .collect();
+            Some(words)
+        })
+        .collect();
+    let unanimous = outputs.iter().all(|o| o.as_deref() == Some(message));
+    let report = SafeBroadcastReport {
+        rounds: net.round() - start,
+        chunks: chunks.len(),
+        max_failed_trees: max_failed,
+        unanimous,
+    };
+    (outputs, report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use congest_sim::adversary::{AdversaryRole, CorruptionBudget, GreedyHeaviest, RandomMobile};
+    use netgraph::generators;
+    use netgraph::tree_packing::star_packing;
+
+    fn byz_net(g: netgraph::Graph, f: usize, seed: u64) -> Network {
+        Network::new(
+            g,
+            AdversaryRole::Byzantine,
+            Box::new(RandomMobile::new(f, seed)),
+            CorruptionBudget::Mobile { f },
+            seed,
+        )
+    }
+
+    #[test]
+    fn fault_free_safe_broadcast() {
+        let g = generators::complete(10);
+        let packing = star_packing(&g, 0);
+        let mut net = Network::fault_free(g);
+        let msg = vec![0xDEAD_BEEF_u64, 77, u64::MAX];
+        let (out, report) = ecc_safe_broadcast(&mut net, &packing, &msg, 1);
+        assert!(report.unanimous);
+        assert!(out.iter().all(|o| o.as_deref() == Some(&msg[..])));
+        assert_eq!(report.max_failed_trees, 0);
+    }
+
+    #[test]
+    fn survives_mobile_adversary_on_clique() {
+        let g = generators::complete(16);
+        let packing = star_packing(&g, 0);
+        let mut net = byz_net(g, 2, 9);
+        let msg = vec![123456789u64, 42];
+        let (_, report) = ecc_safe_broadcast(&mut net, &packing, &msg, 3);
+        assert!(
+            report.unanimous,
+            "broadcast failed: {} trees failed (capacity {})",
+            report.max_failed_trees,
+            packing.len() / 3
+        );
+    }
+
+    #[test]
+    fn survives_traffic_targeting_adversary() {
+        let g = generators::complete(16);
+        let packing = star_packing(&g, 0);
+        let f = 2;
+        let mut net = Network::new(
+            g.clone(),
+            AdversaryRole::Byzantine,
+            Box::new(GreedyHeaviest::new(f)),
+            CorruptionBudget::Mobile { f },
+            5,
+        );
+        let msg = vec![0xABCDu64];
+        let (_, report) = ecc_safe_broadcast(&mut net, &packing, &msg, 7);
+        assert!(report.unanimous);
+    }
+
+    #[test]
+    fn long_messages_are_chunked() {
+        let g = generators::complete(12);
+        let packing = star_packing(&g, 0);
+        let mut net = Network::fault_free(g);
+        let msg: Vec<u64> = (0..20).map(|i| i * 1_000_003).collect();
+        let (out, report) = ecc_safe_broadcast(&mut net, &packing, &msg, 1);
+        assert!(report.chunks > 1);
+        assert!(report.unanimous);
+        assert_eq!(out[5].as_deref(), Some(&msg[..]));
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_message_rejected() {
+        let g = generators::complete(6);
+        let packing = star_packing(&g, 0);
+        let mut net = Network::fault_free(g);
+        let _ = ecc_safe_broadcast(&mut net, &packing, &[], 1);
+    }
+}

@@ -1,0 +1,17 @@
+//! Security against mobile eavesdroppers (Section 2, Appendix A).
+
+pub mod broadcast;
+pub mod keys;
+pub mod static_to_mobile;
+pub mod unicast;
+
+pub use broadcast::{
+    mobile_secure_broadcast, CongestionSensitiveCompiler, SecureBroadcastReport,
+    SecureCompilerReport,
+};
+pub use keys::KeyPool;
+pub use static_to_mobile::{MobileSecureReport, StaticToMobileCompiler};
+pub use unicast::{
+    mobile_secure_multicast, mobile_secure_unicast, plain_unicast_baseline, UnicastInstance,
+    UnicastReport,
+};

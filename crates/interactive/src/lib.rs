@@ -1,0 +1,23 @@
+//! Interactive-coding tools: the Rajagopalan–Schulman compiler guarantee and
+//! the parallel tree-protocol scheduler of Lemma 3.3.
+//!
+//! The byzantine compilers of Fischer–Parter use interactive coding purely as a
+//! black box (Theorem 3.2): an RS-compiled protocol over a subgraph ends
+//! correctly as long as the adversary corrupts less than a `1/(c_RS·m)`
+//! fraction of its communication.  This crate provides:
+//!
+//! * [`scheduler::RsScheduler`] — runs one RS-compiled protocol per tree of a
+//!   packing, in parallel on the simulator, enforcing exactly the black-box
+//!   guarantee (per-instance corruption accounting against real adversary
+//!   choices) and reporting which instances ended correctly — Lemma 3.3;
+//! * [`replay`] — a concrete, executable resilient transport (repetition +
+//!   majority along trees and path systems), used by the cycle-cover compiler
+//!   of Theorem 1.4 and as a non-oracle demonstration of the same pipeline.
+//!
+//! See DESIGN.md for the substitution note on tree codes.
+
+pub mod replay;
+pub mod scheduler;
+
+pub use replay::{flood_paths_majority, majority, repeated_tree_broadcast, repeated_tree_sum};
+pub use scheduler::{FamilyRunReport, RsScheduler, TreeRunReport, C_RS, T_RS};

@@ -1,0 +1,387 @@
+//! Edge connectivity, edge-disjoint paths and conductance.
+//!
+//! The paper's results are parameterised by structural quantities of the
+//! communication graph:
+//!
+//! * **edge connectivity** `λ(G)` — eavesdropper security needs `f + 1`,
+//!   byzantine resilience needs `2f + 1` (general graphs) or `Ω(f log n)`
+//!   (tree-packing compiler);
+//! * **(k, D_TP)-connectivity** — `k` edge-disjoint paths of length ≤ `D_TP`
+//!   between every pair, governing the depth of tree packings;
+//! * **conductance** `φ` — the expander compiler tolerates `f = Õ(kφ)` faults
+//!   with overhead `Õ(r/φ)`.
+//!
+//! These routines compute (exactly, at simulation scale) or estimate those
+//! quantities so experiments can report them alongside measured overheads.
+
+use crate::graph::{EdgeId, Graph, NodeId};
+use std::collections::VecDeque;
+
+/// Maximum number of edge-disjoint `s`–`t` paths (equivalently the minimum
+/// `s`–`t` edge cut), computed with BFS augmenting paths on the unit-capacity
+/// directed version of the graph.
+pub fn edge_disjoint_path_count(g: &Graph, s: NodeId, t: NodeId) -> usize {
+    edge_disjoint_paths(g, s, t, usize::MAX).len()
+}
+
+/// Find up to `limit` edge-disjoint `s`–`t` paths (each as a node sequence).
+///
+/// Uses unit-capacity max-flow; after the flow is computed the paths are
+/// decomposed from the residual graph.  Shorter augmenting paths are found
+/// first (BFS), which empirically keeps path lengths close to the
+/// `(k, D_TP)`-connectivity profile used by the paper.
+pub fn edge_disjoint_paths(g: &Graph, s: NodeId, t: NodeId, limit: usize) -> Vec<Vec<NodeId>> {
+    if s == t {
+        return Vec::new();
+    }
+    let m = g.edge_count();
+    // capacity per arc: arc 2e = u->v, arc 2e+1 = v->u, both capacity 1.
+    let mut used = vec![false; 2 * m];
+    let mut flow_paths = 0usize;
+    loop {
+        if flow_paths >= limit {
+            break;
+        }
+        // BFS in the residual graph.
+        let n = g.node_count();
+        let mut pred: Vec<Option<(NodeId, EdgeId, bool)>> = vec![None; n]; // (prev node, edge, forward?)
+        let mut seen = vec![false; n];
+        seen[s] = true;
+        let mut q = VecDeque::new();
+        q.push_back(s);
+        'bfs: while let Some(u) = q.pop_front() {
+            for &(v, e) in g.neighbors(u) {
+                let arc = g.arc(e, u, v);
+                let rev = g.arc(e, v, u);
+                // Residual capacity exists if this direction is unused, or the
+                // opposite direction carries flow we can cancel.
+                let can_forward = !used[arc];
+                let can_cancel = used[rev];
+                if (can_forward || can_cancel) && !seen[v] {
+                    seen[v] = true;
+                    pred[v] = Some((u, e, can_forward));
+                    if v == t {
+                        break 'bfs;
+                    }
+                    q.push_back(v);
+                }
+            }
+        }
+        if !seen[t] {
+            break;
+        }
+        // Augment along the found path.
+        let mut cur = t;
+        while cur != s {
+            let (p, e, forward) = pred[cur].unwrap();
+            let arc = g.arc(e, p, cur);
+            let rev = g.arc(e, cur, p);
+            if forward {
+                used[arc] = true;
+            } else {
+                used[rev] = false;
+            }
+            cur = p;
+        }
+        flow_paths += 1;
+    }
+    // Decompose the flow into paths.
+    decompose_paths(g, s, t, &mut used, flow_paths)
+}
+
+fn decompose_paths(
+    g: &Graph,
+    s: NodeId,
+    t: NodeId,
+    used: &mut [bool],
+    count: usize,
+) -> Vec<Vec<NodeId>> {
+    let mut paths = Vec::with_capacity(count);
+    for _ in 0..count {
+        let mut path = vec![s];
+        let mut cur = s;
+        let mut guard = 0;
+        while cur != t {
+            guard += 1;
+            if guard > g.node_count() * 2 {
+                break;
+            }
+            let mut advanced = false;
+            for &(v, e) in g.neighbors(cur) {
+                let arc = g.arc(e, cur, v);
+                if used[arc] {
+                    used[arc] = false;
+                    path.push(v);
+                    cur = v;
+                    advanced = true;
+                    break;
+                }
+            }
+            if !advanced {
+                break;
+            }
+        }
+        if cur == t {
+            paths.push(path);
+        }
+    }
+    paths
+}
+
+/// Global edge connectivity `λ(G)`: the minimum over all pairs of the maximum
+/// number of edge-disjoint paths.  Computed as `min_v maxflow(0, v)`, which is
+/// correct because a global minimum cut separates node 0 from some node.
+/// Returns 0 for disconnected or single-node graphs.
+pub fn edge_connectivity(g: &Graph) -> usize {
+    let n = g.node_count();
+    if n <= 1 {
+        return 0;
+    }
+    (1..n)
+        .map(|v| edge_disjoint_path_count(g, 0, v))
+        .min()
+        .unwrap_or(0)
+}
+
+/// Check `(k, d)`-connectivity between a specific pair: are there `k`
+/// edge-disjoint `s`–`t` paths each of length at most `d`?
+///
+/// This uses the BFS-augmenting max-flow (shortest augmenting paths first) and
+/// then checks the lengths of the decomposed paths; it is a practical
+/// sufficient check (the exact problem is NP-hard in general), which is how the
+/// experiments estimate `D_TP`.
+pub fn has_k_short_disjoint_paths(g: &Graph, s: NodeId, t: NodeId, k: usize, d: usize) -> bool {
+    let paths = edge_disjoint_paths(g, s, t, k);
+    paths.len() >= k && paths.iter().take(k).all(|p| p.len() - 1 <= d)
+}
+
+/// Estimate the tree-packing diameter `D_TP(k)`: the smallest `d` such that all
+/// *adjacent* pairs (a cheaper proxy for all pairs, which is what the
+/// compilers' per-edge correction paths need) have `k` edge-disjoint paths of
+/// length ≤ `d`.  Returns `None` when some adjacent pair does not even have `k`
+/// edge-disjoint paths.
+pub fn estimate_dtp(g: &Graph, k: usize) -> Option<usize> {
+    let mut worst = 0usize;
+    for e in g.edges() {
+        let paths = edge_disjoint_paths(g, e.u, e.v, k);
+        if paths.len() < k {
+            return None;
+        }
+        let longest = paths.iter().map(|p| p.len() - 1).max().unwrap_or(0);
+        worst = worst.max(longest);
+    }
+    Some(worst)
+}
+
+/// Conductance of the cut `(S, V \ S)`: `|E(S, V\S)| / min(vol(S), vol(V\S))`.
+/// Returns `None` if either side has zero volume.
+pub fn cut_conductance(g: &Graph, in_s: &[bool]) -> Option<f64> {
+    let mut cut = 0usize;
+    let mut vol_s = 0usize;
+    let mut vol_rest = 0usize;
+    for u in g.nodes() {
+        if in_s[u] {
+            vol_s += g.degree(u);
+        } else {
+            vol_rest += g.degree(u);
+        }
+    }
+    for e in g.edges() {
+        if in_s[e.u] != in_s[e.v] {
+            cut += 1;
+        }
+    }
+    let denom = vol_s.min(vol_rest);
+    if denom == 0 {
+        None
+    } else {
+        Some(cut as f64 / denom as f64)
+    }
+}
+
+/// Exact conductance by exhaustive enumeration of all cuts.  Exponential in
+/// `n`; intended for graphs with at most ~20 nodes (tests, calibration).
+///
+/// # Panics
+///
+/// Panics if `n > 24` (would take far too long) or `n < 2`.
+pub fn exact_conductance(g: &Graph) -> f64 {
+    let n = g.node_count();
+    assert!((2..=24).contains(&n), "exact_conductance needs 2..=24 nodes");
+    let mut best = f64::INFINITY;
+    for mask in 1u64..(1u64 << (n - 1)) {
+        let in_s: Vec<bool> = (0..n).map(|i| mask & (1 << i) != 0).collect();
+        if let Some(c) = cut_conductance(g, &in_s) {
+            best = best.min(c);
+        }
+    }
+    best
+}
+
+/// Estimate the conductance via a sweep cut over the second eigenvector of the
+/// normalised adjacency matrix (power iteration with deflation of the trivial
+/// eigenvector).  Returns a valid cut's conductance — an *upper bound* on the
+/// true conductance, and by Cheeger's inequality within a quadratic factor of
+/// the optimum.  Suitable for the larger expander instances.
+pub fn sweep_conductance(g: &Graph, iterations: usize) -> Option<f64> {
+    let n = g.node_count();
+    if n < 2 || g.edge_count() == 0 {
+        return None;
+    }
+    let deg: Vec<f64> = (0..n).map(|u| g.degree(u).max(1) as f64).collect();
+    // Start from a deterministic pseudo-random vector; orthogonalise against
+    // the stationary direction (sqrt(deg)).
+    let mut x: Vec<f64> = (0..n)
+        .map(|i| ((i * 2654435761 + 12345) % 1000) as f64 / 1000.0 - 0.5)
+        .collect();
+    let stat: Vec<f64> = deg.iter().map(|d| d.sqrt()).collect();
+    let stat_norm: f64 = stat.iter().map(|v| v * v).sum::<f64>().sqrt();
+    let stat: Vec<f64> = stat.iter().map(|v| v / stat_norm).collect();
+    for _ in 0..iterations {
+        // Deflate.
+        let proj: f64 = x.iter().zip(&stat).map(|(a, b)| a * b).sum();
+        for i in 0..n {
+            x[i] -= proj * stat[i];
+        }
+        // y = (I + D^{-1/2} A D^{-1/2})/2 x   (lazy walk keeps it stable)
+        let mut y = vec![0.0f64; n];
+        for u in 0..n {
+            for &(v, _) in g.neighbors(u) {
+                y[v] += x[u] / (deg[u].sqrt() * deg[v].sqrt());
+            }
+        }
+        for i in 0..n {
+            x[i] = 0.5 * x[i] + 0.5 * y[i];
+        }
+        let norm: f64 = x.iter().map(|v| v * v).sum::<f64>().sqrt();
+        if norm < 1e-12 {
+            return exact_or_trivial(g);
+        }
+        for v in x.iter_mut() {
+            *v /= norm;
+        }
+    }
+    // Sweep cut over the embedding x / sqrt(deg).
+    let mut order: Vec<NodeId> = (0..n).collect();
+    order.sort_by(|&a, &b| {
+        let ka = x[a] / deg[a].sqrt();
+        let kb = x[b] / deg[b].sqrt();
+        ka.partial_cmp(&kb).unwrap()
+    });
+    let mut in_s = vec![false; n];
+    let mut best: Option<f64> = None;
+    for &v in order.iter().take(n - 1) {
+        in_s[v] = true;
+        if let Some(c) = cut_conductance(g, &in_s) {
+            best = Some(best.map_or(c, |b: f64| b.min(c)));
+        }
+    }
+    best
+}
+
+fn exact_or_trivial(g: &Graph) -> Option<f64> {
+    if g.node_count() <= 20 {
+        Some(exact_conductance(g))
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn disjoint_paths_on_cycle() {
+        let g = generators::cycle(8);
+        assert_eq!(edge_disjoint_path_count(&g, 0, 4), 2);
+        let paths = edge_disjoint_paths(&g, 0, 4, 10);
+        assert_eq!(paths.len(), 2);
+        for p in &paths {
+            assert_eq!(p[0], 0);
+            assert_eq!(*p.last().unwrap(), 4);
+        }
+        // The two paths must be edge-disjoint: total edges = 8.
+        let total_edges: usize = paths.iter().map(|p| p.len() - 1).sum();
+        assert_eq!(total_edges, 8);
+    }
+
+    #[test]
+    fn disjoint_paths_limit_respected() {
+        let g = generators::complete(6);
+        let paths = edge_disjoint_paths(&g, 0, 5, 3);
+        assert_eq!(paths.len(), 3);
+    }
+
+    #[test]
+    fn connectivity_of_standard_graphs() {
+        assert_eq!(edge_connectivity(&generators::path(5)), 1);
+        assert_eq!(edge_connectivity(&generators::cycle(7)), 2);
+        assert_eq!(edge_connectivity(&generators::complete(6)), 5);
+        assert_eq!(edge_connectivity(&generators::circulant(11, 3)), 6);
+        assert_eq!(edge_connectivity(&generators::hypercube(4)), 4);
+        let disconnected = Graph::from_edges(4, &[(0, 1), (2, 3)]);
+        assert_eq!(edge_connectivity(&disconnected), 0);
+        assert_eq!(edge_connectivity(&Graph::new(1)), 0);
+    }
+
+    #[test]
+    fn same_endpoints_yield_no_paths() {
+        let g = generators::complete(4);
+        assert!(edge_disjoint_paths(&g, 2, 2, 5).is_empty());
+    }
+
+    #[test]
+    fn short_disjoint_paths_check() {
+        let g = generators::complete(6);
+        // Between adjacent nodes in K6: 1 direct path + 4 paths of length 2.
+        assert!(has_k_short_disjoint_paths(&g, 0, 1, 5, 2));
+        assert!(!has_k_short_disjoint_paths(&g, 0, 1, 6, 2));
+        let c = generators::cycle(10);
+        assert!(has_k_short_disjoint_paths(&c, 0, 1, 2, 9));
+        assert!(!has_k_short_disjoint_paths(&c, 0, 1, 2, 5));
+    }
+
+    #[test]
+    fn dtp_estimates() {
+        let clique = generators::complete(8);
+        assert_eq!(estimate_dtp(&clique, 2), Some(2));
+        let cyc = generators::cycle(9);
+        assert_eq!(estimate_dtp(&cyc, 2), Some(8));
+        assert_eq!(estimate_dtp(&cyc, 3), None);
+    }
+
+    #[test]
+    fn conductance_exact_values() {
+        // Complete graph K4: best cut is 2-vs-2: 4 crossing edges / volume 6 = 2/3.
+        let k4 = generators::complete(4);
+        assert!((exact_conductance(&k4) - 2.0 / 3.0).abs() < 1e-9);
+        // Barbell: bottleneck single edge over ~clique volume → small conductance.
+        let bb = generators::barbell(4, 1);
+        assert!(exact_conductance(&bb) < 0.1);
+        // Cycle of 8: best cut is half/half: 2 / 8 = 0.25.
+        let c8 = generators::cycle(8);
+        assert!((exact_conductance(&c8) - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sweep_conductance_upper_bounds_and_detects_bottleneck() {
+        let bb = generators::barbell(6, 2);
+        let exact = exact_conductance(&bb);
+        let sweep = sweep_conductance(&bb, 200).unwrap();
+        assert!(sweep >= exact - 1e-9);
+        assert!(sweep < 0.2, "sweep failed to find the bottleneck: {sweep}");
+        // On an expander-ish graph the sweep value should be large.
+        let hc = generators::hypercube(5);
+        let sweep_hc = sweep_conductance(&hc, 200).unwrap();
+        assert!(sweep_hc > 0.1, "hypercube sweep conductance too small: {sweep_hc}");
+    }
+
+    #[test]
+    fn cut_conductance_degenerate_cuts() {
+        let g = generators::complete(4);
+        assert_eq!(cut_conductance(&g, &[false; 4]), None);
+        assert_eq!(cut_conductance(&g, &[true; 4]), None);
+    }
+}

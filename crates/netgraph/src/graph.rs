@@ -1,0 +1,324 @@
+//! Core undirected graph representation used throughout the workspace.
+//!
+//! The CONGEST model communicates over the edges of an undirected graph; every
+//! substrate (simulator, tree packings, cycle covers) and every compiler works
+//! against this representation.  Nodes and edges are identified by dense
+//! indices so that protocol state can live in flat vectors.
+
+use std::collections::BTreeSet;
+
+/// Identifier of a node: a dense index in `[0, n)`.
+pub type NodeId = usize;
+
+/// Identifier of an undirected edge: a dense index in `[0, m)`.
+pub type EdgeId = usize;
+
+/// A directed occurrence of an undirected edge.
+///
+/// Arc `2e` points from the smaller-indexed endpoint to the larger one; arc
+/// `2e + 1` points the other way.  Protocol traffic is stored per arc.
+pub type ArcId = usize;
+
+/// An undirected edge between two nodes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Edge {
+    /// Smaller endpoint.
+    pub u: NodeId,
+    /// Larger endpoint.
+    pub v: NodeId,
+}
+
+impl Edge {
+    /// Normalised constructor (`u <= v`).
+    pub fn new(a: NodeId, b: NodeId) -> Self {
+        if a <= b {
+            Edge { u: a, v: b }
+        } else {
+            Edge { u: b, v: a }
+        }
+    }
+
+    /// The endpoint different from `x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is not an endpoint of this edge.
+    pub fn other(&self, x: NodeId) -> NodeId {
+        if x == self.u {
+            self.v
+        } else if x == self.v {
+            self.u
+        } else {
+            panic!("node {x} is not an endpoint of edge {self:?}")
+        }
+    }
+
+    /// Whether `x` is an endpoint.
+    pub fn touches(&self, x: NodeId) -> bool {
+        self.u == x || self.v == x
+    }
+}
+
+/// An undirected simple graph with dense node and edge indices.
+#[derive(Debug, Clone, Default)]
+pub struct Graph {
+    n: usize,
+    edges: Vec<Edge>,
+    /// adjacency[u] = sorted list of (neighbor, edge id)
+    adjacency: Vec<Vec<(NodeId, EdgeId)>>,
+}
+
+impl Graph {
+    /// Create a graph with `n` isolated nodes.
+    pub fn new(n: usize) -> Self {
+        Graph {
+            n,
+            edges: Vec::new(),
+            adjacency: vec![Vec::new(); n],
+        }
+    }
+
+    /// Build a graph from an edge list (duplicate and self-loop edges are ignored).
+    pub fn from_edges(n: usize, edge_list: &[(NodeId, NodeId)]) -> Self {
+        let mut g = Graph::new(n);
+        for &(a, b) in edge_list {
+            g.add_edge(a, b);
+        }
+        g
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.n
+    }
+
+    /// Number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Iterator over all node ids.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> {
+        0..self.n
+    }
+
+    /// Slice of all edges, indexed by [`EdgeId`].
+    pub fn edges(&self) -> &[Edge] {
+        &self.edges
+    }
+
+    /// The edge with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `e` is out of range.
+    pub fn edge(&self, e: EdgeId) -> Edge {
+        self.edges[e]
+    }
+
+    /// Add an undirected edge; returns its id, or the existing id if the edge
+    /// is already present.  Self-loops are rejected.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either endpoint is out of range or `a == b`.
+    pub fn add_edge(&mut self, a: NodeId, b: NodeId) -> EdgeId {
+        assert!(a < self.n && b < self.n, "endpoint out of range");
+        assert!(a != b, "self-loops are not allowed");
+        if let Some(e) = self.edge_between(a, b) {
+            return e;
+        }
+        let e = Edge::new(a, b);
+        let id = self.edges.len();
+        self.edges.push(e);
+        self.adjacency[a].push((b, id));
+        self.adjacency[b].push((a, id));
+        id
+    }
+
+    /// Neighbours of `u` together with the connecting edge ids.
+    pub fn neighbors(&self, u: NodeId) -> &[(NodeId, EdgeId)] {
+        &self.adjacency[u]
+    }
+
+    /// Neighbour node ids of `u`.
+    pub fn neighbor_ids(&self, u: NodeId) -> Vec<NodeId> {
+        self.adjacency[u].iter().map(|&(v, _)| v).collect()
+    }
+
+    /// Degree of `u`.
+    pub fn degree(&self, u: NodeId) -> usize {
+        self.adjacency[u].len()
+    }
+
+    /// Minimum degree over all nodes (0 for the empty graph).
+    pub fn min_degree(&self) -> usize {
+        (0..self.n).map(|u| self.degree(u)).min().unwrap_or(0)
+    }
+
+    /// Maximum degree over all nodes (0 for the empty graph).
+    pub fn max_degree(&self) -> usize {
+        (0..self.n).map(|u| self.degree(u)).max().unwrap_or(0)
+    }
+
+    /// Edge id between `a` and `b`, if present.
+    pub fn edge_between(&self, a: NodeId, b: NodeId) -> Option<EdgeId> {
+        if a >= self.n || b >= self.n {
+            return None;
+        }
+        self.adjacency[a]
+            .iter()
+            .find(|&&(v, _)| v == b)
+            .map(|&(_, e)| e)
+    }
+
+    /// Whether `a` and `b` are adjacent.
+    pub fn has_edge(&self, a: NodeId, b: NodeId) -> bool {
+        self.edge_between(a, b).is_some()
+    }
+
+    /// Directed arc id for the edge `e` in the direction `from -> to`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `from`/`to` are not the endpoints of `e`.
+    pub fn arc(&self, e: EdgeId, from: NodeId, to: NodeId) -> ArcId {
+        let edge = self.edges[e];
+        assert!(
+            (edge.u == from && edge.v == to) || (edge.u == to && edge.v == from),
+            "arc endpoints {from}->{to} do not match edge {edge:?}"
+        );
+        if edge.u == from {
+            2 * e
+        } else {
+            2 * e + 1
+        }
+    }
+
+    /// Directed arc id from `from` to `to`, if the edge exists.
+    pub fn arc_between(&self, from: NodeId, to: NodeId) -> Option<ArcId> {
+        self.edge_between(from, to).map(|e| self.arc(e, from, to))
+    }
+
+    /// Decompose an arc id into `(edge, from, to)`.
+    pub fn arc_endpoints(&self, arc: ArcId) -> (EdgeId, NodeId, NodeId) {
+        let e = arc / 2;
+        let edge = self.edges[e];
+        if arc % 2 == 0 {
+            (e, edge.u, edge.v)
+        } else {
+            (e, edge.v, edge.u)
+        }
+    }
+
+    /// Total number of directed arcs (`2m`).
+    pub fn arc_count(&self) -> usize {
+        2 * self.edges.len()
+    }
+
+    /// The subgraph induced by keeping only the given edges (same node set).
+    pub fn edge_subgraph(&self, keep: &[EdgeId]) -> Graph {
+        let mut g = Graph::new(self.n);
+        for &e in keep {
+            let Edge { u, v } = self.edges[e];
+            g.add_edge(u, v);
+        }
+        g
+    }
+
+    /// The graph obtained by removing the given edges (same node set).
+    pub fn remove_edges(&self, remove: &[EdgeId]) -> Graph {
+        let removed: BTreeSet<EdgeId> = remove.iter().copied().collect();
+        let mut g = Graph::new(self.n);
+        for (id, &Edge { u, v }) in self.edges.iter().enumerate() {
+            if !removed.contains(&id) {
+                g.add_edge(u, v);
+            }
+        }
+        g
+    }
+
+    /// All edges incident to node `u`.
+    pub fn incident_edges(&self, u: NodeId) -> Vec<EdgeId> {
+        self.adjacency[u].iter().map(|&(_, e)| e).collect()
+    }
+
+    /// Sum of degrees / 2m sanity value; useful in tests.
+    pub fn degree_sum(&self) -> usize {
+        (0..self.n).map(|u| self.degree(u)).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn edge_normalisation_and_other() {
+        let e = Edge::new(5, 2);
+        assert_eq!(e, Edge { u: 2, v: 5 });
+        assert_eq!(e.other(2), 5);
+        assert_eq!(e.other(5), 2);
+        assert!(e.touches(2) && e.touches(5) && !e.touches(3));
+    }
+
+    #[test]
+    #[should_panic]
+    fn other_panics_for_non_endpoint() {
+        Edge::new(0, 1).other(2);
+    }
+
+    #[test]
+    fn build_triangle() {
+        let g = Graph::from_edges(3, &[(0, 1), (1, 2), (2, 0)]);
+        assert_eq!(g.node_count(), 3);
+        assert_eq!(g.edge_count(), 3);
+        assert_eq!(g.degree(0), 2);
+        assert_eq!(g.degree_sum(), 6);
+        assert!(g.has_edge(0, 2));
+        assert!(!g.has_edge(0, 0));
+    }
+
+    #[test]
+    fn duplicate_edges_are_deduplicated() {
+        let mut g = Graph::new(2);
+        let e1 = g.add_edge(0, 1);
+        let e2 = g.add_edge(1, 0);
+        assert_eq!(e1, e2);
+        assert_eq!(g.edge_count(), 1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn self_loop_rejected() {
+        let mut g = Graph::new(2);
+        g.add_edge(1, 1);
+    }
+
+    #[test]
+    fn arcs_roundtrip() {
+        let g = Graph::from_edges(4, &[(0, 1), (2, 1), (3, 0)]);
+        for e in 0..g.edge_count() {
+            let Edge { u, v } = g.edge(e);
+            let a_uv = g.arc(e, u, v);
+            let a_vu = g.arc(e, v, u);
+            assert_ne!(a_uv, a_vu);
+            assert_eq!(g.arc_endpoints(a_uv), (e, u, v));
+            assert_eq!(g.arc_endpoints(a_vu), (e, v, u));
+        }
+        assert_eq!(g.arc_count(), 6);
+        assert_eq!(g.arc_between(1, 2), Some(g.arc(1, 1, 2)));
+        assert_eq!(g.arc_between(0, 2), None);
+    }
+
+    #[test]
+    fn subgraph_operations() {
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]);
+        let sub = g.edge_subgraph(&[0, 2]);
+        assert_eq!(sub.edge_count(), 2);
+        assert!(sub.has_edge(0, 1) && sub.has_edge(2, 3));
+        let rem = g.remove_edges(&[0]);
+        assert_eq!(rem.edge_count(), 3);
+        assert!(!rem.has_edge(0, 1));
+    }
+}

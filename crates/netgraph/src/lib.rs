@@ -1,0 +1,37 @@
+//! Graph substrate for the mobile-adversary CONGEST reproduction.
+//!
+//! Provides the undirected graph representation, the graph families the
+//! paper's compilers target (cliques, expanders, `k`-edge-connected graphs),
+//! and the structural decompositions the compilers consume:
+//!
+//! * [`tree_packing`] — low-diameter `(k, D_TP, η)` tree packings
+//!   (Definitions 6–7, Appendix C),
+//! * [`cycle_cover`] — fault-tolerant cycle covers and good cycle colourings
+//!   (Definition 8, Lemma 5.2),
+//! * [`connectivity`] — edge connectivity, edge-disjoint path systems,
+//!   `(k, D_TP)`-connectivity estimation and conductance.
+//!
+//! # Example
+//!
+//! ```
+//! use netgraph::generators;
+//! use netgraph::connectivity::edge_connectivity;
+//! use netgraph::tree_packing::greedy_low_depth_packing;
+//!
+//! let g = generators::circulant(16, 3);          // a 6-edge-connected graph
+//! assert_eq!(edge_connectivity(&g), 6);
+//! let packing = greedy_low_depth_packing(&g, 0, 4, 2);
+//! assert!(packing.trees.iter().all(|t| t.is_spanning(&g)));
+//! ```
+
+pub mod connectivity;
+pub mod cycle_cover;
+pub mod generators;
+pub mod graph;
+pub mod spanning;
+pub mod traversal;
+pub mod tree_packing;
+
+pub use graph::{ArcId, Edge, EdgeId, Graph, NodeId};
+pub use spanning::RootedTree;
+pub use tree_packing::TreePacking;

@@ -1,0 +1,375 @@
+//! Rooted spanning trees and subtrees.
+//!
+//! The byzantine compilers aggregate sketches *up* trees and broadcast
+//! corrections *down* trees, so the tree representation keeps, for every node,
+//! its parent, its children and its depth — exactly the "distributed knowledge"
+//! the paper assumes ("each node knows its parent in each of the trees").
+
+use crate::graph::{EdgeId, Graph, NodeId};
+use crate::traversal::bfs;
+use std::collections::VecDeque;
+
+/// A rooted spanning tree (or forest fragment) of a host graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RootedTree {
+    /// The root node.
+    pub root: NodeId,
+    /// `parent[v]` = parent of `v`, `None` for the root and for nodes not in the tree.
+    pub parent: Vec<Option<NodeId>>,
+    /// `in_tree[v]` = whether the node participates in this tree.
+    pub in_tree: Vec<bool>,
+    /// Edge ids (in the host graph) used by the tree.
+    pub edges: Vec<EdgeId>,
+}
+
+impl RootedTree {
+    /// Build a rooted tree from a parent vector.  Nodes with `parent == None`
+    /// other than the root are treated as not in the tree.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a parent pointer refers to an edge that does not exist in `g`.
+    pub fn from_parents(g: &Graph, root: NodeId, parent: Vec<Option<NodeId>>) -> Self {
+        let n = g.node_count();
+        assert_eq!(parent.len(), n);
+        let mut in_tree = vec![false; n];
+        let mut edges = Vec::new();
+        in_tree[root] = true;
+        for v in 0..n {
+            if v == root {
+                continue;
+            }
+            if let Some(p) = parent[v] {
+                let e = g
+                    .edge_between(v, p)
+                    .unwrap_or_else(|| panic!("tree edge ({v},{p}) not in host graph"));
+                edges.push(e);
+                in_tree[v] = true;
+            }
+        }
+        RootedTree {
+            root,
+            parent,
+            in_tree,
+            edges,
+        }
+    }
+
+    /// Number of nodes participating in the tree.
+    pub fn size(&self) -> usize {
+        self.in_tree.iter().filter(|&&b| b).count()
+    }
+
+    /// Whether the tree spans all nodes of the host graph **and** every
+    /// non-root node's parent chain reaches the root.
+    pub fn is_spanning(&self, g: &Graph) -> bool {
+        if self.size() != g.node_count() {
+            return false;
+        }
+        // Verify that following parents from every node reaches the root without cycles.
+        for v in g.nodes() {
+            let mut cur = v;
+            let mut steps = 0;
+            while cur != self.root {
+                match self.parent[cur] {
+                    Some(p) => cur = p,
+                    None => return false,
+                }
+                steps += 1;
+                if steps > g.node_count() {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Depth of each node (root = 0); `None` for nodes not in the tree or whose
+    /// parent chain does not reach the root.
+    pub fn depths(&self) -> Vec<Option<usize>> {
+        let n = self.parent.len();
+        let mut depth = vec![None; n];
+        depth[self.root] = Some(0);
+        // Iterate until fixpoint (tree height ≤ n).
+        for _ in 0..n {
+            let mut changed = false;
+            for v in 0..n {
+                if depth[v].is_some() || !self.in_tree[v] {
+                    continue;
+                }
+                if let Some(p) = self.parent[v] {
+                    if let Some(dp) = depth[p] {
+                        depth[v] = Some(dp + 1);
+                        changed = true;
+                    }
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        depth
+    }
+
+    /// Height of the tree (maximum depth of a node in the tree).
+    pub fn height(&self) -> usize {
+        self.depths().into_iter().flatten().max().unwrap_or(0)
+    }
+
+    /// Children lists, indexed by node.
+    pub fn children(&self) -> Vec<Vec<NodeId>> {
+        let n = self.parent.len();
+        let mut ch = vec![Vec::new(); n];
+        for v in 0..n {
+            if !self.in_tree[v] || v == self.root {
+                continue;
+            }
+            if let Some(p) = self.parent[v] {
+                ch[p].push(v);
+            }
+        }
+        ch
+    }
+
+    /// Nodes in bottom-up order (leaves first, root last).  Useful for
+    /// convergecast-style aggregation in a fault-free reference computation.
+    pub fn bottom_up_order(&self) -> Vec<NodeId> {
+        let depths = self.depths();
+        let mut nodes: Vec<NodeId> = (0..self.parent.len())
+            .filter(|&v| self.in_tree[v] && depths[v].is_some())
+            .collect();
+        nodes.sort_by_key(|&v| std::cmp::Reverse(depths[v].unwrap()));
+        nodes
+    }
+
+    /// Nodes in top-down order (root first).
+    pub fn top_down_order(&self) -> Vec<NodeId> {
+        let mut o = self.bottom_up_order();
+        o.reverse();
+        o
+    }
+
+    /// Whether the given host-graph edge is used by this tree.
+    pub fn uses_edge(&self, e: EdgeId) -> bool {
+        self.edges.contains(&e)
+    }
+}
+
+/// Build the BFS spanning tree of the component of `root`.
+pub fn bfs_tree(g: &Graph, root: NodeId) -> RootedTree {
+    let r = bfs(g, root);
+    RootedTree::from_parents(g, root, r.parent)
+}
+
+/// Build a hop-bounded lightest-path spanning tree: the shortest-path tree
+/// under the given per-edge weights (all weights must be ≥ some positive
+/// minimum), restricted to paths of at most `max_hops` edges.
+///
+/// This is the building block of the Appendix-C tree packing ("min-cost
+/// `d`-depth spanning tree"): the weight of an edge reflects its current load,
+/// so successive trees avoid heavily used edges while staying shallow.  Nodes
+/// unreachable within `max_hops` hops are left out of the tree.
+///
+/// # Panics
+///
+/// Panics if `weight.len() != g.edge_count()` or some weight is not strictly
+/// positive (positivity rules out parent-pointer cycles).
+pub fn weighted_shallow_tree(
+    g: &Graph,
+    root: NodeId,
+    weight: &[f64],
+    max_hops: usize,
+) -> RootedTree {
+    assert_eq!(weight.len(), g.edge_count());
+    assert!(
+        weight.iter().all(|&w| w > 0.0),
+        "edge weights must be strictly positive"
+    );
+    let n = g.node_count();
+    let mut dist: Vec<f64> = vec![f64::INFINITY; n];
+    let mut parent = vec![None; n];
+    dist[root] = 0.0;
+    // Hop-bounded Bellman–Ford with Jacobi-style updates so that after `h`
+    // iterations `dist[v]` is the lightest path using at most `h` edges.
+    for _ in 0..max_hops.max(1) {
+        let snapshot = dist.clone();
+        let mut changed = false;
+        for v in 0..n {
+            for &(u, e) in g.neighbors(v) {
+                let cand = snapshot[u] + weight[e];
+                if cand < dist[v] {
+                    dist[v] = cand;
+                    parent[v] = Some(u);
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    // Nodes that were never reached keep parent = None and are excluded.
+    RootedTree::from_parents(g, root, parent)
+}
+
+/// Build an approximate minimum-cost depth-bounded spanning tree by Prim-style
+/// growth: repeatedly attach the out-of-tree node whose cheapest connection to
+/// an in-tree node of depth `< max_depth` is minimal.
+///
+/// This is the "min-cost `d`-depth spanning tree" primitive of the paper's
+/// Appendix C (there solved with the O(log n)-approximation of Ghaffari'15; a
+/// greedy Prim variant reproduces the same qualitative trade-off: low total
+/// load at bounded depth).  Nodes unreachable within the depth budget are left
+/// out of the tree.
+///
+/// # Panics
+///
+/// Panics if `weight.len() != g.edge_count()`.
+pub fn min_cost_depth_bounded_tree(
+    g: &Graph,
+    root: NodeId,
+    weight: &[f64],
+    max_depth: usize,
+) -> RootedTree {
+    assert_eq!(weight.len(), g.edge_count());
+    let n = g.node_count();
+    let mut parent: Vec<Option<NodeId>> = vec![None; n];
+    let mut depth: Vec<Option<usize>> = vec![None; n];
+    depth[root] = Some(0);
+    for _ in 1..n {
+        // Find the cheapest edge from an eligible in-tree node to an out node.
+        let mut best: Option<(f64, NodeId, NodeId)> = None; // (cost, from, to)
+        for u in 0..n {
+            let Some(du) = depth[u] else { continue };
+            if du >= max_depth {
+                continue;
+            }
+            for &(v, e) in g.neighbors(u) {
+                if depth[v].is_some() {
+                    continue;
+                }
+                let c = weight[e];
+                if best.map_or(true, |(bc, _, _)| c < bc) {
+                    best = Some((c, u, v));
+                }
+            }
+        }
+        let Some((_, u, v)) = best else { break };
+        parent[v] = Some(u);
+        depth[v] = Some(depth[u].unwrap() + 1);
+    }
+    RootedTree::from_parents(g, root, parent)
+}
+
+/// Build the BFS tree of a *subgraph* described by a set of edges, rooted at
+/// `root`.  Nodes unreachable within the subgraph are left out of the tree.
+pub fn subgraph_bfs_tree(g: &Graph, edges: &[EdgeId], root: NodeId) -> RootedTree {
+    let n = g.node_count();
+    let mut adj: Vec<Vec<NodeId>> = vec![Vec::new(); n];
+    for &e in edges {
+        let edge = g.edge(e);
+        adj[edge.u].push(edge.v);
+        adj[edge.v].push(edge.u);
+    }
+    let mut parent = vec![None; n];
+    let mut seen = vec![false; n];
+    seen[root] = true;
+    let mut q = VecDeque::new();
+    q.push_back(root);
+    while let Some(u) = q.pop_front() {
+        for &v in &adj[u] {
+            if !seen[v] {
+                seen[v] = true;
+                parent[v] = Some(u);
+                q.push_back(v);
+            }
+        }
+    }
+    RootedTree::from_parents(g, root, parent)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn bfs_tree_spans_connected_graph() {
+        let g = generators::grid(3, 3);
+        let t = bfs_tree(&g, 0);
+        assert!(t.is_spanning(&g));
+        assert_eq!(t.size(), 9);
+        assert_eq!(t.height(), 4);
+        assert_eq!(t.edges.len(), 8);
+    }
+
+    #[test]
+    fn bfs_tree_on_disconnected_graph_is_partial() {
+        let g = Graph::from_edges(4, &[(0, 1), (2, 3)]);
+        let t = bfs_tree(&g, 0);
+        assert!(!t.is_spanning(&g));
+        assert_eq!(t.size(), 2);
+    }
+
+    #[test]
+    fn depths_children_and_orders_consistent() {
+        let g = generators::path(5);
+        let t = bfs_tree(&g, 2);
+        let d = t.depths();
+        assert_eq!(d[2], Some(0));
+        assert_eq!(d[0], Some(2));
+        assert_eq!(d[4], Some(2));
+        let ch = t.children();
+        assert_eq!(ch[2].len(), 2);
+        let bu = t.bottom_up_order();
+        assert_eq!(*bu.last().unwrap(), 2);
+        let td = t.top_down_order();
+        assert_eq!(td[0], 2);
+        assert_eq!(bu.len(), 5);
+    }
+
+    #[test]
+    fn weighted_shallow_tree_avoids_heavy_edges() {
+        // Square 0-1-2-3-0; heavy weight on edge (0,1) should push the tree to
+        // reach node 1 the long way around (3 hops) when the hop budget allows.
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]);
+        let mut w = vec![1.0; 4];
+        w[g.edge_between(0, 1).unwrap()] = 100.0;
+        let t = weighted_shallow_tree(&g, 0, &w, 4);
+        assert!(t.is_spanning(&g));
+        assert_eq!(t.parent[1], Some(2), "node 1 should be reached avoiding the heavy edge");
+        // With a hop budget of 1, only direct neighbours are reachable.
+        let shallow = weighted_shallow_tree(&g, 0, &w, 1);
+        assert_eq!(shallow.size(), 3);
+        assert!(!shallow.is_spanning(&g));
+    }
+
+    #[test]
+    #[should_panic]
+    fn weighted_shallow_tree_rejects_nonpositive_weights() {
+        let g = generators::path(3);
+        let _ = weighted_shallow_tree(&g, 0, &[0.0, 1.0], 3);
+    }
+
+    #[test]
+    fn subgraph_tree_restricted_to_edges() {
+        let g = generators::cycle(6);
+        // Use only half of the cycle's edges: a path 0-1-2-3.
+        let es: Vec<_> = [(0, 1), (1, 2), (2, 3)]
+            .iter()
+            .map(|&(a, b)| g.edge_between(a, b).unwrap())
+            .collect();
+        let t = subgraph_bfs_tree(&g, &es, 0);
+        assert_eq!(t.size(), 4);
+        assert!(!t.in_tree[4]);
+        assert!(!t.is_spanning(&g));
+    }
+
+    #[test]
+    fn from_parents_rejects_non_edges() {
+        let g = generators::path(3);
+        let bad_parent = vec![None, Some(0), Some(0)]; // (2,0) is not an edge
+        let result = std::panic::catch_unwind(|| RootedTree::from_parents(&g, 0, bad_parent));
+        assert!(result.is_err());
+    }
+}

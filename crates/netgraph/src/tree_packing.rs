@@ -1,0 +1,286 @@
+//! Low-diameter tree packings (Definition 6 and Definition 7 of the paper).
+//!
+//! A `(k, D_TP, η)` tree packing is a collection of `k` spanning trees of
+//! diameter ≤ `D_TP` such that every edge of the host graph is used by at most
+//! `η` trees.  A *weak* packing only requires 0.9k of the subgraphs to be
+//! spanning trees rooted at a common root.  The byzantine compiler of
+//! Theorem 3.5 is driven entirely by such a packing.
+//!
+//! Three constructions are provided:
+//!
+//! * [`greedy_low_depth_packing`] — the multiplicative-weights packing of the
+//!   paper's Appendix C: trees are added one by one, each a shallow spanning
+//!   tree that prefers lightly-loaded edges;
+//! * [`star_packing`] — the exact `(n, 2, 2)` packing of the complete graph
+//!   used by the CONGESTED CLIQUE compilers (Theorems 1.6 / 4.11);
+//! * [`random_coloring_packing`] — the fault-free version of the Lemma 3.10
+//!   construction for expanders (colour every edge with a random colour in
+//!   `[k]`, take a BFS tree of every colour class).
+
+use crate::graph::{EdgeId, Graph, NodeId};
+use crate::spanning::{min_cost_depth_bounded_tree, subgraph_bfs_tree, RootedTree};
+use rand::Rng;
+
+/// A collection of (sub)trees of a host graph intended as a tree packing.
+#[derive(Debug, Clone)]
+pub struct TreePacking {
+    /// The trees of the packing.  Not all of them need to be spanning (weak packings).
+    pub trees: Vec<RootedTree>,
+}
+
+impl TreePacking {
+    /// Construct from a list of trees.
+    pub fn new(trees: Vec<RootedTree>) -> Self {
+        TreePacking { trees }
+    }
+
+    /// Number of trees `k`.
+    pub fn len(&self) -> usize {
+        self.trees.len()
+    }
+
+    /// Whether the packing is empty.
+    pub fn is_empty(&self) -> bool {
+        self.trees.is_empty()
+    }
+
+    /// Load of the packing: the maximum, over host edges, of the number of
+    /// trees using that edge.
+    pub fn load(&self, g: &Graph) -> usize {
+        let mut use_count = vec![0usize; g.edge_count()];
+        for t in &self.trees {
+            for &e in &t.edges {
+                use_count[e] += 1;
+            }
+        }
+        use_count.into_iter().max().unwrap_or(0)
+    }
+
+    /// Maximum height over the trees (a bound on `D_TP` up to a factor 2).
+    pub fn max_height(&self) -> usize {
+        self.trees.iter().map(|t| t.height()).max().unwrap_or(0)
+    }
+
+    /// Number of trees that are spanning trees of `g` with height at most
+    /// `max_height` and root equal to `root`.
+    pub fn count_good(&self, g: &Graph, root: NodeId, max_height: usize) -> usize {
+        self.trees
+            .iter()
+            .filter(|t| t.root == root && t.is_spanning(g) && t.height() <= max_height)
+            .count()
+    }
+
+    /// Whether this is a weak `(k, D_TP, η)` packing per Definition 7:
+    /// at least `0.9 k` trees are spanning, rooted at `root`, of height ≤
+    /// `max_height`, and the load is at most `eta`.
+    pub fn is_weak_packing(&self, g: &Graph, root: NodeId, max_height: usize, eta: usize) -> bool {
+        let good = self.count_good(g, root, max_height);
+        10 * good >= 9 * self.len() && self.load(g) <= eta
+    }
+
+    /// Indices of trees using the given edge.
+    pub fn trees_using_edge(&self, e: EdgeId) -> Vec<usize> {
+        self.trees
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.uses_edge(e))
+            .map(|(i, _)| i)
+            .collect()
+    }
+}
+
+/// The Appendix-C greedy multiplicative-weights packing: add `k` trees one at a
+/// time; tree `i` is a hop-bounded lightest spanning tree computed under edge
+/// weights `a^{load_i(e)/η}` so that heavily loaded edges are avoided.
+/// `eta_hint` controls the weight normalisation (use the target load, e.g.
+/// `O(log n)`); the hop budget is `2·diam(G) + 2`, matching the
+/// `O(D_TP log n)`-depth guarantee of Theorem 3.1 up to constants.
+///
+/// All trees are rooted at `root`.
+///
+/// # Panics
+///
+/// Panics if the graph is disconnected (a spanning tree cannot be built) or
+/// `k == 0`.
+pub fn greedy_low_depth_packing(g: &Graph, root: NodeId, k: usize, eta_hint: usize) -> TreePacking {
+    greedy_low_depth_packing_with_budget(g, root, k, eta_hint, None)
+}
+
+/// [`greedy_low_depth_packing`] with an explicit hop budget for the trees.
+/// When `hop_budget` is `None`, `2·diam(G) + 2` is used.
+///
+/// # Panics
+///
+/// Panics if the graph is disconnected or `k == 0`.
+pub fn greedy_low_depth_packing_with_budget(
+    g: &Graph,
+    root: NodeId,
+    k: usize,
+    eta_hint: usize,
+    hop_budget: Option<usize>,
+) -> TreePacking {
+    assert!(k > 0, "k must be positive");
+    assert!(
+        crate::traversal::is_connected(g),
+        "greedy packing requires a connected graph"
+    );
+    let diam = crate::traversal::diameter(g).unwrap_or(g.node_count());
+    let budget = hop_budget.unwrap_or(2 * diam + 2);
+    let eta = eta_hint.max(1) as f64;
+    let a: f64 = 8.0; // base of the multiplicative weights
+    let mut load = vec![0usize; g.edge_count()];
+    let mut trees = Vec::with_capacity(k);
+    for _ in 0..k {
+        let weights: Vec<f64> = load.iter().map(|&l| a.powf(l as f64 / eta)).collect();
+        let tree = min_cost_depth_bounded_tree(g, root, &weights, budget);
+        for &e in &tree.edges {
+            load[e] += 1;
+        }
+        trees.push(tree);
+    }
+    TreePacking::new(trees)
+}
+
+/// The exact `(n, 2, 2)` packing of the complete graph `K_n`: for every centre
+/// `c`, the star centred at `c`, re-rooted at the common root `root` (so the
+/// tree rooted at `root` has `c` as its single child and every other node as a
+/// grandchild; the star centred at `root` itself has depth 1).
+///
+/// # Panics
+///
+/// Panics if `g` is not a complete graph.
+pub fn star_packing(g: &Graph, root: NodeId) -> TreePacking {
+    let n = g.node_count();
+    assert_eq!(
+        g.edge_count(),
+        n * (n - 1) / 2,
+        "star_packing requires the complete graph"
+    );
+    let mut trees = Vec::with_capacity(n);
+    for centre in 0..n {
+        let mut parent = vec![None; n];
+        if centre == root {
+            for v in 0..n {
+                if v != root {
+                    parent[v] = Some(root);
+                }
+            }
+        } else {
+            parent[centre] = Some(root);
+            for v in 0..n {
+                if v != root && v != centre {
+                    parent[v] = Some(centre);
+                }
+            }
+        }
+        trees.push(RootedTree::from_parents(g, root, parent));
+    }
+    TreePacking::new(trees)
+}
+
+/// Fault-free version of the Lemma 3.10 construction: colour every edge
+/// independently and uniformly with a colour in `[k]`; for each colour class,
+/// return the BFS tree of the colour subgraph rooted at `root` (which may fail
+/// to span — that is expected and handled by the *weak* packing notion).
+pub fn random_coloring_packing<R: Rng + ?Sized>(
+    g: &Graph,
+    root: NodeId,
+    k: usize,
+    rng: &mut R,
+) -> TreePacking {
+    assert!(k > 0, "k must be positive");
+    let mut classes: Vec<Vec<EdgeId>> = vec![Vec::new(); k];
+    for e in 0..g.edge_count() {
+        classes[rng.gen_range(0..k)].push(e);
+    }
+    let trees = classes
+        .into_iter()
+        .map(|edges| subgraph_bfs_tree(g, &edges, root))
+        .collect();
+    TreePacking::new(trees)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn star_packing_of_clique_is_tight() {
+        let g = generators::complete(8);
+        let p = star_packing(&g, 0);
+        assert_eq!(p.len(), 8);
+        assert_eq!(p.load(&g), 2);
+        assert!(p.max_height() <= 2);
+        assert_eq!(p.count_good(&g, 0, 2), 8);
+        assert!(p.is_weak_packing(&g, 0, 2, 2));
+    }
+
+    #[test]
+    #[should_panic]
+    fn star_packing_rejects_non_clique() {
+        let g = generators::cycle(5);
+        star_packing(&g, 0);
+    }
+
+    #[test]
+    fn greedy_packing_on_circulant_spans_with_bounded_load() {
+        let g = generators::circulant(16, 3); // 6-edge-connected
+        let k = 4;
+        let p = greedy_low_depth_packing(&g, 0, k, 2);
+        assert_eq!(p.len(), k);
+        for t in &p.trees {
+            assert!(t.is_spanning(&g), "all greedy trees must span");
+        }
+        // With 6-connectivity and only 4 trees the load should stay small.
+        assert!(p.load(&g) <= 3, "load {} too high", p.load(&g));
+        assert!(p.max_height() <= 8);
+    }
+
+    #[test]
+    fn greedy_packing_on_clique_has_low_load() {
+        let g = generators::complete(10);
+        let p = greedy_low_depth_packing(&g, 0, 8, 2);
+        assert!(p.load(&g) <= 4);
+        assert!(p.max_height() <= 3);
+    }
+
+    #[test]
+    #[should_panic]
+    fn greedy_packing_rejects_disconnected() {
+        let g = Graph::from_edges(4, &[(0, 1), (2, 3)]);
+        greedy_low_depth_packing(&g, 0, 2, 1);
+    }
+
+    #[test]
+    fn random_coloring_packing_load_bounded_by_one_per_direction() {
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let g = generators::random_regular(&mut rng, 40, 10);
+        let k = 4;
+        let p = random_coloring_packing(&g, 0, k, &mut rng);
+        assert_eq!(p.len(), k);
+        // Every edge belongs to exactly one colour class, so the load is ≤ 1.
+        assert!(p.load(&g) <= 1);
+    }
+
+    #[test]
+    fn random_coloring_packing_mostly_spans_dense_expander() {
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let g = generators::random_regular(&mut rng, 60, 20);
+        let k = 3; // few colours on a dense graph: every class is still dense.
+        let p = random_coloring_packing(&g, 0, k, &mut rng);
+        let good = p.count_good(&g, 0, 12);
+        assert!(good >= 2, "expected most colour classes to span, got {good}");
+    }
+
+    #[test]
+    fn trees_using_edge_is_consistent_with_load() {
+        let g = generators::complete(6);
+        let p = star_packing(&g, 0);
+        for e in 0..g.edge_count() {
+            assert!(p.trees_using_edge(e).len() <= p.load(&g));
+        }
+    }
+}

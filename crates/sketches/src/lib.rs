@@ -1,0 +1,37 @@
+//! Mergeable streaming sketches for the mobile-byzantine message-correction
+//! procedure.
+//!
+//! The compiler of Theorem 3.5 finds the messages a mobile adversary corrupted
+//! by viewing each round's traffic as a turnstile stream — every *sent* message
+//! with frequency `+1`, every *received* message with frequency `-1` — so that
+//! correctly delivered messages cancel and only mismatches survive.  The root
+//! of every tree in the packing aggregates:
+//!
+//! * [`l0::L0Sampler`] — an ℓ0-sampling sketch returning a near-uniform
+//!   surviving element (Theorem 3.4), used in the `Õ(D_TP)` compiler;
+//! * [`sparse_recovery::SparseRecovery`] — an `s`-sparse recovery sketch
+//!   returning *all* surviving elements when there are at most `s`, used in the
+//!   simpler `Õ(D_TP + f)` variant.
+//!
+//! # Example
+//!
+//! ```
+//! use sketches::l0::{L0Sampler, SketchRandomness};
+//!
+//! let shared = SketchRandomness::from_seed(7);
+//! let mut at_u = L0Sampler::new(shared);
+//! let mut at_v = L0Sampler::new(shared);
+//! at_u.update(42, 1);   // u sent message 42
+//! at_v.update(42, -1);  // v received message 42 — cancels after merging
+//! at_v.update(99, -1);  // v received a corrupted message 99
+//! at_u.merge(&at_v);
+//! assert_eq!(at_u.query(), Some(99));
+//! ```
+
+pub mod l0;
+pub mod one_sparse;
+pub mod sparse_recovery;
+
+pub use l0::{L0Sampler, L0SamplerBank, SketchRandomness};
+pub use one_sparse::{OneSparseCell, OneSparseResult};
+pub use sparse_recovery::SparseRecovery;

@@ -1,0 +1,250 @@
+//! One-sparse recovery cells — the building block of ℓ0-samplers and
+//! `s`-sparse recovery sketches.
+//!
+//! A cell summarises a turnstile stream of `(element, frequency-change)` pairs
+//! with three counters: the total frequency, the frequency-weighted sum of
+//! element values, and a random polynomial fingerprint.  If the summarised
+//! multiset has exactly one element with non-zero frequency, the cell recovers
+//! it exactly (and the fingerprint check fails with probability `≤ poly(n)/p`
+//! otherwise).
+
+use coding::field::Field;
+use coding::fp::Fp61;
+
+/// What a cell's decode step concluded about its stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OneSparseResult {
+    /// All frequencies cancelled: the summarised multiset is empty.
+    Zero,
+    /// Exactly one element has non-zero frequency.
+    Single {
+        /// The element.
+        element: u64,
+        /// Its net frequency.
+        frequency: i64,
+    },
+    /// More than one element has non-zero frequency (or the fingerprint check failed).
+    Collision,
+}
+
+/// A mergeable one-sparse recovery cell.
+///
+/// Two cells can be merged iff they were created with the same fingerprint
+/// point (i.e. the same shared randomness).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OneSparseCell {
+    /// Σ frequencies.
+    count: i128,
+    /// Σ frequency · (element + 1)   (the +1 keeps element 0 distinguishable).
+    weighted: i128,
+    /// Σ frequency · r^(element + 1) over F_p.
+    fingerprint: Fp61,
+    /// The fingerprint evaluation point (from shared randomness).
+    point: Fp61,
+}
+
+impl OneSparseCell {
+    /// An empty cell with fingerprint point derived from `randomness`.
+    pub fn new(randomness: u64) -> Self {
+        // Any non-zero field element works as the evaluation point.
+        let point = Fp61::from_u64(randomness | 1);
+        OneSparseCell {
+            count: 0,
+            weighted: 0,
+            fingerprint: Fp61::ZERO,
+            point,
+        }
+    }
+
+    /// Add `delta` to the frequency of `element`.
+    pub fn update(&mut self, element: u64, delta: i64) {
+        if delta == 0 {
+            return;
+        }
+        let val = element as i128 + 1;
+        self.count += delta as i128;
+        self.weighted += delta as i128 * val;
+        let term = self.point.pow(element.wrapping_add(1));
+        let delta_f = signed_to_field(delta as i128);
+        self.fingerprint = self.fingerprint + delta_f * term;
+    }
+
+    /// Merge another cell created with the same randomness into this one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two cells use different fingerprint points.
+    pub fn merge(&mut self, other: &OneSparseCell) {
+        assert_eq!(
+            self.point, other.point,
+            "cannot merge cells with different randomness"
+        );
+        self.count += other.count;
+        self.weighted += other.weighted;
+        self.fingerprint = self.fingerprint + other.fingerprint;
+    }
+
+    /// Attempt to decode the summarised multiset.
+    pub fn decode(&self) -> OneSparseResult {
+        if self.count == 0 && self.weighted == 0 && self.fingerprint == Fp61::ZERO {
+            return OneSparseResult::Zero;
+        }
+        if self.count == 0 {
+            return OneSparseResult::Collision;
+        }
+        if self.weighted % self.count != 0 {
+            return OneSparseResult::Collision;
+        }
+        let candidate = self.weighted / self.count;
+        if candidate <= 0 || candidate > u64::MAX as i128 + 1 {
+            return OneSparseResult::Collision;
+        }
+        let element = (candidate - 1) as u64;
+        // Verify the fingerprint: it must equal count · r^(element+1).
+        let expect = signed_to_field(self.count) * self.point.pow(element.wrapping_add(1));
+        if expect == self.fingerprint {
+            OneSparseResult::Single {
+                element,
+                frequency: self.count as i64,
+            }
+        } else {
+            OneSparseResult::Collision
+        }
+    }
+
+    /// Whether the cell currently summarises the empty multiset.
+    pub fn is_zero(&self) -> bool {
+        matches!(self.decode(), OneSparseResult::Zero)
+    }
+}
+
+fn signed_to_field(x: i128) -> Fp61 {
+    let p = coding::fp::P61 as i128;
+    let r = ((x % p) + p) % p;
+    Fp61::from_u64(r as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_cell_is_zero() {
+        let c = OneSparseCell::new(17);
+        assert_eq!(c.decode(), OneSparseResult::Zero);
+        assert!(c.is_zero());
+    }
+
+    #[test]
+    fn single_element_recovered() {
+        let mut c = OneSparseCell::new(17);
+        c.update(1234, 3);
+        assert_eq!(
+            c.decode(),
+            OneSparseResult::Single {
+                element: 1234,
+                frequency: 3
+            }
+        );
+    }
+
+    #[test]
+    fn element_zero_is_representable() {
+        let mut c = OneSparseCell::new(5);
+        c.update(0, 1);
+        assert_eq!(
+            c.decode(),
+            OneSparseResult::Single {
+                element: 0,
+                frequency: 1
+            }
+        );
+    }
+
+    #[test]
+    fn cancelling_updates_return_to_zero() {
+        let mut c = OneSparseCell::new(99);
+        c.update(42, 5);
+        c.update(42, -5);
+        assert_eq!(c.decode(), OneSparseResult::Zero);
+        c.update(7, 1);
+        c.update(9, 1);
+        c.update(7, -1);
+        assert_eq!(
+            c.decode(),
+            OneSparseResult::Single {
+                element: 9,
+                frequency: 1
+            }
+        );
+    }
+
+    #[test]
+    fn collision_detected() {
+        let mut c = OneSparseCell::new(3);
+        c.update(10, 1);
+        c.update(20, 1);
+        assert_eq!(c.decode(), OneSparseResult::Collision);
+        // Opposite frequencies of different elements: count = 0 but not empty.
+        let mut d = OneSparseCell::new(3);
+        d.update(10, 1);
+        d.update(20, -1);
+        assert_eq!(d.decode(), OneSparseResult::Collision);
+    }
+
+    #[test]
+    fn adversarial_weighted_average_collision_caught_by_fingerprint() {
+        // {8: 1, 12: 1} has weighted average 10+1... choose elements so that
+        // weighted/count is integral and a valid element: {(9,1),(11,1)} →
+        // count 2, weighted (10+12)=22, candidate 11-1=10 which is NOT in the set.
+        let mut c = OneSparseCell::new(1234567);
+        c.update(9, 1);
+        c.update(11, 1);
+        assert_eq!(c.decode(), OneSparseResult::Collision);
+    }
+
+    #[test]
+    fn merge_combines_streams() {
+        let mut a = OneSparseCell::new(7);
+        let mut b = OneSparseCell::new(7);
+        a.update(5, 2);
+        b.update(5, -2);
+        b.update(33, 4);
+        a.merge(&b);
+        assert_eq!(
+            a.decode(),
+            OneSparseResult::Single {
+                element: 33,
+                frequency: 4
+            }
+        );
+    }
+
+    #[test]
+    #[should_panic]
+    fn merge_requires_same_randomness() {
+        let mut a = OneSparseCell::new(7);
+        let b = OneSparseCell::new(8);
+        a.merge(&b);
+    }
+
+    #[test]
+    fn zero_delta_is_ignored() {
+        let mut a = OneSparseCell::new(7);
+        a.update(5, 0);
+        assert!(a.is_zero());
+    }
+
+    #[test]
+    fn large_elements_supported() {
+        let mut a = OneSparseCell::new(7);
+        a.update(u64::MAX, 1);
+        assert_eq!(
+            a.decode(),
+            OneSparseResult::Single {
+                element: u64::MAX,
+                frequency: 1
+            }
+        );
+    }
+}

@@ -1,0 +1,84 @@
+//! Property-based tests: sketches always report true support elements and
+//! merging equals streaming the union.
+
+use proptest::prelude::*;
+use sketches::l0::{L0Sampler, SketchRandomness};
+use sketches::sparse_recovery::SparseRecovery;
+use std::collections::BTreeMap;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn l0_query_returns_true_nonzero_element(
+        seed in any::<u64>(),
+        updates in prop::collection::vec((0u64..50, -3i64..4), 1..60),
+    ) {
+        let mut sk = L0Sampler::new(SketchRandomness::from_seed(seed));
+        let mut truth: BTreeMap<u64, i64> = BTreeMap::new();
+        for &(e, d) in &updates {
+            sk.update(e, d);
+            *truth.entry(e).or_insert(0) += d;
+        }
+        truth.retain(|_, f| *f != 0);
+        match sk.query() {
+            Some(s) => prop_assert!(truth.contains_key(&s), "sampled {s} has zero net frequency"),
+            None => {
+                // Failure to sample is only acceptable w.h.p. when the support is empty;
+                // allow occasional failures, but an empty support must return None.
+            }
+        }
+        if truth.is_empty() {
+            prop_assert_eq!(sk.query(), None);
+            prop_assert!(sk.is_empty_sketch());
+        }
+    }
+
+    #[test]
+    fn l0_merge_equals_union(
+        seed in any::<u64>(),
+        left in prop::collection::vec((0u64..40, -2i64..3), 0..30),
+        right in prop::collection::vec((0u64..40, -2i64..3), 0..30),
+    ) {
+        let r = SketchRandomness::from_seed(seed);
+        let mut a = L0Sampler::new(r);
+        let mut b = L0Sampler::new(r);
+        let mut u = L0Sampler::new(r);
+        for &(e, d) in &left { a.update(e, d); u.update(e, d); }
+        for &(e, d) in &right { b.update(e, d); u.update(e, d); }
+        a.merge(&b);
+        prop_assert_eq!(a, u);
+    }
+
+    #[test]
+    fn sparse_recovery_exact_when_within_sparsity(
+        seed in any::<u64>(),
+        elements in prop::collection::btree_map(0u64..1000, -5i64..6, 0..6),
+    ) {
+        let truth: BTreeMap<u64, i64> = elements.into_iter().filter(|&(_, f)| f != 0).collect();
+        let mut sk = SparseRecovery::new(SketchRandomness::from_seed(seed), 8);
+        for (&e, &f) in &truth {
+            sk.update(e, f);
+        }
+        let decoded = sk.decode();
+        prop_assert!(decoded.is_some(), "decode failed within sparsity budget");
+        let decoded: BTreeMap<u64, i64> = decoded.unwrap().into_iter().collect();
+        prop_assert_eq!(decoded, truth);
+    }
+
+    #[test]
+    fn sparse_recovery_merge_equals_union(
+        seed in any::<u64>(),
+        left in prop::collection::vec((0u64..100, 1i64..3), 0..4),
+        right in prop::collection::vec((0u64..100, 1i64..3), 0..4),
+    ) {
+        let r = SketchRandomness::from_seed(seed);
+        let mut a = SparseRecovery::new(r, 8);
+        let mut b = SparseRecovery::new(r, 8);
+        let mut u = SparseRecovery::new(r, 8);
+        for &(e, d) in &left { a.update(e, d); u.update(e, d); }
+        for &(e, d) in &right { b.update(e, d); u.update(e, d); }
+        a.merge(&b);
+        prop_assert_eq!(a.decode(), u.decode());
+    }
+}

@@ -1,0 +1,42 @@
+//! The round-error-rate setting (Theorem 4.1): an adversary that stays quiet
+//! and then corrupts a burst of edges, against the rewind-if-error compiler.
+//!
+//! Run with `cargo run --example rewind_storm`.
+
+use mobile_congest::compilers::rate::RewindCompiler;
+use mobile_congest::graphs::generators;
+use mobile_congest::graphs::tree_packing::star_packing;
+use mobile_congest::payloads::LeaderElection;
+use mobile_congest::sim::adversary::{AdversaryRole, BurstAdversary, CorruptionBudget};
+use mobile_congest::sim::network::Network;
+use mobile_congest::sim::{run_fault_free, CongestAlgorithm};
+
+fn main() {
+    let n = 14;
+    let f = 1;
+    let g = generators::complete(n);
+    let expected = run_fault_free(&mut LeaderElection::new(g.clone()));
+
+    let compiler = RewindCompiler::new(star_packing(&g, 0), f, 3);
+    // Quiet for 40 rounds, then 4 rounds in which 12 edges are corrupted — far
+    // more than any fixed per-round budget, but within the average-rate budget.
+    let mut net = Network::new(
+        g.clone(),
+        AdversaryRole::Byzantine,
+        Box::new(BurstAdversary::new(40, 4, 12, 9)),
+        CorruptionBudget::RoundErrorRate { total: 200 },
+        9,
+    );
+    let (out, report) = compiler.run(|| LeaderElection::new(g.clone()), &mut net);
+    println!(
+        "rewind compiler: correct = {}, committed {}/{} payload rounds, {} rewinds, {} global rounds, {} network rounds",
+        out == expected,
+        report.committed_rounds,
+        LeaderElection::new(g.clone()).rounds(),
+        report.rewinds,
+        report.global_rounds,
+        report.network_rounds
+    );
+    println!("progress trace: {:?}", report.progress_trace);
+    assert_eq!(out, expected);
+}

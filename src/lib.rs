@@ -1,0 +1,24 @@
+//! `mobile-congest` — umbrella crate for the reproduction of *Distributed
+//! CONGEST Algorithms against Mobile Adversaries* (Fischer & Parter, PODC 2023).
+//!
+//! This crate re-exports the workspace members so examples, integration tests
+//! and the experiment harness can use a single dependency:
+//!
+//! * [`sim`] — the round-synchronous CONGEST simulator and adversaries,
+//! * [`graphs`] — graph generators, tree packings, cycle covers,
+//! * [`codes`] — finite fields, Reed–Solomon, Vandermonde extraction, hashing,
+//! * [`sketch`] — ℓ0-sampling and sparse-recovery sketches,
+//! * [`icoding`] — the RS-compiler oracle and the Lemma 3.3 scheduler,
+//! * [`payloads`] — fault-free payload algorithms,
+//! * [`compilers`] — the paper's mobile-secure and mobile-resilient compilers.
+//!
+//! See `README.md` for a guided tour, `DESIGN.md` for the system inventory and
+//! `EXPERIMENTS.md` for the experiment index.
+
+pub use coding as codes;
+pub use congest_algorithms as payloads;
+pub use congest_sim as sim;
+pub use interactive_coding as icoding;
+pub use mobile_congest_core as compilers;
+pub use netgraph as graphs;
+pub use sketches as sketch;
