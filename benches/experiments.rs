@@ -4,17 +4,15 @@
 //! The paper has no empirical tables of its own — every "figure" here is the
 //! measurable shape of a theorem: round overheads, tolerated fault counts,
 //! correctness of compiled vs. uncompiled runs, mismatch decay, packing
-//! quality.  Run with `cargo bench` (the harness is plain `main`, no criterion
-//! statistics are needed for discrete round counts).
+//! quality.  Every compiled execution is configured through the unified
+//! `Scenario` pipeline; low-level primitives (unicast, broadcast, scheduler,
+//! correction procedures) draw their validated `Network` from
+//! `Scenario::…::network()`.  Run with `cargo bench` (the harness is plain
+//! `main`, no criterion statistics are needed for discrete round counts).
 
-use mobile_congest::compilers::rate::RewindCompiler;
-use mobile_congest::compilers::resilient::{
-    l0_threshold_correction, sparse_majority_correction, CliqueCompiler, CycleCoverCompiler,
-    MobileByzantineCompiler,
-};
+use mobile_congest::compilers::resilient::{l0_threshold_correction, sparse_majority_correction};
 use mobile_congest::compilers::secure::{
-    mobile_secure_broadcast, mobile_secure_multicast, mobile_secure_unicast,
-    CongestionSensitiveCompiler, StaticToMobileCompiler, UnicastInstance,
+    mobile_secure_broadcast, mobile_secure_multicast, mobile_secure_unicast, UnicastInstance,
 };
 use mobile_congest::graphs::connectivity::{edge_connectivity, estimate_dtp, sweep_conductance};
 use mobile_congest::graphs::generators;
@@ -22,35 +20,75 @@ use mobile_congest::graphs::tree_packing::{greedy_low_depth_packing, star_packin
 use mobile_congest::graphs::Graph;
 use mobile_congest::icoding::RsScheduler;
 use mobile_congest::payloads::{FloodBroadcast, LeaderElection, TokenDissemination};
+use mobile_congest::scenario::{
+    BoxedAlgorithm, CliqueAdapter, Compiler, CongestionSensitiveAdapter, CycleCoverAdapter,
+    ExpanderAdapter, RewindAdapter, RunReport, Scenario, StaticToMobileAdapter, TreePackingAdapter,
+    Uncompiled,
+};
 use mobile_congest::sim::adversary::{
     AdversaryRole, BurstAdversary, CorruptionBudget, CorruptionMode, GreedyHeaviest, RandomMobile,
 };
 use mobile_congest::sim::network::Network;
 use mobile_congest::sim::traffic::Traffic;
-use mobile_congest::sim::{run_fault_free, run_on_network, CongestAlgorithm};
 use mobile_congest::sketch::{L0Sampler, SketchRandomness, SparseRecovery};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use std::time::Instant;
 
-fn byz_net(g: Graph, f: usize, seed: u64) -> Network {
-    Network::new(
-        g,
-        AdversaryRole::Byzantine,
-        Box::new(RandomMobile::new(f, seed)),
-        CorruptionBudget::Mobile { f },
-        seed,
-    )
+/// One compiled byzantine run through the pipeline.
+fn byz_scenario<C, P, A>(g: &Graph, f: usize, seed: u64, compiler: C, payload: P) -> RunReport
+where
+    C: Compiler + 'static,
+    P: Fn(&Graph) -> A + 'static,
+    A: mobile_congest::sim::CongestAlgorithm + 'static,
+{
+    let pg = g.clone();
+    Scenario::on(g.clone())
+        .payload(move || payload(&pg))
+        .adversary(
+            AdversaryRole::Byzantine,
+            RandomMobile::new(f, seed),
+            CorruptionBudget::Mobile { f },
+        )
+        .seed(seed)
+        .compiled_with(compiler)
+        .run()
+        .expect("byzantine scenario failed validation")
 }
 
-fn eaves_net(g: Graph, f: usize, seed: u64) -> Network {
-    Network::new(
-        g,
-        AdversaryRole::Eavesdropper,
-        Box::new(RandomMobile::new(f, seed)),
-        CorruptionBudget::Mobile { f },
-        seed,
-    )
+/// One compiled eavesdropper run through the pipeline.
+fn eaves_scenario<C, P, A>(g: &Graph, f: usize, seed: u64, compiler: C, payload: P) -> RunReport
+where
+    C: Compiler + 'static,
+    P: Fn(&Graph) -> A + 'static,
+    A: mobile_congest::sim::CongestAlgorithm + 'static,
+{
+    let pg = g.clone();
+    Scenario::on(g.clone())
+        .payload(move || payload(&pg))
+        .adversary(
+            AdversaryRole::Eavesdropper,
+            RandomMobile::new(f, seed),
+            CorruptionBudget::Mobile { f },
+        )
+        .seed(seed)
+        .compiled_with(compiler)
+        .run()
+        .expect("eavesdropper scenario failed validation")
+}
+
+/// A validated network for the low-level primitives (unicast, broadcast,
+/// scheduler, correction), replacing hand-wired `Network::new`.
+fn primitive_net(g: &Graph, role: AdversaryRole, f: usize, seed: u64) -> Network {
+    Scenario::on(g.clone())
+        .adversary(
+            role,
+            RandomMobile::new(f, seed),
+            CorruptionBudget::Mobile { f },
+        )
+        .seed(seed)
+        .network()
+        .expect("network configuration failed validation")
 }
 
 fn header(id: &str, title: &str) {
@@ -62,13 +100,20 @@ fn e1_bit_extraction() {
     header("E1", "Vandermonde bit extraction (Thm 2.1)");
     println!("{:>6} {:>6} {:>10} {:>12}", "n", "t", "keys", "micros");
     for &(n, t) in &[(16usize, 4usize), (64, 16), (128, 64), (256, 32)] {
-        let ex = mobile_congest::codes::BitExtractor::<mobile_congest::codes::Gf2_16>::new(n, t).unwrap();
+        let ex = mobile_congest::codes::BitExtractor::<mobile_congest::codes::Gf2_16>::new(n, t)
+            .unwrap();
         let pads: Vec<_> = (0..n as u64)
             .map(mobile_congest::codes::Gf2_16::from_u64)
             .collect();
         let t0 = Instant::now();
         let keys = ex.extract(&pads).unwrap();
-        println!("{:>6} {:>6} {:>10} {:>12}", n, t, keys.len(), t0.elapsed().as_micros());
+        println!(
+            "{:>6} {:>6} {:>10} {:>12}",
+            n,
+            t,
+            keys.len(),
+            t0.elapsed().as_micros()
+        );
         assert_eq!(keys.len(), n - t);
     }
     use mobile_congest::codes::field::Field;
@@ -78,31 +123,22 @@ fn e1_bit_extraction() {
 /// E2 — Theorem 1.2: compiled rounds 2r+t and tolerated mobility f'.
 fn e2_static_to_mobile() {
     header("E2", "static→mobile secure simulation (Thm 1.2)");
-    println!(
-        "{:>10} {:>4} {:>4} {:>10} {:>10} {:>14} {:>8}",
-        "graph", "r", "t", "key rnds", "sim rnds", "f'(f_static=4)", "correct"
-    );
-    for &(name, ref g) in &[
+    println!("{}", RunReport::table_header());
+    for (name, g) in [
         ("cycle16", generators::cycle(16)),
         ("grid4x4", generators::grid(4, 4)),
         ("K12", generators::complete(12)),
     ] {
         for &t in &[2usize, 8, 32] {
-            let alg = FloodBroadcast::new(g.clone(), 0, 99);
-            let r = alg.rounds();
-            let expected = run_fault_free(&mut FloodBroadcast::new(g.clone(), 0, 99));
-            let compiler = StaticToMobileCompiler::new(t, 2, 7);
-            let mut net = eaves_net(g.clone(), 2, 3);
-            let (out, rep) = compiler.run(&mut FloodBroadcast::new(g.clone(), 0, 99), &mut net);
+            let report = eaves_scenario(&g, 2, 3, StaticToMobileAdapter::new(t, 2, 7), |g| {
+                FloodBroadcast::new(g.clone(), 0, 99)
+            });
+            let compiler = mobile_congest::compilers::secure::StaticToMobileCompiler::new(t, 2, 7);
             println!(
-                "{:>10} {:>4} {:>4} {:>10} {:>10} {:>14} {:>8}",
-                name,
-                r,
-                t,
-                rep.key_rounds,
-                rep.simulation_rounds,
-                compiler.mobile_tolerance(4, r),
-                out == expected
+                "{}   [{name}, t={t}: key rounds {}, f'(f_static=4) = {}]",
+                report.table_row(),
+                report.network_rounds - report.payload_rounds,
+                compiler.mobile_tolerance(4, report.payload_rounds)
             );
         }
     }
@@ -111,14 +147,17 @@ fn e2_static_to_mobile() {
 /// E3 — Lemma A.3: mobile-secure unicast rounds ≈ O(D), congestion O(1); multicast O(D+R).
 fn e3_secure_unicast() {
     header("E3", "mobile-secure unicast / multicast (Lemma A.3)");
-    println!("{:>10} {:>4} {:>8} {:>10} {:>10}", "graph", "D", "rounds", "congestion", "ok");
+    println!(
+        "{:>10} {:>4} {:>8} {:>10} {:>10}",
+        "graph", "D", "rounds", "congestion", "ok"
+    );
     for &(name, ref g, d) in &[
         ("path16", generators::path(16), 15usize),
         ("cycle20", generators::cycle(20), 10),
         ("grid5x5", generators::grid(5, 5), 8),
         ("K12", generators::complete(12), 1),
     ] {
-        let mut net = eaves_net(g.clone(), 1, 5);
+        let mut net = primitive_net(g, AdversaryRole::Eavesdropper, 1, 5);
         let rep = mobile_secure_unicast(&mut net, 0, g.node_count() - 1, 0xABCDEF, 9);
         println!(
             "{:>10} {:>4} {:>8} {:>10} {:>10}",
@@ -133,24 +172,40 @@ fn e3_secure_unicast() {
     for &r_count in &[2usize, 5, 10] {
         let g = generators::complete(12);
         let instances: Vec<UnicastInstance> = (1..=r_count)
-            .map(|i| UnicastInstance { source: 0, target: i, secret: 100 + i as u64 })
+            .map(|i| UnicastInstance {
+                source: 0,
+                target: i,
+                secret: 100 + i as u64,
+            })
             .collect();
-        let mut net = eaves_net(g.clone(), 2, 11);
+        let mut net = primitive_net(&g, AdversaryRole::Eavesdropper, 2, 11);
         let rep = mobile_secure_multicast(&mut net, &instances, 13);
-        let ok = instances.iter().enumerate().all(|(i, inst)| rep.recovered[i] == Some(inst.secret));
-        println!("{:>10} {:>6} {:>8}   all-recovered={ok}", "K12", r_count, rep.rounds);
+        let ok = instances
+            .iter()
+            .enumerate()
+            .all(|(i, inst)| rep.recovered[i] == Some(inst.secret));
+        println!(
+            "{:>10} {:>6} {:>8}   all-recovered={ok}",
+            "K12", r_count, rep.rounds
+        );
     }
 }
 
 /// E4 — Theorem A.4: secure broadcast round scaling in f and b.
 fn e4_secure_broadcast() {
-    header("E4", "mobile-secure broadcast (Thm A.4, substituted packing)");
-    println!("{:>10} {:>4} {:>4} {:>10} {:>12} {:>8}", "graph", "f", "b", "key rnds", "diss rnds", "ok");
+    header(
+        "E4",
+        "mobile-secure broadcast (Thm A.4, substituted packing)",
+    );
+    println!(
+        "{:>10} {:>4} {:>4} {:>10} {:>12} {:>8}",
+        "graph", "f", "b", "key rnds", "diss rnds", "ok"
+    );
     for &f in &[1usize, 2, 3] {
         for &b in &[1usize, 4] {
             let g = generators::complete(14);
             let secret: Vec<u64> = (0..b as u64).map(|i| 0xA000 + i).collect();
-            let mut net = eaves_net(g.clone(), f, 3 + f as u64);
+            let mut net = primitive_net(&g, AdversaryRole::Eavesdropper, f, 3 + f as u64);
             let (_, rep) = mobile_secure_broadcast(&mut net, 0, &secret, f, 21);
             println!(
                 "{:>10} {:>4} {:>4} {:>10} {:>12} {:>8}",
@@ -163,21 +218,17 @@ fn e4_secure_broadcast() {
 /// E5 — Theorem 1.3: congestion-sensitive compiler overhead.
 fn e5_congestion_compiler() {
     header("E5", "congestion-sensitive secure compiler (Thm 1.3)");
-    println!(
-        "{:>10} {:>4} {:>6} {:>10} {:>10} {:>10} {:>8}",
-        "graph", "f", "cong", "local", "global", "sim", "correct"
-    );
+    println!("{}", RunReport::table_header());
     for &f in &[1usize, 2] {
-        for &(name, ref g) in &[("K10", generators::complete(10)), ("grid3x4", generators::grid(3, 4))] {
-            let expected = run_fault_free(&mut FloodBroadcast::new(g.clone(), 0, 5));
-            let compiler = CongestionSensitiveCompiler::new(f, 2, 17);
-            let mut net = eaves_net(g.clone(), f, 19);
-            let (out, rep) = compiler.run(&mut FloodBroadcast::new(g.clone(), 0, 5), &mut net, 0);
-            println!(
-                "{:>10} {:>4} {:>6} {:>10} {:>10} {:>10} {:>8}",
-                name, f, rep.congestion, rep.local_key_rounds, rep.global_key_rounds, rep.simulation_rounds,
-                out == expected
-            );
+        for (name, g) in [
+            ("K10", generators::complete(10)),
+            ("grid3x4", generators::grid(3, 4)),
+        ] {
+            let report =
+                eaves_scenario(&g, f, 19, CongestionSensitiveAdapter::new(f, 2, 17), |g| {
+                    FloodBroadcast::new(g.clone(), 0, 5)
+                });
+            println!("{}   [{name}]", report.table_row());
         }
     }
 }
@@ -196,11 +247,18 @@ fn e6_tree_packing() {
         ("hcube(5)", generators::hypercube(5), 4),
     ] {
         let lambda = edge_connectivity(g);
-        let dtp = estimate_dtp(g, k).map(|d| d.to_string()).unwrap_or_else(|| "-".into());
+        let dtp = estimate_dtp(g, k)
+            .map(|d| d.to_string())
+            .unwrap_or_else(|| "-".into());
         let p = greedy_low_depth_packing(g, 0, k, 2);
         println!(
             "{:>12} {:>4} {:>6} {:>6} {:>8} {:>8}",
-            name, k, lambda, dtp, p.load(g), p.max_height()
+            name,
+            k,
+            lambda,
+            dtp,
+            p.load(g),
+            p.max_height()
         );
     }
 }
@@ -208,34 +266,21 @@ fn e6_tree_packing() {
 /// E7 — Theorem 3.5: mobile byzantine compiler — correctness and overhead vs f.
 fn e7_tree_compiler() {
     header("E7", "f-mobile byzantine compiler (Thm 3.5)");
-    println!(
-        "{:>12} {:>4} {:>9} {:>10} {:>10} {:>9}",
-        "graph", "f", "correct", "payload r", "network r", "overhead"
-    );
-    let cases = [
-        ("K16", generators::complete(16), star_packing(&generators::complete(16), 0), vec![1usize, 2, 3]),
-        (
-            "circ(18,4)",
-            generators::circulant(18, 4),
-            greedy_low_depth_packing(&generators::circulant(18, 4), 0, 9, 2),
-            vec![1usize],
-        ),
+    println!("{}", RunReport::table_header());
+    let cases: [(&str, Graph, usize, Vec<usize>); 2] = [
+        ("K16", generators::complete(16), 16, vec![1, 2, 3]),
+        ("circ(18,4)", generators::circulant(18, 4), 9, vec![1]),
     ];
-    for (name, g, packing, fs) in &cases {
-        for &f in fs.iter() {
-            let expected = run_fault_free(&mut LeaderElection::new(g.clone()));
-            let compiler = MobileByzantineCompiler::new(packing.clone(), f, 7);
-            let mut net = byz_net(g.clone(), f, 100 + f as u64);
-            let (out, rep) = compiler.run(&mut LeaderElection::new(g.clone()), &mut net);
-            println!(
-                "{:>12} {:>4} {:>9} {:>10} {:>10} {:>9.1}",
-                name,
+    for (name, g, k, fs) in &cases {
+        for &f in fs {
+            let report = byz_scenario(
+                g,
                 f,
-                out == expected,
-                rep.payload_rounds,
-                rep.network_rounds,
-                rep.overhead()
+                100 + f as u64,
+                TreePackingAdapter::new(f, 7).with_trees(*k),
+                |g| LeaderElection::new(g.clone()),
             );
+            println!("{}   [{name}]", report.table_row());
         }
     }
 }
@@ -243,133 +288,97 @@ fn e7_tree_compiler() {
 /// E8 — Theorem 1.6: clique compiler scaling with n (f = Θ(n)).
 fn e8_clique_scaling() {
     header("E8", "CONGESTED CLIQUE compiler, f = Θ(n) (Thm 1.6)");
-    println!("{:>6} {:>4} {:>9} {:>10} {:>9}", "n", "f", "correct", "network r", "overhead");
+    println!("{}", RunReport::table_header());
     for &n in &[12usize, 16, 24, 32] {
         let g = generators::complete(n);
-        let f = CliqueCompiler::max_tolerable_f(n).max(1);
+        let f = mobile_congest::compilers::resilient::CliqueCompiler::max_tolerable_f(n).max(1);
         let tokens: Vec<u64> = (0..n as u64).collect();
-        let expected = run_fault_free(&mut TokenDissemination::new(g.clone(), tokens.clone(), n));
-        let compiler = CliqueCompiler::new(&g, f, 7);
-        let mut net = byz_net(g.clone(), f, n as u64);
-        let (out, rep) = compiler.run(&mut TokenDissemination::new(g.clone(), tokens, n), &mut net);
-        println!(
-            "{:>6} {:>4} {:>9} {:>10} {:>9.1}",
-            n,
-            f,
-            out == expected,
-            rep.network_rounds,
-            rep.overhead()
-        );
+        let report = byz_scenario(&g, f, n as u64, CliqueAdapter::new(f, 7), move |g| {
+            TokenDissemination::new(g.clone(), tokens.clone(), g.node_count())
+        });
+        println!("{}   [n={n}]", report.table_row());
     }
 }
 
 /// E9 — Theorem 1.7 / Lemma 3.10: expander weak packings and compiler.
 fn e9_expander() {
     header("E9", "expander compiler (Thm 1.7 / Lemma 3.10)");
-    println!(
-        "{:>6} {:>6} {:>8} {:>4} {:>10} {:>9} {:>9}",
-        "n", "deg", "phi", "f", "good/k", "correct", "overhead"
-    );
+    println!("{}", RunReport::table_header());
     for &(n, d, k) in &[(40usize, 20usize, 5usize), (48, 24, 6), (56, 28, 7)] {
         let mut rng = ChaCha8Rng::seed_from_u64(n as u64);
         let g = generators::random_regular(&mut rng, n, d);
         let phi = sweep_conductance(&g, 150).unwrap_or(0.0);
-        let f = 1;
-        let expected = run_fault_free(&mut LeaderElection::new(g.clone()));
-        let mut net = byz_net(g.clone(), f, 77 + n as u64);
-        let (out, rep) = mobile_congest::compilers::resilient::run_expander_compiled(
-            &mut LeaderElection::new(g.clone()),
-            &mut net,
-            f,
-            k,
-            6,
-            13,
+        let report = byz_scenario(
+            &g,
+            1,
+            77 + n as u64,
+            ExpanderAdapter::new(1, k, 6, 13),
+            |g| LeaderElection::new(g.clone()),
         );
-        println!(
-            "{:>6} {:>6} {:>8.3} {:>4} {:>10} {:>9} {:>9.1}",
-            n,
-            d,
-            phi,
-            f,
-            format!("{}/{}", rep.packing.good_trees, rep.packing.k),
-            out == expected,
-            rep.compilation.overhead()
-        );
+        println!("{}   [n={n} deg={d} phi={phi:.3}]", report.table_row());
     }
 }
 
 /// E10 — Theorem 1.4: cycle-cover compiler (dilation/congestion growth with f).
 fn e10_cycle_cover() {
     header("E10", "FT-cycle-cover compiler (Thm 1.4 / 5.5)");
-    println!(
-        "{:>12} {:>4} {:>6} {:>6} {:>8} {:>9} {:>10}",
-        "graph", "f", "dil", "cong", "colors", "correct", "network r"
-    );
-    for &(name, ref g, f) in &[
+    println!("{}", RunReport::table_header());
+    for (name, g, f) in [
         ("circ(9,2)", generators::circulant(9, 2), 1usize),
         ("circ(11,3)", generators::circulant(11, 3), 2),
         ("K8", generators::complete(8), 1),
     ] {
-        let Some(compiler) = CycleCoverCompiler::new(g, f) else {
-            println!("{:>12} {:>4}  insufficient connectivity", name, f);
-            continue;
-        };
-        let expected = run_fault_free(&mut FloodBroadcast::new(g.clone(), 0, 3));
-        let mut net = Network::new(
-            g.clone(),
-            AdversaryRole::Byzantine,
-            Box::new(RandomMobile::new(f, 5).with_mode(CorruptionMode::Constant(9))),
-            CorruptionBudget::Mobile { f },
-            5,
-        );
-        let (out, rep) = compiler.run(&mut FloodBroadcast::new(g.clone(), 0, 3), &mut net);
-        println!(
-            "{:>12} {:>4} {:>6} {:>6} {:>8} {:>9} {:>10}",
-            name,
-            f,
-            rep.dilation,
-            rep.congestion,
-            rep.colors,
-            out == expected,
-            rep.network_rounds
-        );
+        let pg = g.clone();
+        let outcome = Scenario::on(g.clone())
+            .payload(move || FloodBroadcast::new(pg.clone(), 0, 3))
+            .adversary(
+                AdversaryRole::Byzantine,
+                RandomMobile::new(f, 5).with_mode(CorruptionMode::Constant(9)),
+                CorruptionBudget::Mobile { f },
+            )
+            .seed(5)
+            .compiled_with(CycleCoverAdapter::new(f))
+            .run();
+        match outcome {
+            Ok(report) => println!("{}   [{name}]", report.table_row()),
+            Err(e) => println!("{name}: {e}"),
+        }
     }
 }
 
 /// E11 — Theorem 4.1: rewind compiler against bursty round-error-rate adversaries.
 fn e11_rewind() {
     header("E11", "round-error-rate rewind compiler (Thm 4.1)");
-    println!(
-        "{:>6} {:>8} {:>10} {:>9} {:>9} {:>10}",
-        "n", "budget", "committed", "rewinds", "correct", "network r"
-    );
+    println!("{}", RunReport::table_header());
     for &(n, quiet, burst, per) in &[(12usize, 40usize, 4usize, 10usize), (14, 25, 6, 12)] {
         let g = generators::complete(n);
-        let expected = run_fault_free(&mut LeaderElection::new(g.clone()));
-        let compiler = RewindCompiler::new(star_packing(&g, 0), 1, 5);
         let budget = 150;
-        let mut net = Network::new(
-            g.clone(),
-            AdversaryRole::Byzantine,
-            Box::new(BurstAdversary::new(quiet, burst, per, 7)),
-            CorruptionBudget::RoundErrorRate { total: budget },
-            7,
-        );
-        let (out, rep) = compiler.run(|| LeaderElection::new(g.clone()), &mut net);
-        println!(
-            "{:>6} {:>8} {:>10} {:>9} {:>9} {:>10}",
-            n, budget, rep.committed_rounds, rep.rewinds, out == expected, rep.network_rounds
-        );
+        let pg = g.clone();
+        let report = Scenario::on(g.clone())
+            .payload(move || LeaderElection::new(pg.clone()))
+            .adversary(
+                AdversaryRole::Byzantine,
+                BurstAdversary::new(quiet, burst, per, 7),
+                CorruptionBudget::RoundErrorRate { total: budget },
+            )
+            .seed(7)
+            .compiled_with(RewindAdapter::new(1, 5))
+            .run()
+            .expect("rewind scenario failed");
+        println!("{}   [n={n}, budget={budget}]", report.table_row());
     }
 }
 
 /// E12 — Lemma 3.8: geometric decay of mismatches in the ℓ0 correction.
 fn e12_mismatch_decay() {
-    header("E12", "mismatch decay of the l0-threshold correction (Lemma 3.8)");
+    header(
+        "E12",
+        "mismatch decay of the l0-threshold correction (Lemma 3.8)",
+    );
     let g = generators::complete(20);
     let packing = star_packing(&g, 0);
     for &f in &[1usize, 2] {
-        let mut net = byz_net(g.clone(), f, 31 + f as u64);
+        let mut net = primitive_net(&g, AdversaryRole::Byzantine, f, 31 + f as u64);
         let mut sent = Traffic::new(&g);
         for v in g.nodes() {
             for &(u, _) in g.neighbors(v) {
@@ -382,7 +391,7 @@ fn e12_mismatch_decay() {
     }
     // The sparse-majority variant for comparison (single-shot).
     for &f in &[1usize, 2, 3] {
-        let mut net = byz_net(g.clone(), f, 51 + f as u64);
+        let mut net = primitive_net(&g, AdversaryRole::Byzantine, f, 51 + f as u64);
         let mut sent = Traffic::new(&g);
         for v in g.nodes() {
             for &(u, _) in g.neighbors(v) {
@@ -404,14 +413,25 @@ fn e13_sketches() {
     let support: Vec<u64> = (1..=10).collect();
     let counts = mobile_congest::sketch::l0::empirical_sample_counts(&support, 3000, 9);
     let total: usize = counts.values().sum();
-    let min = support.iter().map(|e| *counts.get(e).unwrap_or(&0)).min().unwrap();
-    let max = support.iter().map(|e| *counts.get(e).unwrap_or(&0)).max().unwrap();
+    let min = support
+        .iter()
+        .map(|e| *counts.get(e).unwrap_or(&0))
+        .min()
+        .unwrap();
+    let max = support
+        .iter()
+        .map(|e| *counts.get(e).unwrap_or(&0))
+        .max()
+        .unwrap();
     println!("l0 sampler over 10 elements, 3000 trials: success={total}, min bucket={min}, max bucket={max}");
     let mut sr = SparseRecovery::new(SketchRandomness::from_seed(3), 16);
     for e in 0..12u64 {
         sr.update(e * 7 + 1, (e as i64) - 5);
     }
-    println!("sparse recovery of 12-element stream decodes exactly: {}", sr.decode().is_some());
+    println!(
+        "sparse recovery of 12-element stream decodes exactly: {}",
+        sr.decode().is_some()
+    );
     let mut l0 = L0Sampler::new(SketchRandomness::from_seed(4));
     l0.update(42, 1);
     println!("singleton recovery: {:?}", l0.query());
@@ -425,7 +445,7 @@ fn e14_scheduler() {
         let g = generators::complete(n);
         let packing = star_packing(&g, 0);
         let eta = packing.load(&g);
-        let mut net = byz_net(g.clone(), f, 7 + n as u64);
+        let mut net = primitive_net(&g, AdversaryRole::Byzantine, f, 7 + n as u64);
         let report = RsScheduler.run_family(&mut net, &packing, 10);
         println!(
             "{:>6} {:>4} {:>10} {:>10}",
@@ -437,42 +457,64 @@ fn e14_scheduler() {
     }
 }
 
-/// E15 — who wins: uncompiled vs static-style baseline vs mobile compiler.
+/// E15 — who wins: uncompiled vs repetition baseline vs mobile compiler.
 fn e15_baselines() {
-    header("E15", "baseline comparison under a mobile byzantine adversary");
-    println!("{:>6} {:>4} {:>12} {:>12} {:>12}", "n", "f", "uncompiled", "repetition", "compiled");
+    header(
+        "E15",
+        "baseline comparison under a mobile byzantine adversary",
+    );
+    println!(
+        "{:>6} {:>4} {:>12} {:>12} {:>12}",
+        "n", "f", "uncompiled", "repetition", "compiled"
+    );
     for &(n, f) in &[(16usize, 2usize), (20, 2)] {
         let g = generators::complete(n);
-        let payload = |val: u64| FloodBroadcast::new(g.clone(), 0, val);
-        let expected = run_fault_free(&mut payload(777));
         // The adversary fabricates plausible-looking broadcast values on the
         // edges it controls — the attack the compilers are designed to defeat.
-        let adversary = |_seed: u64| {
-            Box::new(GreedyHeaviest::new(f).with_mode(CorruptionMode::Constant(424242)))
-                as Box<dyn mobile_congest::sim::AdversaryStrategy>
+        let run_cell = |seed: u64, compiler: Box<dyn Compiler>| {
+            let pg = g.clone();
+            Scenario::on(g.clone())
+                .payload_boxed(move || {
+                    Box::new(FloodBroadcast::new(pg.clone(), 0, 777)) as BoxedAlgorithm
+                })
+                .adversary(
+                    AdversaryRole::Byzantine,
+                    GreedyHeaviest::new(f).with_mode(CorruptionMode::Constant(424242)),
+                    CorruptionBudget::Mobile { f },
+                )
+                .seed(seed)
+                .compiled_with_boxed(compiler)
+                .run()
+                .expect("baseline cell failed validation")
         };
         // Uncompiled.
-        let mut net1 = Network::new(g.clone(), AdversaryRole::Byzantine, adversary(1), CorruptionBudget::Mobile { f }, 1);
-        let un = run_on_network(&mut payload(777), &mut net1) == expected;
+        let uncompiled = run_cell(1, Box::new(Uncompiled));
+        let expected = uncompiled.fault_free.clone().unwrap();
         // Naive repetition baseline: run the algorithm 3 times and majority-vote outputs.
-        let mut rep_outputs = Vec::new();
-        for s in 0..3u64 {
-            let mut netr = Network::new(g.clone(), AdversaryRole::Byzantine, adversary(s), CorruptionBudget::Mobile { f }, s);
-            rep_outputs.push(run_on_network(&mut payload(777), &mut netr));
-        }
+        let rep_outputs: Vec<_> = (0..3u64)
+            .map(|s| run_cell(s, Box::new(Uncompiled)).outputs)
+            .collect();
         let repetition = (0..g.node_count())
             .map(|v| {
                 let vals: Vec<_> = rep_outputs.iter().map(|o| o[v].clone()).collect();
-                if vals[0] == vals[1] || vals[0] == vals[2] { vals[0].clone() } else { vals[1].clone() }
+                if vals[0] == vals[1] || vals[0] == vals[2] {
+                    vals[0].clone()
+                } else {
+                    vals[1].clone()
+                }
             })
             .collect::<Vec<_>>()
             == expected;
         // Mobile compiler.
-        let compiler = CliqueCompiler::new(&g, f, 9);
-        let mut net3 = Network::new(g.clone(), AdversaryRole::Byzantine, adversary(3), CorruptionBudget::Mobile { f }, 3);
-        let (out, _) = compiler.run(&mut payload(777), &mut net3);
-        let compiled = out == expected;
-        println!("{:>6} {:>4} {:>12} {:>12} {:>12}", n, f, un, repetition, compiled);
+        let compiled = run_cell(3, Box::new(CliqueAdapter::new(f, 9)));
+        println!(
+            "{:>6} {:>4} {:>12} {:>12} {:>12}",
+            n,
+            f,
+            uncompiled.agrees_with_fault_free() == Some(true),
+            repetition,
+            compiled.agrees_with_fault_free() == Some(true)
+        );
     }
 }
 
@@ -493,5 +535,8 @@ fn main() {
     e13_sketches();
     e14_scheduler();
     e15_baselines();
-    println!("\ntotal experiment time: {:.1}s", t0.elapsed().as_secs_f64());
+    println!(
+        "\ntotal experiment time: {:.1}s",
+        t0.elapsed().as_secs_f64()
+    );
 }

@@ -95,7 +95,7 @@ impl CongestAlgorithm for BfsTreeAlgorithm {
             let mut best: Option<(u64, NodeId)> = None;
             for (from, payload) in inbox.inbox_of(&self.graph, v) {
                 if let Some(&d) = payload.first() {
-                    if best.map_or(true, |(bd, bf)| d < bd || (d == bd && from < bf)) {
+                    if best.is_none_or(|(bd, bf)| d < bd || (d == bd && from < bf)) {
                         best = Some((d, from));
                     }
                 }
@@ -185,7 +185,10 @@ impl ConvergecastSum {
 
     /// The correct total.
     pub fn expected_total(&self) -> u64 {
-        self.inputs.iter().copied().fold(0u64, |a, b| a.wrapping_add(b))
+        self.inputs
+            .iter()
+            .copied()
+            .fold(0u64, |a, b| a.wrapping_add(b))
     }
 
     /// Expected output for every node.
@@ -249,7 +252,10 @@ impl CongestAlgorithm for ConvergecastSum {
             // Phase 3: broadcast the total down the tree.
             if self.total[self.root].is_none() {
                 let children = self.children_of(self.root);
-                if children.iter().all(|c| self.received_from[self.root].contains(c)) {
+                if children
+                    .iter()
+                    .all(|c| self.received_from[self.root].contains(c))
+                {
                     self.total[self.root] = Some(self.subtotal[self.root]);
                 }
             }
@@ -271,12 +277,10 @@ impl CongestAlgorithm for ConvergecastSum {
         for v in self.graph.nodes() {
             for (from, payload) in inbox.inbox_of(&self.graph, v) {
                 match payload.first() {
-                    Some(&TAG_BFS) => {
-                        if self.depth[v].is_none() {
-                            if let Some(&d) = payload.get(1) {
-                                self.depth[v] = Some(d + 1);
-                                self.parent[v] = Some(from);
-                            }
+                    Some(&TAG_BFS) if self.depth[v].is_none() => {
+                        if let Some(&d) = payload.get(1) {
+                            self.depth[v] = Some(d + 1);
+                            self.parent[v] = Some(from);
                         }
                     }
                     Some(&TAG_UP) => {
@@ -287,11 +291,9 @@ impl CongestAlgorithm for ConvergecastSum {
                             }
                         }
                     }
-                    Some(&TAG_TOTAL) => {
-                        if self.total[v].is_none() {
-                            if let Some(&val) = payload.get(1) {
-                                self.total[v] = Some(val);
-                            }
+                    Some(&TAG_TOTAL) if self.total[v].is_none() => {
+                        if let Some(&val) = payload.get(1) {
+                            self.total[v] = Some(val);
                         }
                     }
                     _ => {}
@@ -320,7 +322,11 @@ mod tests {
 
     #[test]
     fn bfs_depths_match_reference() {
-        for g in [generators::grid(3, 3), generators::cycle(9), generators::hypercube(4)] {
+        for g in [
+            generators::grid(3, 3),
+            generators::cycle(9),
+            generators::hypercube(4),
+        ] {
             let mut alg = BfsTreeAlgorithm::new(g.clone(), 0);
             let expected = alg.expected_depths();
             let out = run_fault_free(&mut alg);

@@ -228,7 +228,12 @@ mod tests {
         ] {
             let mut alg = LeaderElection::new(g.clone());
             let out = run_fault_free(&mut alg);
-            assert_eq!(out, alg.expected_outputs(), "graph with {} nodes", g.node_count());
+            assert_eq!(
+                out,
+                alg.expected_outputs(),
+                "graph with {} nodes",
+                g.node_count()
+            );
         }
     }
 

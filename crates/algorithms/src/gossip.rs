@@ -174,7 +174,10 @@ impl RandomizedColoring {
 
     /// Fraction of nodes that decided a colour.
     pub fn decided_fraction(outputs: &[Output]) -> f64 {
-        let decided = outputs.iter().filter(|o| o.first().copied().unwrap_or(0) != 0).count();
+        let decided = outputs
+            .iter()
+            .filter(|o| o.first().copied().unwrap_or(0) != 0)
+            .count();
         decided as f64 / outputs.len().max(1) as f64
     }
 }
@@ -246,7 +249,11 @@ mod tests {
 
     #[test]
     fn dissemination_on_cycle_and_clique() {
-        for g in [generators::cycle(7), generators::complete(6), generators::grid(2, 4)] {
+        for g in [
+            generators::cycle(7),
+            generators::complete(6),
+            generators::grid(2, 4),
+        ] {
             let n = g.node_count();
             let tokens: Vec<u64> = (0..n as u64).map(|v| 1000 + v).collect();
             let mut alg = TokenDissemination::new(g, tokens, 2);

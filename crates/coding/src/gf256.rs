@@ -56,6 +56,7 @@ impl std::fmt::Display for Gf256 {
     }
 }
 
+#[allow(clippy::suspicious_arithmetic_impl)]
 impl Add for Gf256 {
     type Output = Self;
     fn add(self, rhs: Self) -> Self {
@@ -63,6 +64,7 @@ impl Add for Gf256 {
     }
 }
 
+#[allow(clippy::suspicious_arithmetic_impl)]
 impl Sub for Gf256 {
     type Output = Self;
     fn sub(self, rhs: Self) -> Self {

@@ -58,6 +58,7 @@ impl std::fmt::Display for Gf2_16 {
     }
 }
 
+#[allow(clippy::suspicious_arithmetic_impl)]
 impl Add for Gf2_16 {
     type Output = Self;
     fn add(self, rhs: Self) -> Self {
@@ -65,6 +66,7 @@ impl Add for Gf2_16 {
     }
 }
 
+#[allow(clippy::suspicious_arithmetic_impl)]
 impl Sub for Gf2_16 {
     type Output = Self;
     fn sub(self, rhs: Self) -> Self {

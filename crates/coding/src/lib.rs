@@ -31,6 +31,9 @@
 //! assert_eq!(decoded, msg);
 //! ```
 
+// Index-based loops mirror the matrix/polynomial notation of the paper.
+#![allow(clippy::needless_range_loop)]
+
 pub mod field;
 pub mod fp;
 pub mod gf256;

@@ -164,7 +164,10 @@ mod tests {
         let m = Vandermonde::<F>::new(5, 3).unwrap();
         assert!(matches!(
             m.apply(&[F::ZERO; 4]),
-            Err(CodingError::LengthMismatch { expected: 5, got: 4 })
+            Err(CodingError::LengthMismatch {
+                expected: 5,
+                got: 4
+            })
         ));
     }
 
@@ -208,7 +211,10 @@ mod tests {
             let out = (keys[0].to_u64(), keys[1].to_u64());
             let inp = (h0.to_u64(), h2.to_u64());
             if let Some(prev) = seen.insert(out, inp) {
-                assert_eq!(prev, inp, "two distinct hidden inputs collided on the same keys");
+                assert_eq!(
+                    prev, inp,
+                    "two distinct hidden inputs collided on the same keys"
+                );
             }
         }
     }

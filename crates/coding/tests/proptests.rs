@@ -3,7 +3,7 @@
 //! hashing determinism.
 
 use coding::field::{lagrange_interpolate, poly_eval, Field};
-use coding::{BitExtractor, Fp61, Gf2_16, Gf256, KWiseHash, ReedSolomon, TranscriptHash};
+use coding::{BitExtractor, Fp61, Gf256, Gf2_16, KWiseHash, ReedSolomon, TranscriptHash};
 use proptest::prelude::*;
 
 fn gf16(x: u64) -> Gf2_16 {

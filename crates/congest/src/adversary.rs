@@ -80,7 +80,11 @@ pub enum CorruptionMode {
 
 impl CorruptionMode {
     /// Apply the corruption to an optional payload.
-    pub fn apply<R: Rng + ?Sized>(&self, original: Option<&Payload>, rng: &mut R) -> Option<Payload> {
+    pub fn apply<R: Rng + ?Sized>(
+        &self,
+        original: Option<&Payload>,
+        rng: &mut R,
+    ) -> Option<Payload> {
         match self {
             CorruptionMode::ReplaceRandom => {
                 let len = original.map(|p| p.len().max(1)).unwrap_or(1);
@@ -437,10 +441,15 @@ mod tests {
             CorruptionMode::Constant(9).apply(Some(&orig), &mut rng),
             Some(vec![9, 9])
         );
-        let r = CorruptionMode::ReplaceRandom.apply(Some(&orig), &mut rng).unwrap();
+        let r = CorruptionMode::ReplaceRandom
+            .apply(Some(&orig), &mut rng)
+            .unwrap();
         assert_eq!(r.len(), 2);
         // Empty original still yields a (non-empty) fabricated message.
-        assert_eq!(CorruptionMode::Constant(3).apply(None, &mut rng), Some(vec![3]));
+        assert_eq!(
+            CorruptionMode::Constant(3).apply(None, &mut rng),
+            Some(vec![3])
+        );
     }
 
     #[test]

@@ -44,6 +44,27 @@ pub trait CongestAlgorithm {
     }
 }
 
+impl<T: CongestAlgorithm + ?Sized> CongestAlgorithm for Box<T> {
+    fn name(&self) -> String {
+        (**self).name()
+    }
+    fn rounds(&self) -> usize {
+        (**self).rounds()
+    }
+    fn send(&mut self, round: usize) -> Traffic {
+        (**self).send(round)
+    }
+    fn receive(&mut self, round: usize, inbox: &Traffic) {
+        (**self).receive(round, inbox)
+    }
+    fn outputs(&self) -> Vec<Output> {
+        (**self).outputs()
+    }
+    fn congestion_bound(&self) -> Option<usize> {
+        (**self).congestion_bound()
+    }
+}
+
 /// Run an algorithm in the fault-free setting (no network, no adversary):
 /// every round's messages are delivered verbatim.  Returns the outputs.
 pub fn run_fault_free<A: CongestAlgorithm + ?Sized>(alg: &mut A) -> Vec<Output> {

@@ -40,10 +40,12 @@ pub mod adversary;
 pub mod algorithm;
 pub mod metrics;
 pub mod network;
+pub mod scenario;
 pub mod traffic;
 
 pub use adversary::{AdversaryRole, AdversaryStrategy, CorruptionBudget, CorruptionMode};
 pub use algorithm::{run_fault_free, run_on_network, CongestAlgorithm};
 pub use metrics::Metrics;
 pub use network::{Network, ViewEntry, ViewLog};
+pub use scenario::{Compiler, CompilerKind, RunReport, Scenario, ScenarioError};
 pub use traffic::{Output, Payload, Traffic};

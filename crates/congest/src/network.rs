@@ -144,6 +144,11 @@ impl Network {
         &self.graph
     }
 
+    /// The adversary's role (eavesdropper or byzantine).
+    pub fn role(&self) -> AdversaryRole {
+        self.role
+    }
+
     /// Metrics accumulated so far.
     pub fn metrics(&self) -> &Metrics {
         &self.metrics
@@ -182,9 +187,7 @@ impl Network {
             .record_exchange(&self.graph, &outgoing, self.bandwidth_words);
 
         // 1. Let the strategy pick edges, then clamp to the budget.
-        let wanted = self
-            .strategy
-            .choose_edges(round, &self.graph, &outgoing);
+        let wanted = self.strategy.choose_edges(round, &self.graph, &outgoing);
         let cap = self.budget.round_cap(self.budget_spent);
         let mut controlled: Vec<EdgeId> = Vec::new();
         for e in wanted {

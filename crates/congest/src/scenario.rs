@@ -1,0 +1,1094 @@
+//! The unified `Scenario` execution API: one typed pipeline for
+//! graph × payload × adversary × compiler.
+//!
+//! Every experiment in this reproduction answers the same question — *run
+//! payload `P` on graph `G` under adversary `A` through compiler `C`; did the
+//! output survive, and at what cost?*  Before this module, each call site
+//! hand-wired a [`Network`], a per-compiler entry point and an ad-hoc results
+//! table.  A [`Scenario`] expresses the whole pipeline fluently:
+//!
+//! ```
+//! use congest_sim::scenario::{Scenario, Uncompiled};
+//! use congest_sim::adversary::{AdversaryRole, CorruptionBudget, RandomMobile};
+//! use netgraph::generators;
+//!
+//! let report = Scenario::on(generators::complete(8))
+//!     .payload(|| congest_sim::scenario::doctest_payload(generators::complete(8)))
+//!     .adversary(
+//!         AdversaryRole::Byzantine,
+//!         RandomMobile::new(1, 7),
+//!         CorruptionBudget::Mobile { f: 1 },
+//!     )
+//!     .seed(7)
+//!     .compiled_with(Uncompiled)
+//!     .run()
+//!     .unwrap();
+//! assert_eq!(report.payload_rounds, 1);
+//! ```
+//!
+//! The pieces:
+//!
+//! * [`Compiler`] — the object-safe interface every compiler implements
+//!   (thin adapters in `mobile-congest-core` wrap the paper's seven
+//!   compilers; [`Uncompiled`] and [`FaultFree`] live here);
+//! * [`ScenarioBuilder`] — fluent configuration, validated when
+//!   [`ScenarioBuilder::build`] (or `run`) is called: an eavesdropper paired
+//!   with a resilience compiler is a typed [`ScenarioError`], not a silent
+//!   misrun;
+//! * [`RunReport`] — outputs plus round/bandwidth/corruption metrics, the
+//!   eavesdropper's [`ViewLog`] and the fault-free-agreement verdict;
+//! * [`matrix`] — sweeps graph-family × adversary-strategy × compiler grids
+//!   in one call.
+
+use crate::adversary::{AdversaryRole, AdversaryStrategy, CorruptionBudget, NoAdversary};
+use crate::algorithm::{run_fault_free, run_on_network, CongestAlgorithm};
+use crate::metrics::Metrics;
+use crate::network::{Network, ViewLog};
+use crate::traffic::Output;
+use netgraph::Graph;
+
+/// A payload algorithm behind a uniform pointer type.
+pub type BoxedAlgorithm = Box<dyn CongestAlgorithm>;
+
+/// A factory producing fresh payload instances (compilers that rewind or
+/// compare against a fault-free reference need more than one).
+pub type PayloadFactory = Box<dyn Fn() -> BoxedAlgorithm>;
+
+/// Everything that can go wrong when configuring or executing a scenario.
+///
+/// This enum unifies what used to be scattered panics (`CliqueCompiler::new`
+/// on a non-clique), `Option` returns (`CycleCoverCompiler::new`) and silent
+/// misconfigurations (running a secrecy compiler under a byzantine adversary).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ScenarioError {
+    /// The graph has no nodes.
+    EmptyGraph,
+    /// No payload factory was supplied.
+    MissingPayload,
+    /// The compiler does not defend against this adversary role (e.g. a
+    /// resilience compiler under an eavesdropper, or a secrecy compiler under
+    /// a byzantine adversary).
+    RoleMismatch {
+        /// The compiler's display name.
+        compiler: String,
+        /// What the compiler defends against.
+        kind: CompilerKind,
+        /// The configured role.
+        role: AdversaryRole,
+    },
+    /// The compiler cannot run on this graph (wrong family, too sparse, …).
+    UnsupportedGraph {
+        /// The compiler's display name.
+        compiler: String,
+        /// Human-readable explanation.
+        reason: String,
+    },
+    /// The graph's edge connectivity is below what the compiler requires.
+    InsufficientConnectivity {
+        /// The compiler's display name.
+        compiler: String,
+        /// Required edge connectivity.
+        needed: usize,
+        /// Actual edge connectivity.
+        found: usize,
+    },
+    /// The compiler needs a replayable payload (a factory), but was invoked
+    /// through the single-instance [`Compiler::compile`] entry point.
+    ReplayRequired {
+        /// The compiler's display name.
+        compiler: String,
+    },
+    /// A parameter combination the compiler rejects.
+    InvalidParameter {
+        /// The compiler's display name.
+        compiler: String,
+        /// Human-readable explanation.
+        reason: String,
+    },
+    /// The compiled execution ran but did not complete its contract (e.g. the
+    /// rewind compiler ran out of global rounds before committing every
+    /// payload round).
+    IncompleteRun {
+        /// The compiler's display name.
+        compiler: String,
+        /// Human-readable explanation.
+        detail: String,
+    },
+}
+
+impl core::fmt::Display for ScenarioError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            ScenarioError::EmptyGraph => write!(f, "the scenario graph has no nodes"),
+            ScenarioError::MissingPayload => write!(f, "no payload algorithm was configured"),
+            ScenarioError::RoleMismatch {
+                compiler,
+                kind,
+                role,
+            } => write!(
+                f,
+                "compiler `{compiler}` ({kind:?}) does not defend against a {role:?} adversary"
+            ),
+            ScenarioError::UnsupportedGraph { compiler, reason } => {
+                write!(f, "compiler `{compiler}` cannot run on this graph: {reason}")
+            }
+            ScenarioError::InsufficientConnectivity {
+                compiler,
+                needed,
+                found,
+            } => write!(
+                f,
+                "compiler `{compiler}` needs edge connectivity >= {needed}, graph has {found}"
+            ),
+            ScenarioError::ReplayRequired { compiler } => write!(
+                f,
+                "compiler `{compiler}` must be driven through a payload factory (compile_replayable)"
+            ),
+            ScenarioError::InvalidParameter { compiler, reason } => {
+                write!(f, "compiler `{compiler}` rejected its parameters: {reason}")
+            }
+            ScenarioError::IncompleteRun { compiler, detail } => {
+                write!(f, "compiler `{compiler}` did not complete: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ScenarioError {}
+
+/// What a compiler defends against; drives role validation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CompilerKind {
+    /// No defence at all — the baseline the paper's compilers are measured
+    /// against ([`Uncompiled`]).
+    Baseline,
+    /// Ignores the network entirely ([`FaultFree`] reference runs).
+    Reference,
+    /// Correctness against byzantine edge corruption (Theorems 1.4–1.7, 3.5).
+    Resilient,
+    /// Correctness against a bounded round-error *rate* (Theorem 4.1).
+    RateResilient,
+    /// Secrecy against eavesdropping (Theorems 1.2, 1.3, A.4).
+    Secure,
+}
+
+impl CompilerKind {
+    /// Whether a compiler of this kind is meaningful under the given role.
+    pub fn supports(self, role: AdversaryRole) -> bool {
+        match self {
+            CompilerKind::Baseline | CompilerKind::Reference => true,
+            CompilerKind::Resilient | CompilerKind::RateResilient => {
+                role == AdversaryRole::Byzantine
+            }
+            CompilerKind::Secure => role == AdversaryRole::Eavesdropper,
+        }
+    }
+}
+
+/// The uniform compiler interface of the scenario pipeline.
+///
+/// A compiler takes an arbitrary round-by-round CONGEST algorithm and
+/// simulates it on the (adversarial) network, returning the payload outputs.
+/// Implementations are cheap parameter holders; anything derived from the
+/// graph (packings, covers, key pools) is built inside `compile` from
+/// `net.graph()`, so one compiler value can serve a whole scenario matrix.
+pub trait Compiler {
+    /// Display name for reports and error messages.
+    fn name(&self) -> String;
+
+    /// What the compiler defends against.
+    fn kind(&self) -> CompilerKind;
+
+    /// Compile and execute `payload` on `net`.
+    ///
+    /// Implementations re-check the adversary role against [`Network::role`],
+    /// but full graph validation runs once in [`Compiler::validate`] (the
+    /// `Scenario` pipeline calls it at build time).  When invoking a compiler
+    /// directly, call `validate(net.graph(), net.role())` first to get the
+    /// typed graph errors.
+    fn compile(
+        &self,
+        payload: BoxedAlgorithm,
+        net: &mut Network,
+    ) -> Result<Vec<Output>, ScenarioError>;
+
+    /// Compile and execute with access to fresh payload instances.  Compilers
+    /// that re-simulate from a committed prefix (the rewind compiler)
+    /// override this; the default forwards one instance to
+    /// [`Compiler::compile`].
+    fn compile_replayable(
+        &self,
+        make: &dyn Fn() -> BoxedAlgorithm,
+        net: &mut Network,
+    ) -> Result<Vec<Output>, ScenarioError> {
+        self.compile(make(), net)
+    }
+
+    /// Check the configuration before anything runs.  Overrides should call
+    /// [`validate_role`] (or repeat its check) in addition to their own
+    /// graph/parameter validation.
+    fn validate(&self, graph: &Graph, role: AdversaryRole) -> Result<(), ScenarioError> {
+        let _ = graph;
+        validate_role(self, role)
+    }
+}
+
+/// The role check every compiler shares: its [`CompilerKind`] must support
+/// the configured adversary role.
+pub fn validate_role<C: Compiler + ?Sized>(
+    compiler: &C,
+    role: AdversaryRole,
+) -> Result<(), ScenarioError> {
+    if compiler.kind().supports(role) {
+        Ok(())
+    } else {
+        Err(ScenarioError::RoleMismatch {
+            compiler: compiler.name(),
+            kind: compiler.kind(),
+            role,
+        })
+    }
+}
+
+/// The no-defence baseline: each payload round is one network round
+/// (wraps [`run_on_network`]).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Uncompiled;
+
+impl Compiler for Uncompiled {
+    fn name(&self) -> String {
+        "uncompiled".into()
+    }
+    fn kind(&self) -> CompilerKind {
+        CompilerKind::Baseline
+    }
+    fn compile(
+        &self,
+        mut payload: BoxedAlgorithm,
+        net: &mut Network,
+    ) -> Result<Vec<Output>, ScenarioError> {
+        Ok(run_on_network(&mut *payload, net))
+    }
+}
+
+/// The fault-free reference: messages are delivered verbatim without touching
+/// the network (wraps [`run_fault_free`]).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FaultFree;
+
+impl Compiler for FaultFree {
+    fn name(&self) -> String {
+        "fault-free".into()
+    }
+    fn kind(&self) -> CompilerKind {
+        CompilerKind::Reference
+    }
+    fn compile(
+        &self,
+        mut payload: BoxedAlgorithm,
+        _net: &mut Network,
+    ) -> Result<Vec<Output>, ScenarioError> {
+        Ok(run_fault_free(&mut *payload))
+    }
+}
+
+/// Entry point of the fluent pipeline; see the module docs.
+pub struct Scenario;
+
+impl Scenario {
+    /// Start configuring a scenario on `graph`.
+    pub fn on(graph: Graph) -> ScenarioBuilder {
+        ScenarioBuilder {
+            graph,
+            payload: None,
+            role: AdversaryRole::Byzantine,
+            strategy: None,
+            budget: CorruptionBudget::None,
+            seed: 0,
+            compiler: None,
+            bandwidth_words: None,
+            check_fault_free: true,
+        }
+    }
+}
+
+/// Fluent configuration for one scenario run.
+pub struct ScenarioBuilder {
+    graph: Graph,
+    payload: Option<PayloadFactory>,
+    role: AdversaryRole,
+    strategy: Option<Box<dyn AdversaryStrategy>>,
+    budget: CorruptionBudget,
+    seed: u64,
+    compiler: Option<Box<dyn Compiler>>,
+    bandwidth_words: Option<usize>,
+    check_fault_free: bool,
+}
+
+impl ScenarioBuilder {
+    /// The payload algorithm, supplied as a factory of fresh instances.
+    pub fn payload<A, F>(mut self, make: F) -> Self
+    where
+        A: CongestAlgorithm + 'static,
+        F: Fn() -> A + 'static,
+    {
+        self.payload = Some(Box::new(move || Box::new(make()) as BoxedAlgorithm));
+        self
+    }
+
+    /// The payload as a pre-boxed factory (used by generic drivers such as
+    /// [`matrix::sweep`]).
+    pub fn payload_boxed<F>(mut self, make: F) -> Self
+    where
+        F: Fn() -> BoxedAlgorithm + 'static,
+    {
+        self.payload = Some(Box::new(make));
+        self
+    }
+
+    /// The adversary: role (eavesdropper / byzantine), strategy and budget.
+    pub fn adversary<S>(self, role: AdversaryRole, strategy: S, budget: CorruptionBudget) -> Self
+    where
+        S: AdversaryStrategy + 'static,
+    {
+        self.adversary_boxed(role, Box::new(strategy), budget)
+    }
+
+    /// [`ScenarioBuilder::adversary`] with a pre-boxed strategy.
+    pub fn adversary_boxed(
+        mut self,
+        role: AdversaryRole,
+        strategy: Box<dyn AdversaryStrategy>,
+        budget: CorruptionBudget,
+    ) -> Self {
+        self.role = role;
+        self.strategy = Some(strategy);
+        self.budget = budget;
+        self
+    }
+
+    /// Seed for the run's randomness (adversary fabrication and, by
+    /// convention, node-private randomness derived via [`Network::node_rng`]).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// The compiler to protect the payload with (default: [`Uncompiled`]).
+    pub fn compiled_with<C: Compiler + 'static>(self, compiler: C) -> Self {
+        self.compiled_with_boxed(Box::new(compiler))
+    }
+
+    /// [`ScenarioBuilder::compiled_with`] with a pre-boxed compiler.
+    pub fn compiled_with_boxed(mut self, compiler: Box<dyn Compiler>) -> Self {
+        self.compiler = Some(compiler);
+        self
+    }
+
+    /// Words per bandwidth-normalised round (see
+    /// [`Network::set_bandwidth_words`]).
+    pub fn bandwidth_words(mut self, words: usize) -> Self {
+        self.bandwidth_words = Some(words);
+        self
+    }
+
+    /// Whether to also run the payload fault-free and record agreement in the
+    /// report (default: on).  Disable for very expensive payloads.
+    pub fn check_against_fault_free(mut self, check: bool) -> Self {
+        self.check_fault_free = check;
+        self
+    }
+
+    /// Validate the configuration into a runnable [`BuiltScenario`].
+    ///
+    /// All *configuration* errors surface here (missing payload, role /
+    /// compiler mismatch, unsupported graph), so an invalid grid cell fails
+    /// before any round executes.
+    pub fn build(self) -> Result<BuiltScenario, ScenarioError> {
+        if self.graph.node_count() == 0 {
+            return Err(ScenarioError::EmptyGraph);
+        }
+        let payload = self.payload.ok_or(ScenarioError::MissingPayload)?;
+        let compiler = self
+            .compiler
+            .unwrap_or_else(|| Box::new(Uncompiled) as Box<dyn Compiler>);
+        compiler.validate(&self.graph, self.role)?;
+        Ok(BuiltScenario {
+            graph: self.graph,
+            payload,
+            role: self.role,
+            strategy: self.strategy.unwrap_or_else(|| Box::new(NoAdversary)),
+            budget: self.budget,
+            seed: self.seed,
+            compiler,
+            bandwidth_words: self.bandwidth_words,
+            check_fault_free: self.check_fault_free,
+        })
+    }
+
+    /// Validate and execute in one call.
+    pub fn run(self) -> Result<RunReport, ScenarioError> {
+        self.build()?.run()
+    }
+
+    /// Validate the adversary configuration and hand back the bare
+    /// [`Network`], for primitives that are not round-by-round payload
+    /// algorithms (secure unicast/broadcast, the RS scheduler).  The payload
+    /// and compiler fields are ignored.
+    pub fn network(self) -> Result<Network, ScenarioError> {
+        if self.graph.node_count() == 0 {
+            return Err(ScenarioError::EmptyGraph);
+        }
+        let mut net = Network::new(
+            self.graph,
+            self.role,
+            self.strategy.unwrap_or_else(|| Box::new(NoAdversary)),
+            self.budget,
+            self.seed,
+        );
+        if let Some(words) = self.bandwidth_words {
+            net.set_bandwidth_words(words);
+        }
+        Ok(net)
+    }
+}
+
+/// A validated scenario, ready to execute once.
+pub struct BuiltScenario {
+    graph: Graph,
+    payload: PayloadFactory,
+    role: AdversaryRole,
+    strategy: Box<dyn AdversaryStrategy>,
+    budget: CorruptionBudget,
+    seed: u64,
+    compiler: Box<dyn Compiler>,
+    bandwidth_words: Option<usize>,
+    check_fault_free: bool,
+}
+
+impl BuiltScenario {
+    /// Execute the scenario and gather the [`RunReport`].
+    pub fn run(self) -> Result<RunReport, ScenarioError> {
+        // The probe instance doubles as the fault-free reference run, so a
+        // scenario costs at most one payload construction beyond the
+        // compiled execution itself.
+        let mut probe = (self.payload)();
+        let payload_name = probe.name();
+        let payload_rounds = probe.rounds();
+        // A Reference-kind compiler *is* the fault-free run; don't pay for it
+        // twice — its outputs are recorded as the reference below.
+        let is_reference = self.compiler.kind() == CompilerKind::Reference;
+        let fault_free = if self.check_fault_free && !is_reference {
+            Some(run_fault_free(&mut *probe))
+        } else {
+            None
+        };
+        drop(probe);
+
+        let mut net = Network::new(
+            self.graph,
+            self.role,
+            self.strategy,
+            self.budget.clone(),
+            self.seed,
+        );
+        if let Some(words) = self.bandwidth_words {
+            net.set_bandwidth_words(words);
+        }
+        let adversary = net.adversary_name();
+        let outputs = self.compiler.compile_replayable(&self.payload, &mut net)?;
+        let fault_free = if self.check_fault_free && is_reference {
+            Some(outputs.clone())
+        } else {
+            fault_free
+        };
+
+        Ok(RunReport {
+            payload: payload_name,
+            compiler: self.compiler.name(),
+            compiler_kind: self.compiler.kind(),
+            adversary,
+            role: self.role,
+            budget: self.budget,
+            seed: self.seed,
+            payload_rounds,
+            network_rounds: net.round(),
+            outputs,
+            fault_free,
+            metrics: net.metrics().clone(),
+            view: net.view_log().clone(),
+        })
+    }
+}
+
+/// Everything a scenario run produced, replacing the ad-hoc `println!`
+/// tables of the old experiment harness.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Payload display name.
+    pub payload: String,
+    /// Compiler display name.
+    pub compiler: String,
+    /// What the compiler defends against (drives e.g. the baseline exemption
+    /// in matrix verdicts).
+    pub compiler_kind: CompilerKind,
+    /// Adversary strategy display name.
+    pub adversary: String,
+    /// The adversary's role.
+    pub role: AdversaryRole,
+    /// The adversary's budget.
+    pub budget: CorruptionBudget,
+    /// The run seed.
+    pub seed: u64,
+    /// Rounds of the (uncompiled) payload.
+    pub payload_rounds: usize,
+    /// Network rounds the compiled execution consumed.
+    pub network_rounds: usize,
+    /// Per-node payload outputs.
+    pub outputs: Vec<Output>,
+    /// The fault-free reference outputs, when requested.
+    pub fault_free: Option<Vec<Output>>,
+    /// Round / message / bandwidth / corruption counters.
+    pub metrics: Metrics,
+    /// What the eavesdropper saw (empty for byzantine roles).
+    pub view: ViewLog,
+}
+
+impl RunReport {
+    /// Whether the outputs equal the fault-free reference (`None` when the
+    /// reference run was disabled).
+    pub fn agrees_with_fault_free(&self) -> Option<bool> {
+        self.fault_free.as_ref().map(|ff| ff == &self.outputs)
+    }
+
+    /// Network rounds per payload round.
+    pub fn overhead(&self) -> f64 {
+        self.network_rounds as f64 / self.payload_rounds.max(1) as f64
+    }
+
+    /// Whether any plaintext word from `secrets` appears verbatim in the
+    /// adversary's recorded view (the operational leak check of the security
+    /// experiments).
+    pub fn view_contains_any(&self, secrets: &[u64]) -> bool {
+        self.view.entries.iter().any(|entry| {
+            [&entry.forward, &entry.backward].into_iter().any(|side| {
+                side.as_ref()
+                    .is_some_and(|p| p.iter().any(|w| secrets.contains(w)))
+            })
+        })
+    }
+
+    /// Header row matching [`RunReport::table_row`].
+    pub fn table_header() -> String {
+        format!(
+            "{:<22} {:<20} {:<22} {:>7} {:>9} {:>9} {:>10} {:>8}",
+            "payload",
+            "compiler",
+            "adversary",
+            "rounds",
+            "net rnds",
+            "overhead",
+            "corrupted",
+            "agrees"
+        )
+    }
+
+    /// One formatted results row (experiment tables).
+    pub fn table_row(&self) -> String {
+        format!(
+            "{:<22} {:<20} {:<22} {:>7} {:>9} {:>9.1} {:>10} {:>8}",
+            self.payload,
+            self.compiler,
+            self.adversary,
+            self.payload_rounds,
+            self.network_rounds,
+            self.overhead(),
+            self.metrics.corrupted_edge_rounds,
+            match self.agrees_with_fault_free() {
+                Some(true) => "yes",
+                Some(false) => "NO",
+                None => "-",
+            }
+        )
+    }
+}
+
+impl core::fmt::Display for RunReport {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "{} via {} under {} ({:?}): {} payload rounds -> {} network rounds ({:.1}x), {}",
+            self.payload,
+            self.compiler,
+            self.adversary,
+            self.role,
+            self.payload_rounds,
+            self.network_rounds,
+            self.overhead(),
+            match self.agrees_with_fault_free() {
+                Some(true) => "matches fault-free",
+                Some(false) => "DIVERGES from fault-free",
+                None => "agreement unchecked",
+            }
+        )
+    }
+}
+
+/// A 1-round doctest/demo payload: every node sends its id to all neighbours
+/// and outputs the sorted ids it received.
+pub fn doctest_payload(graph: Graph) -> impl CongestAlgorithm {
+    struct ExchangeIds {
+        graph: Graph,
+        received: Vec<Vec<u64>>,
+    }
+    impl CongestAlgorithm for ExchangeIds {
+        fn name(&self) -> String {
+            "exchange-ids".into()
+        }
+        fn rounds(&self) -> usize {
+            1
+        }
+        fn send(&mut self, _round: usize) -> crate::traffic::Traffic {
+            let mut t = crate::traffic::Traffic::new(&self.graph);
+            for v in self.graph.nodes() {
+                for &(u, _) in self.graph.neighbors(v) {
+                    t.send(&self.graph, v, u, vec![v as u64]);
+                }
+            }
+            t
+        }
+        fn receive(&mut self, _round: usize, inbox: &crate::traffic::Traffic) {
+            for v in self.graph.nodes() {
+                for (_, payload) in inbox.inbox_of(&self.graph, v) {
+                    self.received[v].push(payload[0]);
+                }
+                self.received[v].sort_unstable();
+            }
+        }
+        fn outputs(&self) -> Vec<Output> {
+            self.received.clone()
+        }
+    }
+    let n = graph.node_count();
+    ExchangeIds {
+        graph,
+        received: vec![Vec::new(); n],
+    }
+}
+
+pub mod matrix {
+    //! Grid sweeps: every graph family × adversary strategy × compiler in one
+    //! call, with incompatible cells recorded as typed skips instead of
+    //! panics.
+
+    use super::{BoxedAlgorithm, Compiler, RunReport, Scenario, ScenarioError};
+    use crate::adversary::{AdversaryRole, AdversaryStrategy, CorruptionBudget};
+    use netgraph::Graph;
+
+    /// A named graph in the sweep.
+    pub struct GraphSpec {
+        /// Display name (e.g. `"K16"`).
+        pub name: String,
+        /// The graph itself.
+        pub graph: Graph,
+    }
+
+    impl GraphSpec {
+        /// A named graph.
+        pub fn new(name: impl Into<String>, graph: Graph) -> Self {
+            GraphSpec {
+                name: name.into(),
+                graph,
+            }
+        }
+    }
+
+    /// A named adversary configuration in the sweep.
+    pub struct AdversarySpec {
+        /// Display name (e.g. `"random-mobile"`).
+        pub name: String,
+        /// Eavesdropper or byzantine.
+        pub role: AdversaryRole,
+        /// The corruption budget.
+        pub budget: CorruptionBudget,
+        make: Box<dyn Fn(u64) -> Box<dyn AdversaryStrategy>>,
+    }
+
+    impl AdversarySpec {
+        /// A named adversary; `make` receives the cell seed so strategies
+        /// with internal randomness stay reproducible per cell.
+        pub fn new(
+            name: impl Into<String>,
+            role: AdversaryRole,
+            budget: CorruptionBudget,
+            make: impl Fn(u64) -> Box<dyn AdversaryStrategy> + 'static,
+        ) -> Self {
+            AdversarySpec {
+                name: name.into(),
+                role,
+                budget,
+                make: Box::new(make),
+            }
+        }
+    }
+
+    /// A named compiler in the sweep (a factory, so each cell gets a fresh
+    /// boxed instance).
+    pub struct CompilerSpec {
+        /// Display name.
+        pub name: String,
+        make: Box<dyn Fn() -> Box<dyn Compiler>>,
+    }
+
+    impl CompilerSpec {
+        /// A named compiler factory.
+        pub fn new(
+            name: impl Into<String>,
+            make: impl Fn() -> Box<dyn Compiler> + 'static,
+        ) -> Self {
+            CompilerSpec {
+                name: name.into(),
+                make: Box::new(make),
+            }
+        }
+
+        /// Shorthand for compilers that are `Clone`.
+        pub fn of<C: Compiler + Clone + 'static>(compiler: C) -> Self {
+            let name = compiler.name();
+            CompilerSpec::new(name, move || Box::new(compiler.clone()))
+        }
+    }
+
+    /// One cell of the sweep.
+    pub struct MatrixCell {
+        /// Graph name.
+        pub graph: String,
+        /// Adversary name.
+        pub adversary: String,
+        /// Compiler name.
+        pub compiler: String,
+        /// The run report, or the typed reason the cell could not run.
+        pub outcome: Result<RunReport, ScenarioError>,
+    }
+
+    impl MatrixCell {
+        /// Whether the cell was skipped because the configuration is
+        /// *structurally* incompatible (role mismatch, unsupported graph,
+        /// per-graph parameter rejection) as opposed to having failed at
+        /// runtime.
+        pub fn skipped(&self) -> bool {
+            matches!(
+                self.outcome,
+                Err(ScenarioError::RoleMismatch { .. })
+                    | Err(ScenarioError::UnsupportedGraph { .. })
+                    | Err(ScenarioError::InsufficientConnectivity { .. })
+                    | Err(ScenarioError::InvalidParameter { .. })
+            )
+        }
+    }
+
+    /// All cells of a sweep.
+    pub struct MatrixReport {
+        /// Cells in graph-major, adversary-second, compiler-minor order.
+        pub cells: Vec<MatrixCell>,
+    }
+
+    impl MatrixReport {
+        /// Cells that executed (successfully or not) rather than being
+        /// skipped by validation.
+        pub fn executed(&self) -> impl Iterator<Item = &MatrixCell> {
+            self.cells.iter().filter(|c| !c.skipped())
+        }
+
+        /// Number of validation-skipped cells.
+        pub fn skipped_count(&self) -> usize {
+            self.cells.iter().filter(|c| c.skipped()).count()
+        }
+
+        /// Whether every executed cell produced outputs that agree with the
+        /// fault-free reference.  Baseline-kind compilers are exempt — an
+        /// uncompiled run is *supposed* to be corruptible.
+        pub fn all_protected_cells_agree(&self) -> bool {
+            self.executed().all(|cell| match &cell.outcome {
+                Ok(report) => {
+                    report.compiler_kind == super::CompilerKind::Baseline
+                        || report.agrees_with_fault_free() != Some(false)
+                }
+                Err(_) => false,
+            })
+        }
+
+        /// A formatted results table (one row per cell).
+        pub fn to_table(&self) -> String {
+            let mut out = String::new();
+            out.push_str(&format!(
+                "{:<12} {:<22} {:<20} {:>9} {:>9} {:>8}\n",
+                "graph", "adversary", "compiler", "net rnds", "overhead", "agrees"
+            ));
+            for cell in &self.cells {
+                match &cell.outcome {
+                    Ok(report) => out.push_str(&format!(
+                        "{:<12} {:<22} {:<20} {:>9} {:>9.1} {:>8}\n",
+                        cell.graph,
+                        cell.adversary,
+                        cell.compiler,
+                        report.network_rounds,
+                        report.overhead(),
+                        match report.agrees_with_fault_free() {
+                            Some(true) => "yes",
+                            Some(false) => "NO",
+                            None => "-",
+                        }
+                    )),
+                    Err(e) if cell.skipped() => out.push_str(&format!(
+                        "{:<12} {:<22} {:<20} skipped: {}\n",
+                        cell.graph, cell.adversary, cell.compiler, e
+                    )),
+                    Err(e) => out.push_str(&format!(
+                        "{:<12} {:<22} {:<20} FAILED: {}\n",
+                        cell.graph, cell.adversary, cell.compiler, e
+                    )),
+                }
+            }
+            out
+        }
+    }
+
+    /// Mix a stable per-cell seed out of the base seed and cell coordinates.
+    fn cell_seed(base: u64, gi: usize, ai: usize, ci: usize) -> u64 {
+        let mut h = base ^ 0x9E37_79B9_7F4A_7C15;
+        for x in [gi as u64, ai as u64, ci as u64] {
+            h ^= x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            h = h.rotate_left(23).wrapping_mul(0xD6E8_FEB8_6659_FD93);
+        }
+        h
+    }
+
+    /// Run `payload` through every graph × adversary × compiler combination.
+    ///
+    /// `payload` receives the cell's graph and must return a fresh boxed
+    /// instance every call.  Cells whose configuration fails validation are
+    /// recorded as skipped, not errors — a sweep mixing secrecy and
+    /// resilience compilers across both roles is the intended usage.
+    pub fn sweep<P>(
+        graphs: &[GraphSpec],
+        adversaries: &[AdversarySpec],
+        compilers: &[CompilerSpec],
+        payload: P,
+        base_seed: u64,
+    ) -> MatrixReport
+    where
+        P: Fn(&Graph) -> BoxedAlgorithm + Clone + 'static,
+    {
+        let mut cells = Vec::with_capacity(graphs.len() * adversaries.len() * compilers.len());
+        for (gi, gspec) in graphs.iter().enumerate() {
+            for (ai, aspec) in adversaries.iter().enumerate() {
+                for (ci, cspec) in compilers.iter().enumerate() {
+                    let seed = cell_seed(base_seed, gi, ai, ci);
+                    let graph = gspec.graph.clone();
+                    let payload_graph = gspec.graph.clone();
+                    let make_payload = payload.clone();
+                    let outcome = Scenario::on(graph)
+                        .payload_boxed(move || make_payload(&payload_graph))
+                        .adversary_boxed(aspec.role, (aspec.make)(seed), aspec.budget.clone())
+                        .seed(seed)
+                        .compiled_with_boxed((cspec.make)())
+                        .run();
+                    cells.push(MatrixCell {
+                        graph: gspec.name.clone(),
+                        adversary: aspec.name.clone(),
+                        compiler: cspec.name.clone(),
+                        outcome,
+                    });
+                }
+            }
+        }
+        MatrixReport { cells }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adversary::{CorruptionMode, FixedEdges, RandomMobile};
+    use netgraph::generators;
+
+    fn exchange(graph: &Graph) -> impl CongestAlgorithm {
+        doctest_payload(graph.clone())
+    }
+
+    #[test]
+    fn missing_payload_is_a_typed_error() {
+        let err = Scenario::on(generators::cycle(4)).run().unwrap_err();
+        assert_eq!(err, ScenarioError::MissingPayload);
+    }
+
+    #[test]
+    fn empty_graph_is_a_typed_error() {
+        let g = Graph::new(0);
+        let err = Scenario::on(g.clone())
+            .payload(move || doctest_payload(g.clone()))
+            .run()
+            .unwrap_err();
+        assert_eq!(err, ScenarioError::EmptyGraph);
+    }
+
+    #[test]
+    fn default_compiler_is_the_uncompiled_baseline() {
+        let g = generators::cycle(5);
+        let gg = g.clone();
+        let report = Scenario::on(g.clone())
+            .payload(move || exchange(&gg))
+            .run()
+            .unwrap();
+        assert_eq!(report.compiler, "uncompiled");
+        assert_eq!(report.agrees_with_fault_free(), Some(true));
+        assert_eq!(report.network_rounds, 1);
+    }
+
+    #[test]
+    fn fault_free_compiler_never_touches_the_network() {
+        let g = generators::cycle(5);
+        let target = g.edge_between(0, 1).unwrap();
+        let gg = g.clone();
+        let report = Scenario::on(g)
+            .payload(move || exchange(&gg))
+            .adversary(
+                AdversaryRole::Byzantine,
+                FixedEdges::new(vec![target]).with_mode(CorruptionMode::Constant(99)),
+                CorruptionBudget::Static(vec![target]),
+            )
+            .compiled_with(FaultFree)
+            .run()
+            .unwrap();
+        assert_eq!(report.network_rounds, 0);
+        assert_eq!(report.metrics.corrupted_messages, 0);
+        assert_eq!(report.agrees_with_fault_free(), Some(true));
+    }
+
+    #[test]
+    fn eavesdropper_view_is_captured_in_the_report() {
+        let g = generators::path(3);
+        let e01 = g.edge_between(0, 1).unwrap();
+        let gg = g.clone();
+        let report = Scenario::on(g)
+            .payload(move || exchange(&gg))
+            .adversary(
+                AdversaryRole::Eavesdropper,
+                FixedEdges::new(vec![e01]),
+                CorruptionBudget::Static(vec![e01]),
+            )
+            .run()
+            .unwrap();
+        assert_eq!(report.view.len(), 1);
+        assert!(report.view_contains_any(&[0]));
+        assert_eq!(report.agrees_with_fault_free(), Some(true));
+    }
+
+    #[test]
+    fn kind_role_compatibility() {
+        use AdversaryRole::*;
+        assert!(CompilerKind::Baseline.supports(Byzantine));
+        assert!(CompilerKind::Baseline.supports(Eavesdropper));
+        assert!(CompilerKind::Resilient.supports(Byzantine));
+        assert!(!CompilerKind::Resilient.supports(Eavesdropper));
+        assert!(!CompilerKind::Secure.supports(Byzantine));
+        assert!(CompilerKind::Secure.supports(Eavesdropper));
+        assert!(!CompilerKind::RateResilient.supports(Eavesdropper));
+    }
+
+    #[test]
+    fn network_builder_validates_and_configures() {
+        let g = generators::cycle(6);
+        let mut net = Scenario::on(g)
+            .adversary(
+                AdversaryRole::Byzantine,
+                RandomMobile::new(1, 3),
+                CorruptionBudget::Mobile { f: 1 },
+            )
+            .seed(3)
+            .network()
+            .unwrap();
+        net.idle_rounds(2);
+        assert_eq!(net.round(), 2);
+        assert!(Scenario::on(Graph::new(0)).network().is_err());
+    }
+
+    #[test]
+    fn report_table_row_is_well_formed() {
+        let g = generators::cycle(4);
+        let gg = g.clone();
+        let report = Scenario::on(g)
+            .payload(move || exchange(&gg))
+            .adversary(
+                AdversaryRole::Byzantine,
+                RandomMobile::new(1, 1),
+                CorruptionBudget::Mobile { f: 1 },
+            )
+            .run()
+            .unwrap();
+        assert!(!RunReport::table_header().is_empty());
+        assert!(report.table_row().contains("uncompiled"));
+        assert!(!format!("{report}").is_empty());
+    }
+
+    #[test]
+    fn matrix_sweep_covers_the_grid_and_skips_mismatches() {
+        use matrix::{sweep, AdversarySpec, CompilerSpec, GraphSpec};
+        let graphs = vec![
+            GraphSpec::new("cycle6", generators::cycle(6)),
+            GraphSpec::new("K5", generators::complete(5)),
+        ];
+        let adversaries = vec![
+            AdversarySpec::new(
+                "random-mobile",
+                AdversaryRole::Byzantine,
+                CorruptionBudget::Mobile { f: 1 },
+                |seed| Box::new(RandomMobile::new(1, seed)),
+            ),
+            AdversarySpec::new(
+                "eavesdropper",
+                AdversaryRole::Eavesdropper,
+                CorruptionBudget::Mobile { f: 1 },
+                |seed| Box::new(RandomMobile::new(1, seed)),
+            ),
+        ];
+        // A dummy "secure" compiler that just runs uncompiled, to exercise
+        // role-based skipping without the core adapters.
+        #[derive(Clone)]
+        struct SecureShim;
+        impl Compiler for SecureShim {
+            fn name(&self) -> String {
+                "secure-shim".into()
+            }
+            fn kind(&self) -> CompilerKind {
+                CompilerKind::Secure
+            }
+            fn compile(
+                &self,
+                payload: BoxedAlgorithm,
+                net: &mut Network,
+            ) -> Result<Vec<Output>, ScenarioError> {
+                Uncompiled.compile(payload, net)
+            }
+        }
+        let compilers = vec![CompilerSpec::of(FaultFree), CompilerSpec::of(SecureShim)];
+        let report = sweep(
+            &graphs,
+            &adversaries,
+            &compilers,
+            |g| Box::new(doctest_payload(g.clone())) as BoxedAlgorithm,
+            42,
+        );
+        assert_eq!(report.cells.len(), 2 * 2 * 2);
+        // The secure shim is skipped under the byzantine adversary on every graph.
+        assert_eq!(report.skipped_count(), 2);
+        assert!(report
+            .cells
+            .iter()
+            .filter(|c| c.skipped())
+            .all(|c| matches!(c.outcome, Err(ScenarioError::RoleMismatch { .. }))));
+        assert!(report.all_protected_cells_agree());
+        assert!(report.to_table().contains("skipped"));
+    }
+}

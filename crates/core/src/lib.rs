@@ -45,6 +45,12 @@
 //! assert!(report.fully_corrected);
 //! ```
 
+pub mod adapters;
 pub mod rate;
 pub mod resilient;
 pub mod secure;
+
+pub use adapters::{
+    CliqueAdapter, CongestionSensitiveAdapter, CycleCoverAdapter, ExpanderAdapter, RewindAdapter,
+    StaticToMobileAdapter, TreePackingAdapter,
+};

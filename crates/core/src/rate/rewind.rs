@@ -140,7 +140,8 @@ impl RewindCompiler {
 
             // Phase C: rewind-if-error — verify the whole committed prefix plus
             // the new round, with the verdict aggregated over the packing's trees.
-            let honest_good = corrected.agrees_with(&intended) && prefix_consistent(&committed, &make_alg);
+            let honest_good =
+                corrected.agrees_with(&intended) && prefix_consistent(&committed, &make_alg);
             let sched = RsScheduler.run_family(net, &self.packing, dtp + 2);
             let verdict_trustworthy = 2 * sched.success_count() > self.packing.len();
             let good_state = if verdict_trustworthy {
@@ -258,7 +259,11 @@ mod tests {
         );
         let expected = run_fault_free(&mut FloodBroadcast::new(g.clone(), 0, 7));
         let (out, report) = compiler.run(|| FloodBroadcast::new(g.clone(), 0, 7), &mut net);
-        assert!(report.completed, "progress trace: {:?}", report.progress_trace);
+        assert!(
+            report.completed,
+            "progress trace: {:?}",
+            report.progress_trace
+        );
         assert_eq!(out, expected);
         assert!(report.committed_rounds >= r);
     }
@@ -290,7 +295,10 @@ mod tests {
         let mut net = Network::fault_free(g.clone());
         let (_, report) = compiler.run(|| LeaderElection::new(g.clone()), &mut net);
         for w in report.progress_trace.windows(2) {
-            assert!(w[1] + 1 >= w[0], "progress may drop by at most 1 per global round");
+            assert!(
+                w[1] + 1 >= w[0],
+                "progress may drop by at most 1 per global round"
+            );
         }
     }
 }

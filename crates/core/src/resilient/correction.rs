@@ -76,14 +76,20 @@ pub fn unpack_element(element: u64) -> (ArcId, u64, u64) {
 /// may contain arbitrary adversarial garbage; their words are truncated to the
 /// 40-bit content lane, which is sound because negative records are only used
 /// to *remove* a receiver's word at a given index, never to set a value.
-fn stream_message<F: FnMut(u64, i64)>(arc: ArcId, payload: Option<&Vec<u64>>, sign: i64, f: &mut F) {
+fn stream_message<F: FnMut(u64, i64)>(
+    arc: ArcId,
+    payload: Option<&Vec<u64>>,
+    sign: i64,
+    f: &mut F,
+) {
     if let Some(words) = payload {
         let len = (words.len() as u64).min(LEN_INDEX - 1);
         // Words are tracked modulo 2^40 (the content lane of the packed element).
         // Honest CONGEST payloads are O(log n)-bit and fit exactly; adversarial
         // garbage — or payload state already poisoned by an earlier failed
         // correction — is truncated rather than crashing the run.
-        let pack = |idx: u64, value: u64| pack_element(arc, idx.min(LEN_INDEX), value & MAX_WORD_VALUE);
+        let pack =
+            |idx: u64, value: u64| pack_element(arc, idx.min(LEN_INDEX), value & MAX_WORD_VALUE);
         f(pack(LEN_INDEX, len), sign);
         for (i, &w) in words.iter().enumerate().take(MAX_WORDS) {
             f(pack(i as u64, w), sign);
@@ -235,7 +241,11 @@ pub fn sparse_majority_correction(
         .map(|_| {
             let arc = fake_rng.gen_range(0..g.arc_count().max(1)) as ArcId;
             (
-                pack_element(arc.min((1 << 16) - 1), 0, fake_rng.gen::<u64>() & MAX_WORD_VALUE),
+                pack_element(
+                    arc.min((1 << 16) - 1),
+                    0,
+                    fake_rng.gen::<u64>() & MAX_WORD_VALUE,
+                ),
                 1,
             )
         })
@@ -353,7 +363,8 @@ pub fn l0_threshold_correction(
         }
         // Per-tree fault-free result: t independent ℓ0 samples of the current
         // mismatch multiset.
-        let randomness = SketchRandomness::from_seed(seed ^ ((j as u64) << 32) ^ net.round() as u64);
+        let randomness =
+            SketchRandomness::from_seed(seed ^ ((j as u64) << 32) ^ net.round() as u64);
         let mut bank = L0SamplerBank::new(randomness, t);
         for (&el, &fq) in &truth {
             bank.update(el, fq);
@@ -368,7 +379,9 @@ pub fn l0_threshold_correction(
         // samples (re-drawn per tree via derived randomness), failed trees all
         // vote for the same fabricated mismatch (the worst case for thresholds).
         let fake_element = pack_element(
-            fake_rng.gen_range(0..g.arc_count().max(1)).min((1 << 16) - 1),
+            fake_rng
+                .gen_range(0..g.arc_count().max(1))
+                .min((1 << 16) - 1),
             0,
             fake_rng.gen::<u64>() & MAX_WORD_VALUE,
         );
@@ -412,8 +425,12 @@ pub fn l0_threshold_correction(
                 .collect();
             let bcast_packing = spanning_subset(packing, &g);
             for attempt in 0..2 {
-                let (per_node, bcast) =
-                    ecc_safe_broadcast(net, &bcast_packing, &words, seed ^ (j as u64) ^ (attempt << 8));
+                let (per_node, bcast) = ecc_safe_broadcast(
+                    net,
+                    &bcast_packing,
+                    &words,
+                    seed ^ (j as u64) ^ (attempt << 8),
+                );
                 if let Some(decoded) = &per_node[0] {
                     let mut corrections = BTreeMap::new();
                     for pair in decoded.chunks(2) {
@@ -499,7 +516,10 @@ mod tests {
         assert!(!truth.is_empty());
         assert_eq!(mismatched_arc_count(&g, &sent, &received), 3);
         let corrected = apply_corrections(&g, &received, &truth);
-        assert!(corrected.agrees_with(&sent), "full truth must fully correct");
+        assert!(
+            corrected.agrees_with(&sent),
+            "full truth must fully correct"
+        );
         assert_eq!(mismatched_arc_count(&g, &sent, &corrected), 0);
     }
 
@@ -566,8 +586,7 @@ mod tests {
             }
         }
         let received = net.exchange(sent.clone());
-        let (_, report) =
-            l0_threshold_correction(&mut net, &packing, &sent, &received, f, 8, 17);
+        let (_, report) = l0_threshold_correction(&mut net, &packing, &sent, &received, f, 8, 17);
         assert!(
             report.mismatches_after <= report.mismatches_before,
             "decay: {:?}",

@@ -47,11 +47,7 @@ impl CycleCoverCompiler {
     pub fn new(g: &Graph, f: usize) -> Option<Self> {
         let cover = FtCycleCover::build(g, 2 * f + 1)?;
         let coloring = cover.good_coloring(g);
-        Some(CycleCoverCompiler {
-            cover,
-            coloring,
-            f,
-        })
+        Some(CycleCoverCompiler { cover, coloring, f })
     }
 
     /// The underlying cover.
@@ -70,7 +66,13 @@ impl CycleCoverCompiler {
         let r = alg.rounds();
         let dilation = self.cover.dilation().max(1);
         let window = 2 * self.f * dilation + dilation + 1;
-        let num_colors = self.coloring.values().copied().max().map(|c| c + 1).unwrap_or(0);
+        let num_colors = self
+            .coloring
+            .values()
+            .copied()
+            .max()
+            .map(|c| c + 1)
+            .unwrap_or(0);
 
         for round in 0..r {
             let sent = alg.send(round);

@@ -193,10 +193,12 @@ mod tests {
 
     #[test]
     fn fault_free_weak_packing_is_mostly_good() {
+        // Per-colour average degree d/k must stay well above the connectivity
+        // threshold of a random subgraph (~ln n) for every class to span.
         let g = expander(40, 16, 1);
         let mut net = Network::fault_free(g.clone());
-        let (packing, report) = weak_packing_under_attack(&mut net, 4, 8, 3);
-        assert_eq!(packing.len(), 4);
+        let (packing, report) = weak_packing_under_attack(&mut net, 2, 10, 3);
+        assert_eq!(packing.len(), 2);
         assert!(
             report.good_trees * 10 >= 9 * report.k,
             "only {}/{} trees good",
@@ -215,7 +217,7 @@ mod tests {
         let g = expander(56, 42, 2);
         let f = 1;
         let mut net = byz_net(g.clone(), f, 5);
-        let (packing, report) = weak_packing_under_attack(&mut net, 10, 6, 7);
+        let (packing, report) = weak_packing_under_attack(&mut net, 5, 8, 7);
         assert!(
             report.good_trees * 2 > packing.len(),
             "majority of colour trees must survive: {}/{}",

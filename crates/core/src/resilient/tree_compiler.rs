@@ -162,6 +162,12 @@ impl CliqueCompiler {
         }
     }
 
+    /// Select the correction variant (default: sparse majority).
+    pub fn with_variant(mut self, variant: CorrectionVariant) -> Self {
+        self.inner = self.inner.with_variant(variant);
+        self
+    }
+
     /// The largest `f` for which the clique compiler's majority argument is
     /// guaranteed at clique size `n` with the crate's scheduler constants:
     /// the star packing has `k = n`, `η = 2`, and a majority of instances must
@@ -223,8 +229,10 @@ mod tests {
         let expected = run_fault_free(&mut TokenDissemination::new(g.clone(), tokens.clone(), 12));
         let compiler = CliqueCompiler::new(&g, f, 3);
         let mut net = byz_net(g.clone(), f, 5);
-        let (out, report) =
-            compiler.run(&mut TokenDissemination::new(g.clone(), tokens, 12), &mut net);
+        let (out, report) = compiler.run(
+            &mut TokenDissemination::new(g.clone(), tokens, 12),
+            &mut net,
+        );
         assert_eq!(out, expected);
         assert!(report.fully_corrected);
     }

@@ -57,7 +57,10 @@ impl KeyPool {
         t: usize,
     ) -> Self {
         assert!(rounds > 0, "need at least one protected round");
-        assert!(words_per_message > 0, "messages must have at least one word");
+        assert!(
+            words_per_message > 0,
+            "messages must have at least one word"
+        );
         let g = net.graph().clone();
         let chunks_per_round = words_per_message * CHUNKS_PER_WORD;
         let exchange_rounds = rounds + t;

@@ -140,7 +140,10 @@ mod tests {
         let mut net = eaves_net(g.clone(), 2, 7);
         let (out, report) = compiler.run(&mut FloodBroadcast::new(g.clone(), 0, 321), &mut net);
         assert_eq!(out, expected);
-        assert_eq!(report.simulation_rounds, FloodBroadcast::new(g, 0, 321).rounds());
+        assert_eq!(
+            report.simulation_rounds,
+            FloodBroadcast::new(g, 0, 321).rounds()
+        );
         assert_eq!(net.round(), report.key_rounds + report.simulation_rounds);
     }
 
@@ -193,7 +196,7 @@ mod tests {
         // Observe edge 0 only during phase 2 (never in phase 1): the key of edge 0
         // is then perfectly hidden and its ciphertext is a fresh pad.
         let mut schedule = vec![vec![]; key_rounds];
-        schedule.extend(std::iter::repeat(vec![0usize]).take(r));
+        schedule.extend(std::iter::repeat_n(vec![0usize], r));
         let make_net = |seed: u64| {
             Network::new(
                 g.clone(),

@@ -259,7 +259,11 @@ mod tests {
 
     #[test]
     fn unicast_delivers_the_secret() {
-        for g in [generators::cycle(8), generators::complete(6), generators::grid(3, 3)] {
+        for g in [
+            generators::cycle(8),
+            generators::complete(6),
+            generators::grid(3, 3),
+        ] {
             let mut net = eaves_net(g.clone(), 2, 3);
             let report = mobile_secure_unicast(&mut net, 0, g.node_count() - 1, 0xFEED_FACE, 7);
             assert_eq!(report.recovered[0], Some(0xFEED_FACE));
@@ -280,7 +284,11 @@ mod tests {
         assert_eq!(report.recovered[0], Some(99));
         // Pad exchange (1 per edge per direction = 2 per edge) + at most one
         // share message per edge.
-        assert!(report.congestion <= 3, "congestion {} too high", report.congestion);
+        assert!(
+            report.congestion <= 3,
+            "congestion {} too high",
+            report.congestion
+        );
     }
 
     #[test]
@@ -320,7 +328,7 @@ mod tests {
         let g = generators::cycle(6);
         // Observe one fixed edge in every round *after* the pad exchange.
         let schedule: Vec<Vec<usize>> = std::iter::once(vec![])
-            .chain(std::iter::repeat(vec![0usize]).take(12))
+            .chain(std::iter::repeat_n(vec![0usize], 12))
             .collect();
         let secret = 0xDEAD_BEEF_u64;
         let mut net = Network::new(
@@ -333,10 +341,8 @@ mod tests {
         let report = mobile_secure_unicast(&mut net, 0, 3, secret, 5);
         assert_eq!(report.recovered[0], Some(secret));
         for entry in &net.view_log().entries {
-            for side in [&entry.forward, &entry.backward] {
-                if let Some(p) = side {
-                    assert!(!p.contains(&secret), "secret leaked in the clear");
-                }
+            for p in [&entry.forward, &entry.backward].into_iter().flatten() {
+                assert!(!p.contains(&secret), "secret leaked in the clear");
             }
         }
     }
@@ -357,7 +363,8 @@ mod tests {
         let out = plain_unicast_baseline(&mut net, 0, 3, secret);
         assert_eq!(out, Some(secret));
         let leaked = net.view_log().entries.iter().any(|e| {
-            e.forward.as_deref() == Some(&[secret][..]) || e.backward.as_deref() == Some(&[secret][..])
+            e.forward.as_deref() == Some(&[secret][..])
+                || e.backward.as_deref() == Some(&[secret][..])
         });
         assert!(leaked, "baseline must demonstrably leak");
     }

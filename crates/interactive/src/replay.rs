@@ -142,8 +142,8 @@ pub fn repeated_tree_sum(
                 }
             }
             let delivered = net.exchange(traffic);
-            for v in 0..n {
-                if depths[v] == Some(sender_depth) {
+            for (v, depth) in depths.iter().enumerate().take(n) {
+                if *depth == Some(sender_depth) {
                     if let Some(p) = tree.parent[v] {
                         if let Some(msg) = delivered.get(&g, v, p) {
                             received[p].entry(v).or_default().push(msg.clone());
@@ -266,8 +266,8 @@ mod tests {
         let tree = bfs_tree(&g, 0);
         let mut net = Network::fault_free(g);
         let out = repeated_tree_broadcast(&mut net, &tree, &vec![42, 43], 1);
-        for v in 0..9 {
-            assert_eq!(out[v], Some(vec![42, 43]));
+        for slot in out.iter().take(9) {
+            assert_eq!(*slot, Some(vec![42, 43]));
         }
     }
 
@@ -351,7 +351,7 @@ mod tests {
         // One mobile fault per round cannot overturn the majority over 5
         // edge-disjoint paths with a sufficiently long window.
         let dilation = paths.iter().map(|p| p.len() - 1).max().unwrap();
-        let window = 2 * 1 * dilation + dilation + 1;
+        let window = 2 * dilation + dilation + 1; // f = 1
         let mut attacked = Network::new(
             g.clone(),
             AdversaryRole::Byzantine,

@@ -157,16 +157,13 @@ impl RsScheduler {
 /// corrupted edges entirely (the "fault-free trees" a *static* adversary would
 /// leave behind; used by baselines).
 pub fn trees_avoiding_edges(packing: &TreePacking, g: &Graph, corrupted: &[EdgeId]) -> Vec<usize> {
+    let _ = g;
     (0..packing.len())
         .filter(|&i| {
             packing.trees[i]
                 .edges
                 .iter()
                 .all(|e| !corrupted.contains(e))
-        })
-        .map(|i| {
-            let _ = g;
-            i
         })
         .collect()
 }
@@ -228,7 +225,10 @@ mod tests {
             3,
         );
         let report = RsScheduler.run_family(&mut net, &packing, 12);
-        assert!(report.success_count() * 2 > packing.len(), "majority of instances must survive");
+        assert!(
+            report.success_count() * 2 > packing.len(),
+            "majority of instances must survive"
+        );
     }
 
     #[test]
@@ -255,10 +255,8 @@ mod tests {
         // Corrupt two edges far from the root: the star centred at 1 uses (1,2),
         // and the star centred at 4 uses (4,5); both become dirty, while the
         // stars centred at 0 and 3 avoid both corrupted edges.
-        let corrupted: Vec<EdgeId> = vec![
-            g.edge_between(1, 2).unwrap(),
-            g.edge_between(4, 5).unwrap(),
-        ];
+        let corrupted: Vec<EdgeId> =
+            vec![g.edge_between(1, 2).unwrap(), g.edge_between(4, 5).unwrap()];
         let clean = trees_avoiding_edges(&packing, &g, &corrupted);
         assert!(clean.contains(&0));
         assert!(clean.contains(&3));

@@ -207,7 +207,10 @@ pub fn cut_conductance(g: &Graph, in_s: &[bool]) -> Option<f64> {
 /// Panics if `n > 24` (would take far too long) or `n < 2`.
 pub fn exact_conductance(g: &Graph) -> f64 {
     let n = g.node_count();
-    assert!((2..=24).contains(&n), "exact_conductance needs 2..=24 nodes");
+    assert!(
+        (2..=24).contains(&n),
+        "exact_conductance needs 2..=24 nodes"
+    );
     let mut best = f64::INFINITY;
     for mask in 1u64..(1u64 << (n - 1)) {
         let in_s: Vec<bool> = (0..n).map(|i| mask & (1 << i) != 0).collect();
@@ -375,7 +378,10 @@ mod tests {
         // On an expander-ish graph the sweep value should be large.
         let hc = generators::hypercube(5);
         let sweep_hc = sweep_conductance(&hc, 200).unwrap();
-        assert!(sweep_hc > 0.1, "hypercube sweep conductance too small: {sweep_hc}");
+        assert!(
+            sweep_hc > 0.1,
+            "hypercube sweep conductance too small: {sweep_hc}"
+        );
     }
 
     #[test]

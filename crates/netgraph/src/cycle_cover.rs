@@ -115,7 +115,7 @@ impl FtCycleCover {
     pub fn good_coloring(&self, g: &Graph) -> BTreeMap<EdgeId, usize> {
         // For every graph edge, which covered edges' path systems traverse it?
         let mut users: Vec<Vec<EdgeId>> = vec![Vec::new(); g.edge_count()];
-        for (&eid, _) in &self.paths {
+        for &eid in self.paths.keys() {
             for s in self.support_of(g, eid) {
                 users[s].push(eid);
             }
@@ -181,7 +181,7 @@ mod tests {
         assert!(cover.verify(&g));
         assert_eq!(cover.paths_per_edge(), 2);
         assert_eq!(cover.dilation(), 5); // the long way around
-        // Requesting more paths than the connectivity allows fails.
+                                         // Requesting more paths than the connectivity allows fails.
         assert!(FtCycleCover::build(&g, 3).is_none());
     }
 
@@ -231,7 +231,10 @@ mod tests {
         let cover = FtCycleCover::build(&g, 3).unwrap();
         for e in 0..g.edge_count() {
             let sup = cover.support_of(&g, e);
-            assert!(sup.contains(&e), "direct edge should be one of the disjoint paths");
+            assert!(
+                sup.contains(&e),
+                "direct edge should be one of the disjoint paths"
+            );
         }
     }
 }

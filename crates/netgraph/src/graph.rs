@@ -204,7 +204,7 @@ impl Graph {
     pub fn arc_endpoints(&self, arc: ArcId) -> (EdgeId, NodeId, NodeId) {
         let e = arc / 2;
         let edge = self.edges[e];
-        if arc % 2 == 0 {
+        if arc.is_multiple_of(2) {
             (e, edge.u, edge.v)
         } else {
             (e, edge.v, edge.u)

@@ -249,7 +249,7 @@ pub fn min_cost_depth_bounded_tree(
                     continue;
                 }
                 let c = weight[e];
-                if best.map_or(true, |(bc, _, _)| c < bc) {
+                if best.is_none_or(|(bc, _, _)| c < bc) {
                     best = Some((c, u, v));
                 }
             }
@@ -337,7 +337,11 @@ mod tests {
         w[g.edge_between(0, 1).unwrap()] = 100.0;
         let t = weighted_shallow_tree(&g, 0, &w, 4);
         assert!(t.is_spanning(&g));
-        assert_eq!(t.parent[1], Some(2), "node 1 should be reached avoiding the heavy edge");
+        assert_eq!(
+            t.parent[1],
+            Some(2),
+            "node 1 should be reached avoiding the heavy edge"
+        );
         // With a hop budget of 1, only direct neighbours are reachable.
         let shallow = weighted_shallow_tree(&g, 0, &w, 1);
         assert_eq!(shallow.size(), 3);

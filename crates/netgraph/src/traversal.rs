@@ -80,8 +80,8 @@ pub fn connected_components(g: &Graph) -> Vec<usize> {
             continue;
         }
         let r = bfs(g, s);
-        for v in 0..n {
-            if r.dist[v].is_some() && comp[v] == usize::MAX {
+        for (v, dist) in r.dist.iter().enumerate() {
+            if dist.is_some() && comp[v] == usize::MAX {
                 comp[v] = next;
             }
         }

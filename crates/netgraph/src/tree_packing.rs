@@ -160,16 +160,16 @@ pub fn star_packing(g: &Graph, root: NodeId) -> TreePacking {
     for centre in 0..n {
         let mut parent = vec![None; n];
         if centre == root {
-            for v in 0..n {
+            for (v, slot) in parent.iter_mut().enumerate() {
                 if v != root {
-                    parent[v] = Some(root);
+                    *slot = Some(root);
                 }
             }
         } else {
             parent[centre] = Some(root);
-            for v in 0..n {
+            for (v, slot) in parent.iter_mut().enumerate() {
                 if v != root && v != centre {
-                    parent[v] = Some(centre);
+                    *slot = Some(centre);
                 }
             }
         }
@@ -272,7 +272,10 @@ mod tests {
         let k = 3; // few colours on a dense graph: every class is still dense.
         let p = random_coloring_packing(&g, 0, k, &mut rng);
         let good = p.count_good(&g, 0, 12);
-        assert!(good >= 2, "expected most colour classes to span, got {good}");
+        assert!(
+            good >= 2,
+            "expected most colour classes to span, got {good}"
+        );
     }
 
     #[test]

@@ -71,7 +71,9 @@ impl L0Sampler {
         let cells = (0..LEVELS)
             .map(|lvl| {
                 (0..CELLS_PER_LEVEL)
-                    .map(|slot| OneSparseCell::new(randomness.derive(1000 + (lvl * 10 + slot) as u64)))
+                    .map(|slot| {
+                        OneSparseCell::new(randomness.derive(1000 + (lvl * 10 + slot) as u64))
+                    })
                     .collect()
             })
             .collect();
@@ -183,7 +185,11 @@ impl L0SamplerBank {
     /// Create `t` independent samplers derived from one base randomness.
     pub fn new(randomness: SketchRandomness, t: usize) -> Self {
         let samplers = (0..t)
-            .map(|i| L0Sampler::new(SketchRandomness::from_seed(randomness.derive(7_000 + i as u64))))
+            .map(|i| {
+                L0Sampler::new(SketchRandomness::from_seed(
+                    randomness.derive(7_000 + i as u64),
+                ))
+            })
             .collect();
         L0SamplerBank { samplers }
     }
@@ -349,7 +355,11 @@ mod tests {
         a.merge(&b);
         let samples = a.query_all();
         // Individual samplers may occasionally fail to recover; most must succeed.
-        assert!(samples.len() >= 6, "too many failed samplers: {}", samples.len());
+        assert!(
+            samples.len() >= 6,
+            "too many failed samplers: {}",
+            samples.len()
+        );
         assert!(samples.iter().all(|&s| s == 5 || s == 6));
         assert!(samples.contains(&5) || samples.contains(&6));
     }

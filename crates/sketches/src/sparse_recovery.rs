@@ -36,12 +36,16 @@ impl SparseRecovery {
         assert!(sparsity > 0, "sparsity must be positive");
         let cols = (2 * sparsity).next_power_of_two();
         let hashes: Vec<KWiseHash> = (0..ROWS)
-            .map(|r| KWiseHash::from_seed(randomness.seed() ^ (0xABCD_0000 + r as u64), 2, cols as u64))
+            .map(|r| {
+                KWiseHash::from_seed(randomness.seed() ^ (0xABCD_0000 + r as u64), 2, cols as u64)
+            })
             .collect();
         let cells = (0..ROWS)
             .map(|r| {
                 (0..cols)
-                    .map(|c| OneSparseCell::new(randomness.seed() ^ (((r * cols + c) as u64) << 17) | 1))
+                    .map(|c| {
+                        OneSparseCell::new(randomness.seed() ^ (((r * cols + c) as u64) << 17) | 1)
+                    })
                     .collect()
             })
             .collect();
@@ -118,12 +122,7 @@ impl SparseRecovery {
             .flat_map(|r| r.iter())
             .all(|c| c.is_zero());
         if residual_empty {
-            Some(
-                recovered
-                    .into_iter()
-                    .filter(|&(_, f)| f != 0)
-                    .collect(),
-            )
+            Some(recovered.into_iter().filter(|&(_, f)| f != 0).collect())
         } else {
             None
         }
@@ -195,7 +194,10 @@ mod tests {
         match sk.decode() {
             None => {}
             Some(list) => {
-                assert!(list.len() >= 150, "decode claimed a tiny support for a dense stream");
+                assert!(
+                    list.len() >= 150,
+                    "decode claimed a tiny support for a dense stream"
+                );
             }
         }
     }
@@ -212,7 +214,14 @@ mod tests {
             } else {
                 b.update(e, -(e as i64));
             }
-            c.update(e, if e % 2 == 0 { (e + 1) as i64 } else { -(e as i64) });
+            c.update(
+                e,
+                if e % 2 == 0 {
+                    (e + 1) as i64
+                } else {
+                    -(e as i64)
+                },
+            );
         }
         a.merge(&b);
         assert_eq!(a.decode(), c.decode());

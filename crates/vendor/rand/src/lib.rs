@@ -1,0 +1,427 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no access to crates.io, so this workspace ships
+//! the small slice of the `rand 0.8` API it actually uses as a local crate:
+//!
+//! * [`RngCore`] — raw 32/64-bit output and byte filling,
+//! * [`SeedableRng`] — byte-seed construction plus a SplitMix64-based
+//!   [`SeedableRng::seed_from_u64`] (NOT stream-compatible with upstream
+//!   `rand_core`, which expands seeds with PCG32),
+//! * [`Rng`] — `gen`, `gen_range` (half-open and inclusive integer ranges),
+//!   `gen_bool`, blanket-implemented for every `RngCore` (sized or not),
+//! * [`seq::SliceRandom`] — Fisher–Yates `shuffle` and uniform `choose`.
+//!
+//! Integer range sampling uses rejection sampling (Lemire-style widening is
+//! unnecessary here), so draws are exactly uniform; `f64` generation uses the
+//! standard 53-bit mantissa construction.  The concrete deterministic
+//! generator lives in the sibling `rand_chacha` crate.
+
+/// Raw random-word source.
+pub trait RngCore {
+    /// The next 32 uniformly random bits.
+    fn next_u32(&mut self) -> u32;
+
+    /// The next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Fill `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_u64().to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let word = self.next_u64().to_le_bytes();
+            rem.copy_from_slice(&word[..rem.len()]);
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+/// Deterministic construction from a seed.
+pub trait SeedableRng: Sized {
+    /// The byte-seed type (e.g. `[u8; 32]`).
+    type Seed: Sized + Default + AsMut<[u8]>;
+
+    /// Build the generator from a full byte seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Expand a 64-bit seed into a full byte seed with SplitMix64.
+    ///
+    /// Note: upstream `rand_core` uses a PCG32-based expansion here, so the
+    /// derived streams are NOT compatible with the real crate.  Swapping the
+    /// vendor stubs back to crates.io will change every seeded stream;
+    /// RNG-stream-sensitive tests (e.g. the expander packing tests) would
+    /// need their margins re-checked.
+    fn seed_from_u64(mut state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(8) {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            let bytes = z.to_le_bytes();
+            let len = chunk.len();
+            chunk.copy_from_slice(&bytes[..len]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+/// Types that can be drawn uniformly from raw random words (`rng.gen()`).
+pub trait Standard: Sized {
+    /// Draw one uniformly random value.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for u8 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32() as u8
+    }
+}
+impl Standard for u16 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32() as u16
+    }
+}
+impl Standard for u32 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32()
+    }
+}
+impl Standard for u64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+impl Standard for usize {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() as usize
+    }
+}
+impl Standard for i8 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32() as i8
+    }
+}
+impl Standard for i16 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32() as i16
+    }
+}
+impl Standard for i32 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32() as i32
+    }
+}
+impl Standard for i64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() as i64
+    }
+}
+impl Standard for isize {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() as isize
+    }
+}
+impl Standard for bool {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32() & 1 == 1
+    }
+}
+impl Standard for f64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 53 uniform mantissa bits in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Integer types uniformly sampleable from a range.
+pub trait UniformInt: Copy + PartialOrd {
+    /// Uniform draw from `[low, high)`; panics when the range is empty.
+    fn sample_range<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self;
+}
+
+macro_rules! impl_uniform_unsigned {
+    ($($t:ty),*) => {$(
+        impl UniformInt for $t {
+            fn sample_range<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+                assert!(low < high, "cannot sample from an empty range");
+                let span = (high - low) as u64;
+                low + (uniform_u64(rng, span) as $t)
+            }
+        }
+    )*};
+}
+impl_uniform_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_uniform_signed {
+    ($($t:ty),*) => {$(
+        impl UniformInt for $t {
+            fn sample_range<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+                assert!(low < high, "cannot sample from an empty range");
+                // Width and add-back computed in 64-bit space: a wide range
+                // (e.g. most of i32) overflows the narrow type's own
+                // subtraction, and the offset may not fit the narrow type.
+                let span = (high as i64).wrapping_sub(low as i64) as u64;
+                ((low as i64).wrapping_add(uniform_u64(rng, span) as i64)) as $t
+            }
+        }
+    )*};
+}
+impl_uniform_signed!(i8, i16, i32, i64, isize);
+
+/// Uniform draw from `[0, span)` by rejection sampling (exactly unbiased).
+fn uniform_u64<R: RngCore + ?Sized>(rng: &mut R, span: u64) -> u64 {
+    debug_assert!(span > 0);
+    if span.is_power_of_two() {
+        return rng.next_u64() & (span - 1);
+    }
+    // Largest multiple of `span` that fits in u64; reject draws beyond it.
+    let zone = u64::MAX - (u64::MAX % span) - 1;
+    loop {
+        let v = rng.next_u64();
+        if v <= zone {
+            return v % span;
+        }
+    }
+}
+
+/// Ranges usable with [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Draw one value uniformly from the range.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: UniformInt> SampleRange<T> for core::ops::Range<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_range(rng, self.start, self.end)
+    }
+}
+
+macro_rules! impl_inclusive_unsigned {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (low, high) = (*self.start(), *self.end());
+                assert!(low <= high, "cannot sample from an empty range");
+                if low == <$t>::MIN && high == <$t>::MAX {
+                    return Standard::sample(rng);
+                }
+                let span = ((high - low) as u64) + 1;
+                low + (uniform_u64(rng, span) as $t)
+            }
+        }
+    )*};
+}
+impl_inclusive_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_inclusive_signed {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (low, high) = (*self.start(), *self.end());
+                assert!(low <= high, "cannot sample from an empty range");
+                if low == <$t>::MIN && high == <$t>::MAX {
+                    return Standard::sample(rng);
+                }
+                // See impl_uniform_signed: 64-bit space avoids narrow-type
+                // width overflow.
+                let span = ((high as i64).wrapping_sub(low as i64) as u64) + 1;
+                ((low as i64).wrapping_add(uniform_u64(rng, span) as i64)) as $t
+            }
+        }
+    )*};
+}
+impl_inclusive_signed!(i8, i16, i32, i64, isize);
+
+impl SampleRange<f64> for core::ops::Range<f64> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "cannot sample from an empty range");
+        let unit: f64 = Standard::sample(rng);
+        self.start + unit * (self.end - self.start)
+    }
+}
+
+/// The user-facing convenience trait, blanket-implemented for every source.
+pub trait Rng: RngCore {
+    /// A uniformly random value of an inferred type.
+    fn gen<T: Standard>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    /// A uniformly random value from a range, e.g. `rng.gen_range(0..n)`.
+    fn gen_range<T, Ra: SampleRange<T>>(&mut self, range: Ra) -> T {
+        range.sample_from(self)
+    }
+
+    /// `true` with probability `p` (clamped to `[0, 1]`).
+    fn gen_bool(&mut self, p: f64) -> bool {
+        let unit: f64 = Standard::sample(self);
+        unit < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Sequence-related helpers (`rand::seq`).
+pub mod seq {
+    use super::{RngCore, UniformInt};
+
+    /// Slice shuffling and choosing, as in `rand::seq::SliceRandom`.
+    pub trait SliceRandom {
+        /// Element type of the slice.
+        type Item;
+
+        /// Uniform Fisher–Yates shuffle.
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+
+        /// A uniformly random element, or `None` when empty.
+        fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = usize::sample_range(rng, 0, i + 1);
+                self.swap(i, j);
+            }
+        }
+
+        fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                Some(&self[usize::sample_range(rng, 0, self.len())])
+            }
+        }
+    }
+}
+
+/// Minimal `rngs` module so `rand::rngs::mock`-style test doubles have a home.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// A tiny, fast, non-cryptographic generator (xorshift64*); used by tests
+    /// that do not care about stream quality.
+    #[derive(Debug, Clone)]
+    pub struct SmallRng {
+        state: u64,
+    }
+
+    impl RngCore for SmallRng {
+        fn next_u32(&mut self) -> u32 {
+            (self.next_u64() >> 32) as u32
+        }
+        fn next_u64(&mut self) -> u64 {
+            let mut x = self.state;
+            x ^= x >> 12;
+            x ^= x << 25;
+            x ^= x >> 27;
+            self.state = x;
+            x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+        }
+    }
+
+    impl SeedableRng for SmallRng {
+        type Seed = [u8; 8];
+        fn from_seed(seed: Self::Seed) -> Self {
+            let mut state = u64::from_le_bytes(seed);
+            if state == 0 {
+                state = 0x9E37_79B9_7F4A_7C15;
+            }
+            SmallRng { state }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::seq::SliceRandom;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let x: usize = rng.gen_range(3..17);
+            assert!((3..17).contains(&x));
+            let y: i64 = rng.gen_range(-3..4);
+            assert!((-3..4).contains(&y));
+            let z: u64 = rng.gen_range(0..=5);
+            assert!(z <= 5);
+            let f: f64 = rng.gen_range(0.25..0.75);
+            assert!((0.25..0.75).contains(&f));
+        }
+    }
+
+    #[test]
+    fn wide_signed_ranges_stay_in_bounds() {
+        // Regression: ranges wider than the signed type's positive half used
+        // to overflow the width computation and escape the bounds.
+        let mut rng = SmallRng::seed_from_u64(5);
+        for _ in 0..2000 {
+            let x: i32 = rng.gen_range(-2_000_000_000..2_000_000_000);
+            assert!(
+                (-2_000_000_000..2_000_000_000).contains(&x),
+                "{x} out of range"
+            );
+            let y: i8 = rng.gen_range(-120..120);
+            assert!((-120..120).contains(&y), "{y} out of range");
+            let z: i32 = rng.gen_range(-2_000_000_000..=2_000_000_000);
+            assert!(
+                (-2_000_000_000..=2_000_000_000).contains(&z),
+                "{z} out of range"
+            );
+            let w: i64 = rng.gen_range(i64::MIN..i64::MAX);
+            assert!(w < i64::MAX);
+            let v: i64 = rng.gen_range(i64::MIN..=i64::MAX);
+            let _ = v;
+            let u: u64 = rng.gen_range(0..=u64::MAX - 1);
+            assert!(u < u64::MAX);
+        }
+    }
+
+    #[test]
+    fn seeding_is_deterministic() {
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        let xs: Vec<u64> = (0..8).map(|_| a.gen()).collect();
+        let ys: Vec<u64> = (0..8).map(|_| b.gen()).collect();
+        assert_eq!(xs, ys);
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut v: Vec<usize> = (0..20).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..20).collect::<Vec<_>>());
+        assert!(v.as_slice().choose(&mut rng).is_some());
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.3)).count();
+        assert!((2500..3500).contains(&hits), "hits = {hits}");
+    }
+}

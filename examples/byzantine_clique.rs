@@ -1,14 +1,16 @@
 //! CONGESTED CLIQUE token dissemination against a Θ(n)-mobile byzantine
-//! adversary (Theorem 1.6), compared with the uncompiled baseline.
+//! adversary (Theorem 1.6), compared with the uncompiled baseline — both runs
+//! configured through the `Scenario` pipeline.
 //!
 //! Run with `cargo run --example byzantine_clique`.
 
 use mobile_congest::compilers::resilient::CliqueCompiler;
 use mobile_congest::graphs::generators;
 use mobile_congest::payloads::TokenDissemination;
-use mobile_congest::sim::adversary::{AdversaryRole, CorruptionBudget, CorruptionMode, GreedyHeaviest};
-use mobile_congest::sim::network::Network;
-use mobile_congest::sim::{run_fault_free, run_on_network};
+use mobile_congest::scenario::{CliqueAdapter, Scenario, Uncompiled};
+use mobile_congest::sim::adversary::{
+    AdversaryRole, CorruptionBudget, CorruptionMode, GreedyHeaviest,
+};
 
 fn main() {
     let n = 20;
@@ -16,38 +18,45 @@ fn main() {
     println!("clique n = {n}, tolerating f = {f} mobile byzantine edges per round");
     let g = generators::complete(n);
     let tokens: Vec<u64> = (0..n as u64).map(|v| 10_000 + v).collect();
-    let expected = run_fault_free(&mut TokenDissemination::new(g.clone(), tokens.clone(), n));
-
-    let adversary = || {
-        Box::new(GreedyHeaviest::new(f).with_mode(CorruptionMode::ReplaceRandom))
+    let payload = {
+        let g = g.clone();
+        move || TokenDissemination::new(g.clone(), tokens.clone(), n)
     };
-    let mut baseline_net = Network::new(
-        g.clone(), AdversaryRole::Byzantine, adversary(), CorruptionBudget::Mobile { f }, 3,
-    );
-    let baseline = run_on_network(
-        &mut TokenDissemination::new(g.clone(), tokens.clone(), n),
-        &mut baseline_net,
-    );
+
+    let baseline = Scenario::on(g.clone())
+        .payload(payload.clone())
+        .adversary(
+            AdversaryRole::Byzantine,
+            GreedyHeaviest::new(f).with_mode(CorruptionMode::ReplaceRandom),
+            CorruptionBudget::Mobile { f },
+        )
+        .seed(3)
+        .compiled_with(Uncompiled)
+        .run()
+        .unwrap();
     println!(
-        "uncompiled: correct = {} (adversary rewrote {} messages)",
-        baseline == expected,
-        baseline_net.metrics().corrupted_messages
+        "uncompiled: correct = {:?} (adversary rewrote {} messages)",
+        baseline.agrees_with_fault_free(),
+        baseline.metrics.corrupted_messages
     );
 
-    let compiler = CliqueCompiler::new(&g, f, 11);
-    let mut net = Network::new(
-        g.clone(), AdversaryRole::Byzantine, adversary(), CorruptionBudget::Mobile { f }, 3,
-    );
-    let (out, report) = compiler.run(
-        &mut TokenDissemination::new(g.clone(), tokens, n),
-        &mut net,
-    );
+    let compiled = Scenario::on(g)
+        .payload(payload)
+        .adversary(
+            AdversaryRole::Byzantine,
+            GreedyHeaviest::new(f).with_mode(CorruptionMode::ReplaceRandom),
+            CorruptionBudget::Mobile { f },
+        )
+        .seed(3)
+        .compiled_with(CliqueAdapter::new(f, 11))
+        .run()
+        .unwrap();
     println!(
-        "compiled:   correct = {}, overhead = {:.1}x ({} network rounds for {} payload rounds)",
-        out == expected,
-        report.overhead(),
-        report.network_rounds,
-        report.payload_rounds
+        "compiled:   correct = {:?}, overhead = {:.1}x ({} network rounds for {} payload rounds)",
+        compiled.agrees_with_fault_free(),
+        compiled.overhead(),
+        compiled.network_rounds,
+        compiled.payload_rounds
     );
-    assert_eq!(out, expected);
+    assert_eq!(compiled.agrees_with_fault_free(), Some(true));
 }

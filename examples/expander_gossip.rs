@@ -4,13 +4,11 @@
 //!
 //! Run with `cargo run --example expander_gossip`.
 
-use mobile_congest::compilers::resilient::expander::run_expander_compiled;
 use mobile_congest::graphs::connectivity::sweep_conductance;
 use mobile_congest::graphs::generators;
 use mobile_congest::payloads::LeaderElection;
+use mobile_congest::scenario::{ExpanderAdapter, Scenario};
 use mobile_congest::sim::adversary::{AdversaryRole, CorruptionBudget, RandomMobile};
-use mobile_congest::sim::network::Network;
-use mobile_congest::sim::run_fault_free;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
@@ -23,24 +21,24 @@ fn main() {
     let phi = sweep_conductance(&g, 200).unwrap_or(0.0);
     println!("expander: n = {n}, degree ≈ {d}, sweep conductance ≈ {phi:.3}");
 
-    let expected = run_fault_free(&mut LeaderElection::new(g.clone()));
-    let mut net = Network::new(
-        g.clone(),
-        AdversaryRole::Byzantine,
-        Box::new(RandomMobile::new(f, 17)),
-        CorruptionBudget::Mobile { f },
-        17,
-    );
-    let (out, report) = run_expander_compiled(&mut LeaderElection::new(g.clone()), &mut net, f, 6, 6, 23);
+    let gg = g.clone();
+    let report = Scenario::on(g)
+        .payload(move || LeaderElection::new(gg.clone()))
+        .adversary(
+            AdversaryRole::Byzantine,
+            RandomMobile::new(f, 17),
+            CorruptionBudget::Mobile { f },
+        )
+        .seed(17)
+        .compiled_with(ExpanderAdapter::new(f, 6, 6, 23))
+        .run()
+        .unwrap();
     println!(
-        "weak packing built under attack: {}/{} good trees in {} rounds",
-        report.packing.good_trees, report.packing.k, report.packing.rounds
+        "compiled leader election: correct = {:?}, network rounds = {}, overhead = {:.1}x",
+        report.agrees_with_fault_free(),
+        report.network_rounds,
+        report.overhead()
     );
-    println!(
-        "compiled leader election: correct = {}, network rounds = {}, fully corrected = {}",
-        out == expected,
-        report.compilation.network_rounds,
-        report.compilation.fully_corrected
-    );
-    assert_eq!(out, expected);
+    println!("{report}");
+    assert_eq!(report.agrees_with_fault_free(), Some(true));
 }

@@ -1,57 +1,77 @@
 //! Quickstart: protect a flooding broadcast against a mobile byzantine
-//! adversary on the CONGESTED CLIQUE.
+//! adversary on the CONGESTED CLIQUE, in three `Scenario` one-liners.
 //!
 //! Run with `cargo run --example quickstart`.
 
-use mobile_congest::compilers::resilient::CliqueCompiler;
 use mobile_congest::graphs::generators;
 use mobile_congest::payloads::FloodBroadcast;
+use mobile_congest::scenario::{CliqueAdapter, FaultFree, RunReport, Scenario, Uncompiled};
 use mobile_congest::sim::adversary::{AdversaryRole, CorruptionBudget, RandomMobile};
-use mobile_congest::sim::network::Network;
-use mobile_congest::sim::{run_fault_free, run_on_network, CongestAlgorithm};
 
 fn main() {
     let n = 16;
     let f = 2;
     let g = generators::complete(n);
     let value = 0xC0FFEE;
+    let payload = {
+        let g = g.clone();
+        move || FloodBroadcast::new(g.clone(), 0, value)
+    };
 
     // 1. Fault-free reference run.
-    let expected = run_fault_free(&mut FloodBroadcast::new(g.clone(), 0, value));
-    println!("fault-free: every node learns {value:#x} in {} rounds", FloodBroadcast::new(g.clone(), 0, value).rounds());
+    let reference = Scenario::on(g.clone())
+        .payload(payload.clone())
+        .compiled_with(FaultFree)
+        .run()
+        .unwrap();
+    println!(
+        "fault-free: every node learns {value:#x} in {} rounds",
+        reference.payload_rounds
+    );
 
     // 2. Uncompiled baseline under an f-mobile byzantine adversary.
-    let mut baseline_net = Network::new(
-        g.clone(),
-        AdversaryRole::Byzantine,
-        Box::new(RandomMobile::new(f, 7)),
-        CorruptionBudget::Mobile { f },
-        7,
-    );
-    let baseline = run_on_network(&mut FloodBroadcast::new(g.clone(), 0, value), &mut baseline_net);
-    let baseline_ok = baseline == expected;
+    let baseline = Scenario::on(g.clone())
+        .payload(payload.clone())
+        .adversary(
+            AdversaryRole::Byzantine,
+            RandomMobile::new(f, 7),
+            CorruptionBudget::Mobile { f },
+        )
+        .seed(7)
+        .compiled_with(Uncompiled)
+        .run()
+        .unwrap();
     println!(
-        "uncompiled under f={f} mobile adversary: correct = {baseline_ok} ({} messages corrupted)",
-        baseline_net.metrics().corrupted_messages
+        "uncompiled under f={f} mobile adversary: correct = {:?} ({} messages corrupted)",
+        baseline.agrees_with_fault_free(),
+        baseline.metrics.corrupted_messages
     );
 
     // 3. The Theorem 1.6 clique compiler under the same adversary class.
-    let compiler = CliqueCompiler::new(&g, f, 1);
-    let mut net = Network::new(
-        g.clone(),
-        AdversaryRole::Byzantine,
-        Box::new(RandomMobile::new(f, 7)),
-        CorruptionBudget::Mobile { f },
-        7,
-    );
-    let (out, report) = compiler.run(&mut FloodBroadcast::new(g.clone(), 0, value), &mut net);
+    let compiled = Scenario::on(g.clone())
+        .payload(payload)
+        .adversary(
+            AdversaryRole::Byzantine,
+            RandomMobile::new(f, 7),
+            CorruptionBudget::Mobile { f },
+        )
+        .seed(7)
+        .compiled_with(CliqueAdapter::new(f, 1))
+        .run()
+        .unwrap();
+    println!("{}", RunReport::table_header());
+    println!("{}", baseline.table_row());
+    println!("{}", compiled.table_row());
     println!(
-        "compiled: correct = {}, payload rounds = {}, network rounds = {}, overhead = {:.1}x, corrupted edge-rounds = {}",
-        out == expected,
-        report.payload_rounds,
-        report.network_rounds,
-        report.overhead(),
-        net.metrics().corrupted_edge_rounds
+        "compiled: payload rounds = {}, network rounds = {}, overhead = {:.1}x, corrupted edge-rounds = {}",
+        compiled.payload_rounds,
+        compiled.network_rounds,
+        compiled.overhead(),
+        compiled.metrics.corrupted_edge_rounds
     );
-    assert_eq!(out, expected, "the compiled run must match the fault-free run");
+    assert_eq!(
+        compiled.agrees_with_fault_free(),
+        Some(true),
+        "the compiled run must match the fault-free run"
+    );
 }

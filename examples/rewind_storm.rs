@@ -3,40 +3,37 @@
 //!
 //! Run with `cargo run --example rewind_storm`.
 
-use mobile_congest::compilers::rate::RewindCompiler;
 use mobile_congest::graphs::generators;
-use mobile_congest::graphs::tree_packing::star_packing;
 use mobile_congest::payloads::LeaderElection;
+use mobile_congest::scenario::{RewindAdapter, Scenario};
 use mobile_congest::sim::adversary::{AdversaryRole, BurstAdversary, CorruptionBudget};
-use mobile_congest::sim::network::Network;
-use mobile_congest::sim::{run_fault_free, CongestAlgorithm};
 
 fn main() {
     let n = 14;
     let f = 1;
     let g = generators::complete(n);
-    let expected = run_fault_free(&mut LeaderElection::new(g.clone()));
 
-    let compiler = RewindCompiler::new(star_packing(&g, 0), f, 3);
     // Quiet for 40 rounds, then 4 rounds in which 12 edges are corrupted — far
     // more than any fixed per-round budget, but within the average-rate budget.
-    let mut net = Network::new(
-        g.clone(),
-        AdversaryRole::Byzantine,
-        Box::new(BurstAdversary::new(40, 4, 12, 9)),
-        CorruptionBudget::RoundErrorRate { total: 200 },
-        9,
-    );
-    let (out, report) = compiler.run(|| LeaderElection::new(g.clone()), &mut net);
+    let gg = g.clone();
+    let report = Scenario::on(g)
+        .payload(move || LeaderElection::new(gg.clone()))
+        .adversary(
+            AdversaryRole::Byzantine,
+            BurstAdversary::new(40, 4, 12, 9),
+            CorruptionBudget::RoundErrorRate { total: 200 },
+        )
+        .seed(9)
+        .compiled_with(RewindAdapter::new(f, 3))
+        .run()
+        .unwrap();
     println!(
-        "rewind compiler: correct = {}, committed {}/{} payload rounds, {} rewinds, {} global rounds, {} network rounds",
-        out == expected,
-        report.committed_rounds,
-        LeaderElection::new(g.clone()).rounds(),
-        report.rewinds,
-        report.global_rounds,
-        report.network_rounds
+        "rewind compiler: correct = {:?}, {} payload rounds simulated in {} network rounds ({:.1}x), {} edge-rounds corrupted",
+        report.agrees_with_fault_free(),
+        report.payload_rounds,
+        report.network_rounds,
+        report.overhead(),
+        report.metrics.corrupted_edge_rounds
     );
-    println!("progress trace: {:?}", report.progress_trace);
-    assert_eq!(out, expected);
+    assert_eq!(report.agrees_with_fault_free(), Some(true));
 }

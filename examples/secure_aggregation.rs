@@ -2,58 +2,69 @@
 //! mobile eavesdropper taps a changing set of links every round.
 //!
 //! Demonstrates the Theorem 1.2 static→mobile key exchange and the Theorem 1.3
-//! congestion-sensitive compiler, and shows that the plaintext readings never
-//! appear in the adversary's recorded view.
+//! congestion-sensitive compiler through the `Scenario` pipeline, and shows
+//! that the plaintext readings never appear in the adversary's recorded view.
 //!
 //! Run with `cargo run --example secure_aggregation`.
 
-use mobile_congest::compilers::secure::{CongestionSensitiveCompiler, StaticToMobileCompiler};
 use mobile_congest::graphs::generators;
 use mobile_congest::payloads::ConvergecastSum;
+use mobile_congest::scenario::{CongestionSensitiveAdapter, Scenario, StaticToMobileAdapter};
 use mobile_congest::sim::adversary::{AdversaryRole, CorruptionBudget, RandomMobile};
-use mobile_congest::sim::network::Network;
-use mobile_congest::sim::run_fault_free;
 
 fn main() {
     let g = generators::grid(4, 4);
     let readings: Vec<u64> = (0..16).map(|v| 100 + 7 * v).collect();
     let f = 2;
-    let expected = run_fault_free(&mut ConvergecastSum::new(g.clone(), 0, readings.clone()));
-    println!("true total = {}", expected[0][0]);
+    let payload = {
+        let g = g.clone();
+        let readings = readings.clone();
+        move || ConvergecastSum::new(g.clone(), 0, readings.clone())
+    };
 
     // Theorem 1.2 compiler: one-time-pad the whole execution.
-    let mut net = Network::new(
-        g.clone(),
-        AdversaryRole::Eavesdropper,
-        Box::new(RandomMobile::new(f, 3)),
-        CorruptionBudget::Mobile { f },
-        3,
-    );
-    let compiler = StaticToMobileCompiler::new(6, 2, 42);
-    let (out, report) = compiler.run(&mut ConvergecastSum::new(g.clone(), 0, readings.clone()), &mut net);
+    let report = Scenario::on(g.clone())
+        .payload(payload.clone())
+        .adversary(
+            AdversaryRole::Eavesdropper,
+            RandomMobile::new(f, 3),
+            CorruptionBudget::Mobile { f },
+        )
+        .seed(3)
+        .compiled_with(StaticToMobileAdapter::new(6, 2, 42))
+        .run()
+        .unwrap();
     println!(
-        "static→mobile compiler: total = {} (key rounds {}, simulation rounds {})",
-        out[0][0], report.key_rounds, report.simulation_rounds
+        "static→mobile compiler: total = {} (true total {}), {} network rounds",
+        report.outputs[0][0],
+        report.fault_free.as_ref().unwrap()[0][0],
+        report.network_rounds
     );
-    assert_eq!(out, expected);
-    let leaked = net.view_log().entries.iter().any(|e| {
-        [&e.forward, &e.backward].iter().any(|s| s.as_ref().map_or(false, |p| p.iter().any(|w| readings.contains(w))))
-    });
-    println!("eavesdropper saw {} edge-rounds; plaintext reading observed = {leaked}", net.view_log().len());
+    assert_eq!(report.agrees_with_fault_free(), Some(true));
+    println!(
+        "eavesdropper saw {} edge-rounds; plaintext reading observed = {}",
+        report.view.len(),
+        report.view_contains_any(&readings)
+    );
 
     // Theorem 1.3 compiler additionally hides which edges carry real traffic.
-    let mut net2 = Network::new(
-        g.clone(),
-        AdversaryRole::Eavesdropper,
-        Box::new(RandomMobile::new(f, 5)),
-        CorruptionBudget::Mobile { f },
-        5,
-    );
-    let cs = CongestionSensitiveCompiler::new(f, 2, 9);
-    let (out2, rep2) = cs.run(&mut ConvergecastSum::new(g.clone(), 0, readings), &mut net2, 0);
+    let report2 = Scenario::on(g)
+        .payload(payload)
+        .adversary(
+            AdversaryRole::Eavesdropper,
+            RandomMobile::new(f, 5),
+            CorruptionBudget::Mobile { f },
+        )
+        .seed(5)
+        .compiled_with(CongestionSensitiveAdapter::new(f, 2, 9))
+        .run()
+        .unwrap();
     println!(
-        "congestion-sensitive compiler: total = {} (local keys {}, global keys {}, simulation {})",
-        out2[0][0], rep2.local_key_rounds, rep2.global_key_rounds, rep2.simulation_rounds
+        "congestion-sensitive compiler: total = {}, {} network rounds ({:.1}x overhead)",
+        report2.outputs[0][0],
+        report2.network_rounds,
+        report2.overhead()
     );
-    assert_eq!(out2, expected);
+    assert_eq!(report2.agrees_with_fault_free(), Some(true));
+    assert!(!report2.view_contains_any(&readings));
 }

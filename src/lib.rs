@@ -1,8 +1,33 @@
 //! `mobile-congest` — umbrella crate for the reproduction of *Distributed
 //! CONGEST Algorithms against Mobile Adversaries* (Fischer & Parter, PODC 2023).
 //!
-//! This crate re-exports the workspace members so examples, integration tests
-//! and the experiment harness can use a single dependency:
+//! **Start at [`scenario`]** — the unified execution API.  One fluent, typed
+//! pipeline runs any payload on any graph under any adversary through any of
+//! the paper's compilers and returns a structured report:
+//!
+//! ```
+//! use mobile_congest::payloads::FloodBroadcast;
+//! use mobile_congest::scenario::{CliqueAdapter, Scenario};
+//! use mobile_congest::sim::adversary::{AdversaryRole, CorruptionBudget, RandomMobile};
+//! use mobile_congest::graphs::generators;
+//!
+//! let g = generators::complete(12);
+//! let payload_graph = g.clone();
+//! let report = Scenario::on(g)
+//!     .payload(move || FloodBroadcast::new(payload_graph.clone(), 0, 0xC0FFEE))
+//!     .adversary(
+//!         AdversaryRole::Byzantine,
+//!         RandomMobile::new(2, 7),
+//!         CorruptionBudget::Mobile { f: 2 },
+//!     )
+//!     .seed(7)
+//!     .compiled_with(CliqueAdapter::new(2, 1))
+//!     .run()
+//!     .unwrap();
+//! assert_eq!(report.agrees_with_fault_free(), Some(true));
+//! ```
+//!
+//! The workspace members behind the scenes:
 //!
 //! * [`sim`] — the round-synchronous CONGEST simulator and adversaries,
 //! * [`graphs`] — graph generators, tree packings, cycle covers,
@@ -10,10 +35,11 @@
 //! * [`sketch`] — ℓ0-sampling and sparse-recovery sketches,
 //! * [`icoding`] — the RS-compiler oracle and the Lemma 3.3 scheduler,
 //! * [`payloads`] — fault-free payload algorithms,
-//! * [`compilers`] — the paper's mobile-secure and mobile-resilient compilers.
+//! * [`compilers`] — the paper's mobile-secure and mobile-resilient compilers
+//!   (wrapped for the pipeline by the adapters re-exported from [`scenario`]).
 //!
-//! See `README.md` for a guided tour, `DESIGN.md` for the system inventory and
-//! `EXPERIMENTS.md` for the experiment index.
+//! See `README.md` for a guided tour; `benches/experiments.rs` is the
+//! experiment index (E1–E15, one table per theorem).
 
 pub use coding as codes;
 pub use congest_algorithms as payloads;
@@ -22,3 +48,22 @@ pub use interactive_coding as icoding;
 pub use mobile_congest_core as compilers;
 pub use netgraph as graphs;
 pub use sketches as sketch;
+
+/// The unified execution API: `Scenario` builder, `Compiler` trait, typed
+/// errors, run reports, grid sweeps, and the adapters for all seven of the
+/// paper's compilers.
+///
+/// The pipeline pieces live in [`congest_sim::scenario`]; the per-compiler
+/// adapters live in [`mobile_congest_core::adapters`].  This module is the
+/// single import surface for both.
+pub mod scenario {
+    pub use congest_sim::scenario::{
+        doctest_payload, matrix, validate_role, BoxedAlgorithm, BuiltScenario, Compiler,
+        CompilerKind, FaultFree, PayloadFactory, RunReport, Scenario, ScenarioBuilder,
+        ScenarioError, Uncompiled,
+    };
+    pub use mobile_congest_core::adapters::{
+        CliqueAdapter, CongestionSensitiveAdapter, CycleCoverAdapter, ExpanderAdapter,
+        RewindAdapter, StaticToMobileAdapter, TreePackingAdapter,
+    };
+}

@@ -1,49 +1,31 @@
-//! Cross-crate integration tests: every compiler × several payloads × several
-//! graph families × several adversary strategies, plus the security coupling
-//! harness and negative controls (baselines that must fail).
+//! Cross-crate integration tests, all driven through the unified `Scenario`
+//! pipeline: every compiler × several payloads × several graph families ×
+//! several adversary strategies, plus the security coupling harness and
+//! negative controls (baselines that must fail).
 
-use mobile_congest::compilers::rate::RewindCompiler;
-use mobile_congest::compilers::resilient::{
-    CliqueCompiler, CycleCoverCompiler, MobileByzantineCompiler,
-};
-use mobile_congest::compilers::secure::{
-    mobile_secure_unicast, CongestionSensitiveCompiler, StaticToMobileCompiler,
-};
+use mobile_congest::compilers::secure::mobile_secure_unicast;
 use mobile_congest::graphs::generators;
-use mobile_congest::graphs::tree_packing::{greedy_low_depth_packing, star_packing};
-use mobile_congest::graphs::Graph;
 use mobile_congest::payloads::{
     BfsTreeAlgorithm, ConvergecastSum, FloodBroadcast, LeaderElection, RandomizedColoring,
     TokenDissemination,
 };
-use mobile_congest::sim::adversary::{
-    AdversaryRole, BurstAdversary, CorruptionBudget, CorruptionMode, GreedyHeaviest, RandomMobile,
-    SweepMobile,
+use mobile_congest::scenario::{
+    CliqueAdapter, CongestionSensitiveAdapter, CycleCoverAdapter, RewindAdapter, Scenario,
+    StaticToMobileAdapter, TreePackingAdapter, Uncompiled,
 };
-use mobile_congest::sim::network::Network;
-use mobile_congest::sim::{run_fault_free, run_on_network, CongestAlgorithm};
+use mobile_congest::sim::adversary::{
+    AdversaryRole, AdversaryStrategy, BurstAdversary, CorruptionBudget, CorruptionMode,
+    GreedyHeaviest, RandomMobile, ScheduledEdges, SweepMobile,
+};
 
-fn byz_net(
-    g: Graph,
-    f: usize,
-    seed: u64,
-    strategy: Box<dyn mobile_congest::sim::AdversaryStrategy>,
-) -> Network {
-    Network::new(
-        g,
-        AdversaryRole::Byzantine,
-        strategy,
-        CorruptionBudget::Mobile { f },
-        seed,
-    )
-}
+type StrategyFactory = Box<dyn Fn(u64) -> Box<dyn AdversaryStrategy>>;
 
 #[test]
 fn clique_compiler_across_payloads_and_adversaries() {
     let n = 16;
     let g = generators::complete(n);
     let f = 2;
-    let strategies: Vec<(&str, Box<dyn Fn(u64) -> Box<dyn mobile_congest::sim::AdversaryStrategy>>)> = vec![
+    let strategies: Vec<(&str, StrategyFactory)> = vec![
         ("random", Box::new(|s| Box::new(RandomMobile::new(2, s)))),
         ("sweep", Box::new(|_| Box::new(SweepMobile::new(1)))),
         (
@@ -53,18 +35,42 @@ fn clique_compiler_across_payloads_and_adversaries() {
     ];
     for (name, make) in &strategies {
         // Broadcast payload.
-        let expected = run_fault_free(&mut FloodBroadcast::new(g.clone(), 3, 777));
-        let compiler = CliqueCompiler::new(&g, f, 42);
-        let mut net = byz_net(g.clone(), f, 7, make(7));
-        let (out, rep) = compiler.run(&mut FloodBroadcast::new(g.clone(), 3, 777), &mut net);
-        assert_eq!(out, expected, "broadcast failed under {name}");
-        assert!(rep.fully_corrected, "residual mismatches under {name}");
+        let gg = g.clone();
+        let report = Scenario::on(g.clone())
+            .payload(move || FloodBroadcast::new(gg.clone(), 3, 777))
+            .adversary_boxed(
+                AdversaryRole::Byzantine,
+                make(7),
+                CorruptionBudget::Mobile { f },
+            )
+            .seed(7)
+            .compiled_with(CliqueAdapter::new(f, 42))
+            .run()
+            .unwrap();
+        assert_eq!(
+            report.agrees_with_fault_free(),
+            Some(true),
+            "broadcast failed under {name}"
+        );
 
         // Leader election payload.
-        let expected = run_fault_free(&mut LeaderElection::new(g.clone()));
-        let mut net = byz_net(g.clone(), f, 9, make(9));
-        let (out, _) = compiler.run(&mut LeaderElection::new(g.clone()), &mut net);
-        assert_eq!(out, expected, "leader election failed under {name}");
+        let gg = g.clone();
+        let report = Scenario::on(g.clone())
+            .payload(move || LeaderElection::new(gg.clone()))
+            .adversary_boxed(
+                AdversaryRole::Byzantine,
+                make(9),
+                CorruptionBudget::Mobile { f },
+            )
+            .seed(9)
+            .compiled_with(CliqueAdapter::new(f, 42))
+            .run()
+            .unwrap();
+        assert_eq!(
+            report.agrees_with_fault_free(),
+            Some(true),
+            "leader election failed under {name}"
+        );
     }
 }
 
@@ -72,20 +78,42 @@ fn clique_compiler_across_payloads_and_adversaries() {
 fn clique_compiler_protects_aggregation_and_coloring() {
     let g = generators::complete(14);
     let f = 1;
-    let compiler = CliqueCompiler::new(&g, f, 5);
 
     let inputs: Vec<u64> = (0..14).map(|v| v * 11 + 3).collect();
-    let expected = run_fault_free(&mut ConvergecastSum::new(g.clone(), 0, inputs.clone()));
-    let mut net = byz_net(g.clone(), f, 3, Box::new(RandomMobile::new(f, 3)));
-    let (out, _) = compiler.run(&mut ConvergecastSum::new(g.clone(), 0, inputs), &mut net);
-    assert_eq!(out, expected);
+    let gg = g.clone();
+    let report = Scenario::on(g.clone())
+        .payload(move || ConvergecastSum::new(gg.clone(), 0, inputs.clone()))
+        .adversary(
+            AdversaryRole::Byzantine,
+            RandomMobile::new(f, 3),
+            CorruptionBudget::Mobile { f },
+        )
+        .seed(3)
+        .compiled_with(CliqueAdapter::new(f, 5))
+        .run()
+        .unwrap();
+    assert_eq!(report.agrees_with_fault_free(), Some(true));
 
     // Randomized colouring: the compiled output must be a proper colouring.
-    let mut net = byz_net(g.clone(), f, 4, Box::new(RandomMobile::new(f, 4)));
+    let gg = g.clone();
+    let report = Scenario::on(g.clone())
+        .payload(move || RandomizedColoring::new(gg.clone(), 20, 99))
+        .adversary(
+            AdversaryRole::Byzantine,
+            RandomMobile::new(f, 4),
+            CorruptionBudget::Mobile { f },
+        )
+        .seed(4)
+        .compiled_with(CliqueAdapter::new(f, 5))
+        .check_against_fault_free(false)
+        .run()
+        .unwrap();
     let reference = RandomizedColoring::new(g.clone(), 20, 99);
-    let (out, _) = compiler.run(&mut RandomizedColoring::new(g.clone(), 20, 99), &mut net);
-    assert!(reference.is_proper(&out), "compiled colouring is improper");
-    assert!(RandomizedColoring::decided_fraction(&out) > 0.9);
+    assert!(
+        reference.is_proper(&report.outputs),
+        "compiled colouring is improper"
+    );
+    assert!(RandomizedColoring::decided_fraction(&report.outputs) > 0.9);
 }
 
 #[test]
@@ -98,110 +126,132 @@ fn general_graph_compiler_on_circulants() {
         (generators::circulant(16, 3), 8),
     ] {
         let f = 1;
-        let packing = greedy_low_depth_packing(&g, 0, k, 2);
-        let compiler = MobileByzantineCompiler::new(packing, f, 13);
-        let expected = run_fault_free(&mut BfsTreeAlgorithm::new(g.clone(), 0));
-        let mut net = byz_net(g.clone(), f, 8, Box::new(RandomMobile::new(f, 8)));
-        let (out, rep) = compiler.run(&mut BfsTreeAlgorithm::new(g.clone(), 0), &mut net);
+        let gg = g.clone();
+        let report = Scenario::on(g.clone())
+            .payload(move || BfsTreeAlgorithm::new(gg.clone(), 0))
+            .adversary(
+                AdversaryRole::Byzantine,
+                RandomMobile::new(f, 8),
+                CorruptionBudget::Mobile { f },
+            )
+            .seed(8)
+            .compiled_with(TreePackingAdapter::new(f, 13).with_trees(k))
+            .run()
+            .unwrap();
         // BFS parents may legitimately differ; depths must match.
+        let expected = report.fault_free.as_ref().unwrap();
         for v in g.nodes() {
-            assert_eq!(out[v][1], expected[v][1], "depth mismatch at node {v}");
+            assert_eq!(
+                report.outputs[v][1], expected[v][1],
+                "depth mismatch at node {v}"
+            );
         }
-        assert!(rep.fully_corrected);
     }
 }
 
 #[test]
 fn cycle_cover_compiler_small_f() {
     let g = generators::circulant(10, 2);
-    let compiler = CycleCoverCompiler::new(&g, 1).expect("4-edge-connected");
-    let expected = run_fault_free(&mut LeaderElection::new(g.clone()));
-    let mut net = byz_net(
-        g.clone(),
-        1,
-        6,
-        Box::new(RandomMobile::new(1, 6).with_mode(CorruptionMode::Constant(2))),
-    );
-    let (out, report) = compiler.run(&mut LeaderElection::new(g.clone()), &mut net);
-    assert_eq!(out, expected);
-    assert!(report.dilation >= 1);
+    let gg = g.clone();
+    let report = Scenario::on(g)
+        .payload(move || LeaderElection::new(gg.clone()))
+        .adversary(
+            AdversaryRole::Byzantine,
+            RandomMobile::new(1, 6).with_mode(CorruptionMode::Constant(2)),
+            CorruptionBudget::Mobile { f: 1 },
+        )
+        .seed(6)
+        .compiled_with(CycleCoverAdapter::new(1))
+        .run()
+        .unwrap();
+    assert_eq!(report.agrees_with_fault_free(), Some(true));
+    assert!(report.network_rounds > report.payload_rounds);
 }
 
 #[test]
 fn rewind_compiler_under_burst_and_uncompiled_failure_control() {
     let g = generators::complete(12);
-    let expected = run_fault_free(&mut LeaderElection::new(g.clone()));
 
-    // Negative control: an uncompiled run under a constant-value burst adversary
-    // with an unconstrained per-round budget is corrupted with overwhelming
-    // probability (every round, half the edges lie).
-    let mut bad_net = Network::new(
-        g.clone(),
-        AdversaryRole::Byzantine,
-        Box::new(GreedyHeaviest::new(30).with_mode(CorruptionMode::Constant(1))),
-        CorruptionBudget::Mobile { f: 30 },
-        1,
+    // Negative control: an uncompiled run under a constant-value burst
+    // adversary with an unconstrained per-round budget is corrupted with
+    // overwhelming probability (every round, half the edges lie).
+    let gg = g.clone();
+    let baseline = Scenario::on(g.clone())
+        .payload(move || LeaderElection::new(gg.clone()))
+        .adversary(
+            AdversaryRole::Byzantine,
+            GreedyHeaviest::new(30).with_mode(CorruptionMode::Constant(1)),
+            CorruptionBudget::Mobile { f: 30 },
+        )
+        .seed(1)
+        .compiled_with(Uncompiled)
+        .run()
+        .unwrap();
+    assert_eq!(
+        baseline.agrees_with_fault_free(),
+        Some(false),
+        "negative control unexpectedly survived"
     );
-    let uncompiled = run_on_network(&mut LeaderElection::new(g.clone()), &mut bad_net);
-    assert_ne!(uncompiled, expected, "negative control unexpectedly survived");
 
     // The rewind compiler under a bursty round-error-rate adversary succeeds.
-    let compiler = RewindCompiler::new(star_packing(&g, 0), 1, 17);
-    let mut net = Network::new(
-        g.clone(),
-        AdversaryRole::Byzantine,
-        Box::new(BurstAdversary::new(30, 5, 10, 3)),
-        CorruptionBudget::RoundErrorRate { total: 120 },
-        3,
-    );
-    let (out, report) = compiler.run(|| LeaderElection::new(g.clone()), &mut net);
-    assert!(report.completed);
-    assert_eq!(out, expected);
+    let gg = g.clone();
+    let report = Scenario::on(g.clone())
+        .payload(move || LeaderElection::new(gg.clone()))
+        .adversary(
+            AdversaryRole::Byzantine,
+            BurstAdversary::new(30, 5, 10, 3),
+            CorruptionBudget::RoundErrorRate { total: 120 },
+        )
+        .seed(3)
+        .compiled_with(RewindAdapter::new(1, 17))
+        .run()
+        .unwrap();
+    assert_eq!(report.agrees_with_fault_free(), Some(true));
 }
 
 #[test]
 fn secure_compilers_preserve_outputs_and_hide_inputs() {
     let g = generators::grid(3, 4);
     let readings: Vec<u64> = (0..12).map(|v| 1000 + v).collect();
-    let expected = run_fault_free(&mut ConvergecastSum::new(g.clone(), 0, readings.clone()));
 
     // Theorem 1.2 compiler.
-    let compiler = StaticToMobileCompiler::new(5, 2, 77);
-    let mut net = Network::new(
-        g.clone(),
-        AdversaryRole::Eavesdropper,
-        Box::new(RandomMobile::new(2, 5)),
-        CorruptionBudget::Mobile { f: 2 },
-        5,
-    );
-    let (out, _) = compiler.run(&mut ConvergecastSum::new(g.clone(), 0, readings.clone()), &mut net);
-    assert_eq!(out, expected);
+    let gg = g.clone();
+    let rr = readings.clone();
+    let report = Scenario::on(g.clone())
+        .payload(move || ConvergecastSum::new(gg.clone(), 0, rr.clone()))
+        .adversary(
+            AdversaryRole::Eavesdropper,
+            RandomMobile::new(2, 5),
+            CorruptionBudget::Mobile { f: 2 },
+        )
+        .seed(5)
+        .compiled_with(StaticToMobileAdapter::new(5, 2, 77))
+        .run()
+        .unwrap();
+    assert_eq!(report.agrees_with_fault_free(), Some(true));
     // No plaintext reading may appear verbatim in the adversary's view during
     // the simulation phase (the pads are 64-bit, collision probability ~2^-64).
-    for entry in &net.view_log().entries {
-        for side in [&entry.forward, &entry.backward] {
-            if let Some(p) = side {
-                for w in p {
-                    assert!(!readings.contains(w), "reading leaked in the clear");
-                }
-            }
-        }
-    }
+    assert!(
+        !report.view_contains_any(&readings),
+        "reading leaked in the clear"
+    );
 
     // Theorem 1.3 compiler on the clique (high connectivity) with token payload.
     let kg = generators::complete(10);
     let tokens: Vec<u64> = (0..10).map(|v| 3_000 + v).collect();
-    let expected = run_fault_free(&mut TokenDissemination::new(kg.clone(), tokens.clone(), 10));
-    let cs = CongestionSensitiveCompiler::new(1, 10, 23);
-    let mut net = Network::new(
-        kg.clone(),
-        AdversaryRole::Eavesdropper,
-        Box::new(RandomMobile::new(1, 9)),
-        CorruptionBudget::Mobile { f: 1 },
-        9,
-    );
-    let (out, _) = cs.run(&mut TokenDissemination::new(kg.clone(), tokens, 10), &mut net, 0);
-    assert_eq!(out, expected);
+    let kgg = kg.clone();
+    let report = Scenario::on(kg)
+        .payload(move || TokenDissemination::new(kgg.clone(), tokens.clone(), 10))
+        .adversary(
+            AdversaryRole::Eavesdropper,
+            RandomMobile::new(1, 9),
+            CorruptionBudget::Mobile { f: 1 },
+        )
+        .seed(9)
+        .compiled_with(CongestionSensitiveAdapter::new(1, 10, 23))
+        .run()
+        .unwrap();
+    assert_eq!(report.agrees_with_fault_free(), Some(true));
 }
 
 /// Perfect security, operationally: couple the adversary schedule and node
@@ -213,16 +263,18 @@ fn coupled_views_are_input_independent_for_unicast() {
     let g = generators::cycle(8);
     // Observe a fixed edge only after the single pad-exchange round.
     let schedule: Vec<Vec<usize>> = std::iter::once(vec![])
-        .chain(std::iter::repeat(vec![2usize]).take(20))
+        .chain(std::iter::repeat_n(vec![2usize], 20))
         .collect();
     let run = |secret: u64| {
-        let mut net = Network::new(
-            g.clone(),
-            AdversaryRole::Eavesdropper,
-            Box::new(mobile_congest::sim::adversary::ScheduledEdges::new(schedule.clone())),
-            CorruptionBudget::Mobile { f: 1 },
-            1,
-        );
+        let mut net = Scenario::on(g.clone())
+            .adversary(
+                AdversaryRole::Eavesdropper,
+                ScheduledEdges::new(schedule.clone()),
+                CorruptionBudget::Mobile { f: 1 },
+            )
+            .seed(1)
+            .network()
+            .unwrap();
         let rep = mobile_secure_unicast(&mut net, 0, 4, secret, 99);
         assert_eq!(rep.recovered[0], Some(secret));
         net.view_log().canonical()
@@ -242,39 +294,53 @@ fn uncompiled_baseline_is_broken_by_a_single_mobile_edge_eventually() {
     // schedule; this is the "resilience is impossible without redundancy"
     // control for sparse graphs.
     let g = generators::cycle(8);
-    let expected = run_fault_free(&mut FloodBroadcast::new(g.clone(), 0, 777));
     let mut broken_any = false;
     for seed in 0..5 {
-        let mut net = Network::new(
-            g.clone(),
-            AdversaryRole::Byzantine,
-            Box::new(RandomMobile::new(1, seed).with_mode(CorruptionMode::Constant(123))),
-            CorruptionBudget::Mobile { f: 1 },
-            seed,
-        );
-        let out = run_on_network(&mut FloodBroadcast::new(g.clone(), 0, 777), &mut net);
-        if out != expected {
+        let gg = g.clone();
+        let report = Scenario::on(g.clone())
+            .payload(move || FloodBroadcast::new(gg.clone(), 0, 777))
+            .adversary(
+                AdversaryRole::Byzantine,
+                RandomMobile::new(1, seed).with_mode(CorruptionMode::Constant(123)),
+                CorruptionBudget::Mobile { f: 1 },
+            )
+            .seed(seed)
+            .compiled_with(Uncompiled)
+            .run()
+            .unwrap();
+        if report.agrees_with_fault_free() == Some(false) {
             broken_any = true;
         }
     }
-    assert!(broken_any, "the unprotected baseline should break for some schedule");
+    assert!(
+        broken_any,
+        "the unprotected baseline should break for some schedule"
+    );
 }
 
 #[test]
 fn compiled_runs_cost_more_rounds_but_bounded_overhead() {
     let g = generators::complete(16);
     let f = 2;
-    let compiler = CliqueCompiler::new(&g, f, 3);
-    let payload_rounds = LeaderElection::new(g.clone()).rounds();
-    let mut net = byz_net(g.clone(), f, 11, Box::new(RandomMobile::new(f, 11)));
-    let (_, rep) = compiler.run(&mut LeaderElection::new(g.clone()), &mut net);
-    assert_eq!(rep.payload_rounds, payload_rounds);
-    assert!(rep.network_rounds > payload_rounds);
+    let gg = g.clone();
+    let report = Scenario::on(g.clone())
+        .payload(move || LeaderElection::new(gg.clone()))
+        .adversary(
+            AdversaryRole::Byzantine,
+            RandomMobile::new(f, 11),
+            CorruptionBudget::Mobile { f },
+        )
+        .seed(11)
+        .compiled_with(CliqueAdapter::new(f, 3))
+        .run()
+        .unwrap();
+    assert_eq!(report.agrees_with_fault_free(), Some(true));
+    assert!(report.network_rounds > report.payload_rounds);
     // Overhead is polylogarithmic-ish in simulation terms: well below the naive
     // "repeat everything n times" blow-up.
     assert!(
-        rep.network_rounds < 5000 * payload_rounds,
+        report.network_rounds < 5000 * report.payload_rounds,
         "overhead unexpectedly large: {}",
-        rep.network_rounds
+        report.network_rounds
     );
 }

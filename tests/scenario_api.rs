@@ -1,0 +1,300 @@
+//! Contract tests for the unified `Scenario` execution API: build-time
+//! validation of role/compiler pairings, byte-for-byte parity of the
+//! `Uncompiled`/`FaultFree` compilers with the low-level entry points, and
+//! the graph × adversary × compiler matrix sweep.
+
+use mobile_congest::graphs::generators;
+use mobile_congest::payloads::{ConvergecastSum, FloodBroadcast, LeaderElection};
+use mobile_congest::scenario::{
+    matrix, CliqueAdapter, Compiler, CompilerKind, CongestionSensitiveAdapter, CycleCoverAdapter,
+    FaultFree, RewindAdapter, Scenario, ScenarioError, StaticToMobileAdapter, TreePackingAdapter,
+    Uncompiled,
+};
+use mobile_congest::sim::adversary::{
+    AdversaryRole, CorruptionBudget, CorruptionMode, GreedyHeaviest, RandomMobile, SweepMobile,
+};
+use mobile_congest::sim::network::Network;
+use mobile_congest::sim::{run_fault_free, run_on_network};
+
+#[test]
+fn builder_rejects_eavesdropper_with_resilient_compilers() {
+    let g = generators::complete(10);
+    for (name, compiler) in [
+        (
+            "clique",
+            Box::new(CliqueAdapter::new(1, 3)) as Box<dyn Compiler>,
+        ),
+        ("tree-packing", Box::new(TreePackingAdapter::new(1, 3))),
+        ("cycle-cover", Box::new(CycleCoverAdapter::new(1))),
+        ("rewind", Box::new(RewindAdapter::new(1, 3))),
+    ] {
+        let gg = g.clone();
+        let err = Scenario::on(g.clone())
+            .payload(move || LeaderElection::new(gg.clone()))
+            .adversary(
+                AdversaryRole::Eavesdropper,
+                RandomMobile::new(1, 5),
+                CorruptionBudget::Mobile { f: 1 },
+            )
+            .compiled_with_boxed(compiler)
+            .run()
+            .unwrap_err();
+        assert!(
+            matches!(
+                err,
+                ScenarioError::RoleMismatch {
+                    role: AdversaryRole::Eavesdropper,
+                    ..
+                }
+            ),
+            "{name}: expected RoleMismatch, got {err:?}"
+        );
+    }
+}
+
+#[test]
+fn builder_rejects_byzantine_with_secure_compilers() {
+    let g = generators::complete(10);
+    for compiler in [
+        Box::new(StaticToMobileAdapter::new(4, 2, 1)) as Box<dyn Compiler>,
+        Box::new(CongestionSensitiveAdapter::new(1, 2, 1)),
+    ] {
+        let kind = compiler.kind();
+        assert_eq!(kind, CompilerKind::Secure);
+        let gg = g.clone();
+        let err = Scenario::on(g.clone())
+            .payload(move || LeaderElection::new(gg.clone()))
+            .adversary(
+                AdversaryRole::Byzantine,
+                RandomMobile::new(1, 5),
+                CorruptionBudget::Mobile { f: 1 },
+            )
+            .compiled_with_boxed(compiler)
+            .run()
+            .unwrap_err();
+        assert!(matches!(err, ScenarioError::RoleMismatch { .. }));
+    }
+}
+
+#[test]
+fn builder_rejects_structurally_impossible_graphs() {
+    // Clique compiler off the clique.
+    let gg = generators::cycle(8);
+    let err = Scenario::on(gg.clone())
+        .payload(move || LeaderElection::new(gg.clone()))
+        .adversary(
+            AdversaryRole::Byzantine,
+            RandomMobile::new(1, 5),
+            CorruptionBudget::Mobile { f: 1 },
+        )
+        .compiled_with(CliqueAdapter::new(1, 3))
+        .run()
+        .unwrap_err();
+    assert!(matches!(err, ScenarioError::UnsupportedGraph { .. }));
+
+    // Cycle-cover compiler on a graph below (2f+1)-edge-connectivity.
+    let gg = generators::cycle(8);
+    let err = Scenario::on(gg.clone())
+        .payload(move || LeaderElection::new(gg.clone()))
+        .adversary(
+            AdversaryRole::Byzantine,
+            RandomMobile::new(1, 5),
+            CorruptionBudget::Mobile { f: 1 },
+        )
+        .compiled_with(CycleCoverAdapter::new(1))
+        .run()
+        .unwrap_err();
+    assert_eq!(
+        err,
+        ScenarioError::InsufficientConnectivity {
+            compiler: CycleCoverAdapter::new(1).name(),
+            needed: 3,
+            found: 2,
+        }
+    );
+}
+
+#[test]
+fn missing_payload_is_rejected_before_any_round_runs() {
+    let err = Scenario::on(generators::complete(6))
+        .adversary(
+            AdversaryRole::Byzantine,
+            RandomMobile::new(1, 1),
+            CorruptionBudget::Mobile { f: 1 },
+        )
+        .run()
+        .unwrap_err();
+    assert_eq!(err, ScenarioError::MissingPayload);
+}
+
+/// `Uncompiled` through the pipeline must reproduce `run_on_network` on an
+/// identically configured network byte for byte — same outputs, same round
+/// and corruption counters.
+#[test]
+fn uncompiled_scenario_reproduces_run_on_network_byte_for_byte() {
+    let g = generators::complete(10);
+    let f = 2;
+    let seed = 11;
+
+    let mut reference_net = Network::new(
+        g.clone(),
+        AdversaryRole::Byzantine,
+        Box::new(RandomMobile::new(f, seed).with_mode(CorruptionMode::FlipLowBit)),
+        CorruptionBudget::Mobile { f },
+        seed,
+    );
+    let reference = run_on_network(
+        &mut FloodBroadcast::new(g.clone(), 0, 777),
+        &mut reference_net,
+    );
+
+    let gg = g.clone();
+    let report = Scenario::on(g.clone())
+        .payload(move || FloodBroadcast::new(gg.clone(), 0, 777))
+        .adversary(
+            AdversaryRole::Byzantine,
+            RandomMobile::new(f, seed).with_mode(CorruptionMode::FlipLowBit),
+            CorruptionBudget::Mobile { f },
+        )
+        .seed(seed)
+        .compiled_with(Uncompiled)
+        .run()
+        .unwrap();
+
+    assert_eq!(report.outputs, reference);
+    assert_eq!(report.network_rounds, reference_net.round());
+    assert_eq!(report.metrics, *reference_net.metrics());
+}
+
+/// `FaultFree` through the pipeline must reproduce `run_fault_free` byte for
+/// byte and consume zero network rounds.
+#[test]
+fn fault_free_scenario_reproduces_run_fault_free_byte_for_byte() {
+    let g = generators::grid(3, 4);
+    let inputs: Vec<u64> = (0..12).map(|v| 100 + v).collect();
+    let reference = run_fault_free(&mut ConvergecastSum::new(g.clone(), 0, inputs.clone()));
+
+    let gg = g.clone();
+    let report = Scenario::on(g.clone())
+        .payload(move || ConvergecastSum::new(gg.clone(), 0, inputs.clone()))
+        .compiled_with(FaultFree)
+        .run()
+        .unwrap();
+
+    assert_eq!(report.outputs, reference);
+    assert_eq!(report.fault_free, Some(reference));
+    assert_eq!(report.network_rounds, 0);
+    assert_eq!(report.agrees_with_fault_free(), Some(true));
+}
+
+/// The acceptance-grade sweep: 3 graph families × 4 adversary strategies ×
+/// 6 compilers through `scenario::matrix` in one call.  Structurally
+/// impossible cells must be skipped with typed errors; every executed
+/// protected cell must agree with the fault-free reference.
+#[test]
+fn matrix_sweep_graphs_by_adversaries_by_compilers() {
+    let graphs = vec![
+        matrix::GraphSpec::new("K12", generators::complete(12)),
+        matrix::GraphSpec::new("circ(18,4)", generators::circulant(18, 4)),
+        matrix::GraphSpec::new("circ(10,2)", generators::circulant(10, 2)),
+    ];
+    let adversaries = vec![
+        matrix::AdversarySpec::new(
+            "random-mobile",
+            AdversaryRole::Byzantine,
+            CorruptionBudget::Mobile { f: 1 },
+            |seed| Box::new(RandomMobile::new(1, seed)),
+        ),
+        matrix::AdversarySpec::new(
+            "sweep-mobile",
+            AdversaryRole::Byzantine,
+            CorruptionBudget::Mobile { f: 1 },
+            |_| Box::new(SweepMobile::new(1)),
+        ),
+        matrix::AdversarySpec::new(
+            "greedy-heaviest",
+            AdversaryRole::Byzantine,
+            CorruptionBudget::Mobile { f: 1 },
+            |_| Box::new(GreedyHeaviest::new(1).with_mode(CorruptionMode::FlipLowBit)),
+        ),
+        matrix::AdversarySpec::new(
+            "eavesdropper",
+            AdversaryRole::Eavesdropper,
+            CorruptionBudget::Mobile { f: 2 },
+            |seed| Box::new(RandomMobile::new(2, seed)),
+        ),
+    ];
+    let compilers = vec![
+        matrix::CompilerSpec::of(FaultFree),
+        matrix::CompilerSpec::of(Uncompiled),
+        matrix::CompilerSpec::of(CliqueAdapter::new(1, 5)),
+        matrix::CompilerSpec::of(TreePackingAdapter::new(1, 5)),
+        matrix::CompilerSpec::of(CycleCoverAdapter::new(1)),
+        matrix::CompilerSpec::of(StaticToMobileAdapter::new(4, 2, 5)),
+    ];
+
+    let report = matrix::sweep(
+        &graphs,
+        &adversaries,
+        &compilers,
+        |g| Box::new(FloodBroadcast::new(g.clone(), 0, 4242)),
+        2024,
+    );
+
+    assert_eq!(report.cells.len(), 3 * 4 * 6, "full grid must be covered");
+
+    // Structural skips: resilient compilers under the eavesdropper, secure
+    // compiler under the three byzantine strategies, clique compiler off the
+    // clique, and packings that do not fit the sparse circulant.
+    assert!(report.skipped_count() > 0, "expected typed skips");
+    for cell in &report.cells {
+        if cell.skipped() {
+            assert!(
+                matches!(
+                    cell.outcome,
+                    Err(ScenarioError::RoleMismatch { .. })
+                        | Err(ScenarioError::UnsupportedGraph { .. })
+                        | Err(ScenarioError::InsufficientConnectivity { .. })
+                ),
+                "unexpected skip reason in {}/{}/{}",
+                cell.graph,
+                cell.adversary,
+                cell.compiler
+            );
+        }
+    }
+
+    // Representative structural skips exist.
+    assert!(report.cells.iter().any(|c| c.compiler.starts_with("clique")
+        && c.graph != "K12"
+        && matches!(c.outcome, Err(ScenarioError::UnsupportedGraph { .. }))));
+    assert!(report.cells.iter().any(|c| c.adversary == "eavesdropper"
+        && matches!(c.outcome, Err(ScenarioError::RoleMismatch { .. }))));
+
+    // Every executed protected cell agrees with the fault-free reference.
+    for cell in report.executed() {
+        let outcome = cell.outcome.as_ref().unwrap_or_else(|e| {
+            panic!(
+                "{}/{}/{} failed: {e}",
+                cell.graph, cell.adversary, cell.compiler
+            )
+        });
+        if cell.compiler != "uncompiled" {
+            assert_eq!(
+                outcome.agrees_with_fault_free(),
+                Some(true),
+                "{}/{}/{} diverged",
+                cell.graph,
+                cell.adversary,
+                cell.compiler
+            );
+        }
+    }
+    assert!(report.all_protected_cells_agree());
+
+    // The formatted table mentions every graph family.
+    let table = report.to_table();
+    for gspec in &graphs {
+        assert!(table.contains(&gspec.name));
+    }
+}
