@@ -18,6 +18,7 @@ use mobile_congest::graphs::connectivity::{edge_connectivity, estimate_dtp, swee
 use mobile_congest::graphs::generators;
 use mobile_congest::graphs::tree_packing::{greedy_low_depth_packing, star_packing};
 use mobile_congest::graphs::Graph;
+use mobile_congest::harness::Campaign;
 use mobile_congest::icoding::RsScheduler;
 use mobile_congest::payloads::{FloodBroadcast, LeaderElection, TokenDissemination};
 use mobile_congest::scenario::{
@@ -518,6 +519,78 @@ fn e15_baselines() {
     }
 }
 
+/// E16 — the deterministic parallel campaign engine: the full
+/// graph × adversary × compiler grid with seed repetitions, fanned across
+/// every core, aggregated (mean/min/max/p50/p99, including the typed
+/// `CompilerNotes` facets) and exported as a JSONL trajectory.
+fn e16_campaign() {
+    use mobile_congest::scenario::matrix::{AdversarySpec, CompilerSpec, GraphSpec};
+    header(
+        "E16",
+        "parallel campaign engine (grid x 4 repetitions, all cores)",
+    );
+    let campaign = Campaign::new(2024)
+        .graphs(vec![
+            GraphSpec::new("K12", generators::complete(12)),
+            GraphSpec::new("circ(18,4)", generators::circulant(18, 4)),
+            GraphSpec::new("circ(10,2)", generators::circulant(10, 2)),
+        ])
+        .adversaries(vec![
+            AdversarySpec::new(
+                "random-mobile",
+                AdversaryRole::Byzantine,
+                CorruptionBudget::Mobile { f: 1 },
+                |seed| Box::new(RandomMobile::new(1, seed)),
+            ),
+            AdversarySpec::new(
+                "greedy-heaviest",
+                AdversaryRole::Byzantine,
+                CorruptionBudget::Mobile { f: 1 },
+                |_| Box::new(GreedyHeaviest::new(1).with_mode(CorruptionMode::FlipLowBit)),
+            ),
+            AdversarySpec::new(
+                "eavesdropper",
+                AdversaryRole::Eavesdropper,
+                CorruptionBudget::Mobile { f: 2 },
+                |seed| Box::new(RandomMobile::new(2, seed)),
+            ),
+        ])
+        .compilers(vec![
+            CompilerSpec::of(Uncompiled),
+            CompilerSpec::of(CliqueAdapter::new(1, 5)),
+            CompilerSpec::of(TreePackingAdapter::new(1, 5)),
+            CompilerSpec::of(CycleCoverAdapter::new(1)),
+            CompilerSpec::of(StaticToMobileAdapter::new(4, 2, 5)),
+        ])
+        .payload(|g| Box::new(FloodBroadcast::new(g.clone(), 0, 4242)) as BoxedAlgorithm)
+        .repetitions(4);
+
+    let t0 = Instant::now();
+    let report = campaign.run();
+    let wall = t0.elapsed().as_secs_f64();
+    let summaries = report.summaries();
+    print!("{}", report.to_table_with(&summaries));
+    println!(
+        "{} cells ({} skipped) on {} workers in {wall:.2}s; protected cells agree: {}",
+        report.cells.len(),
+        report.skipped_count(),
+        mobile_congest::harness::default_threads(),
+        report.all_protected_cells_agree()
+    );
+
+    // The bench trajectory: per-cell lines plus per-group summaries.
+    let jsonl = report.to_jsonl_with(&summaries);
+    let path = std::path::Path::new("target").join("campaign-trajectory.jsonl");
+    match std::fs::write(&path, &jsonl) {
+        Ok(()) => println!(
+            "wrote {} JSONL lines to {}",
+            jsonl.lines().count(),
+            path.display()
+        ),
+        Err(e) => println!("could not write {}: {e}", path.display()),
+    }
+}
+
 fn main() {
     let t0 = Instant::now();
     e1_bit_extraction();
@@ -535,6 +608,7 @@ fn main() {
     e13_sketches();
     e14_scheduler();
     e15_baselines();
+    e16_campaign();
     println!(
         "\ntotal experiment time: {:.1}s",
         t0.elapsed().as_secs_f64()

@@ -36,9 +36,14 @@
 //!   with a resilience compiler is a typed [`ScenarioError`], not a silent
 //!   misrun;
 //! * [`RunReport`] — outputs plus round/bandwidth/corruption metrics, the
-//!   eavesdropper's [`ViewLog`] and the fault-free-agreement verdict;
+//!   compiler's typed [`CompilerNotes`], the eavesdropper's [`ViewLog`] and
+//!   the fault-free-agreement verdict;
+//! * [`CompilerNotes`] — the typed diagnostics channel (rewind counts,
+//!   correction verdicts, key rounds, packing quality) threaded from every
+//!   compiler through [`Compiler::compile`] onto the report;
 //! * [`matrix`] — sweeps graph-family × adversary-strategy × compiler grids
-//!   in one call.
+//!   in one call (single-threaded facade over the cells the parallel
+//!   `harness::Campaign` engine drives).
 
 use crate::adversary::{AdversaryRole, AdversaryStrategy, CorruptionBudget, NoAdversary};
 use crate::algorithm::{run_fault_free, run_on_network, CongestAlgorithm};
@@ -154,6 +159,23 @@ impl core::fmt::Display for ScenarioError {
     }
 }
 
+impl ScenarioError {
+    /// Whether this error is a *configuration-time* rejection (role mismatch,
+    /// unsupported graph, connectivity shortfall, bad parameter) as opposed
+    /// to a runtime failure.  Grid drivers (`matrix::sweep`, the harness
+    /// campaign engine) record validation errors as skipped cells, not
+    /// failures — keep the classification here so both stay in sync.
+    pub fn is_validation_error(&self) -> bool {
+        matches!(
+            self,
+            ScenarioError::RoleMismatch { .. }
+                | ScenarioError::UnsupportedGraph { .. }
+                | ScenarioError::InsufficientConnectivity { .. }
+                | ScenarioError::InvalidParameter { .. }
+        )
+    }
+}
+
 impl std::error::Error for ScenarioError {}
 
 /// What a compiler defends against; drives role validation.
@@ -185,6 +207,262 @@ impl CompilerKind {
     }
 }
 
+/// Typed per-compiler diagnostics, returned from [`Compiler::compile`] and
+/// carried on [`RunReport::notes`].
+///
+/// Every compiler of the paper produces a structured report of *how* the run
+/// went — how many rewinds, whether every round was fully corrected, how many
+/// rounds were spent exchanging keys, how good the packing built under attack
+/// was.  Before this enum the adapters discarded those reports; now the whole
+/// channel is typed end to end, so scenario callers (and the `harness`
+/// campaign engine) can assert on and aggregate over them.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CompilerNotes {
+    /// The compiler has nothing to report (baseline / reference runs).
+    None,
+    /// Tree-packing resilient compilers (Theorems 1.6 / 3.5): the correction
+    /// trace, summed over the simulated payload rounds.
+    Resilient {
+        /// Whether every simulated round ended with zero residual mismatches.
+        fully_corrected: bool,
+        /// Mismatched arcs before correction, summed over rounds.
+        mismatches_before: usize,
+        /// Mismatched arcs after correction, summed over rounds.
+        mismatches_after: usize,
+        /// Tree instances that failed during sketch aggregation, summed.
+        failed_trees: usize,
+    },
+    /// The expander compiler (Theorem 1.7): quality of the packing built
+    /// while under attack, plus the correction verdict.
+    Expander {
+        /// Colour classes / candidate trees built.
+        trees: usize,
+        /// Trees that came out spanning within the depth budget.
+        good_trees: usize,
+        /// Network rounds spent building the packing.
+        packing_rounds: usize,
+        /// Whether every simulated round ended fully corrected.
+        fully_corrected: bool,
+        /// Residual mismatched arcs, summed over rounds.
+        mismatches_after: usize,
+    },
+    /// The FT-cycle-cover compiler (Theorems 1.4 / 5.5): cover geometry.
+    CycleCover {
+        /// Edge-disjoint paths per edge (`2f + 1`).
+        paths_per_edge: usize,
+        /// Dilation of the cover.
+        dilation: usize,
+        /// Congestion of the cover.
+        congestion: usize,
+        /// Colour classes processed per simulated round.
+        colors: usize,
+    },
+    /// The rewind compiler (Theorem 4.1): progress bookkeeping.
+    Rewind {
+        /// Number of rewinds performed.
+        rewinds: usize,
+        /// Committed simulated rounds at the end.
+        committed_rounds: usize,
+        /// Global rounds executed.
+        global_rounds: usize,
+        /// Whether the payload completed all of its rounds.
+        completed: bool,
+    },
+    /// The static→mobile secrecy compiler (Theorem 1.2): phase split.
+    Secure {
+        /// Rounds spent establishing one-time pads.
+        key_rounds: usize,
+        /// Rounds spent simulating the payload.
+        simulation_rounds: usize,
+    },
+    /// The congestion-sensitive secrecy compiler (Theorem 1.3).
+    CongestionSensitive {
+        /// Rounds of local secret exchange.
+        local_key_rounds: usize,
+        /// Rounds of global secret exchange.
+        global_key_rounds: usize,
+        /// Rounds simulating the payload.
+        simulation_rounds: usize,
+        /// Congestion bound used for the parameters.
+        congestion: usize,
+    },
+}
+
+impl CompilerNotes {
+    /// Whether there are no diagnostics.
+    pub fn is_none(&self) -> bool {
+        matches!(self, CompilerNotes::None)
+    }
+
+    /// Stable lowercase label of the variant (JSONL `type` field).
+    pub fn label(&self) -> &'static str {
+        match self {
+            CompilerNotes::None => "none",
+            CompilerNotes::Resilient { .. } => "resilient",
+            CompilerNotes::Expander { .. } => "expander",
+            CompilerNotes::CycleCover { .. } => "cycle-cover",
+            CompilerNotes::Rewind { .. } => "rewind",
+            CompilerNotes::Secure { .. } => "secure",
+            CompilerNotes::CongestionSensitive { .. } => "congestion-sensitive",
+        }
+    }
+
+    /// Whether every simulated round ended fully corrected (resilient-style
+    /// compilers only).
+    pub fn fully_corrected(&self) -> Option<bool> {
+        match self {
+            CompilerNotes::Resilient {
+                fully_corrected, ..
+            }
+            | CompilerNotes::Expander {
+                fully_corrected, ..
+            } => Some(*fully_corrected),
+            _ => None,
+        }
+    }
+
+    /// Number of rewinds (rewind compiler only).
+    pub fn rewinds(&self) -> Option<usize> {
+        match self {
+            CompilerNotes::Rewind { rewinds, .. } => Some(*rewinds),
+            _ => None,
+        }
+    }
+
+    /// Total key-exchange rounds (secrecy compilers only).
+    pub fn key_rounds(&self) -> Option<usize> {
+        match self {
+            CompilerNotes::Secure { key_rounds, .. } => Some(*key_rounds),
+            CompilerNotes::CongestionSensitive {
+                local_key_rounds,
+                global_key_rounds,
+                ..
+            } => Some(local_key_rounds + global_key_rounds),
+            _ => None,
+        }
+    }
+
+    /// One compact `key:value` fragment for results tables (e.g.
+    /// `rewinds:3`, `corrected:yes`, `key-rounds:12`).
+    pub fn summary(&self) -> String {
+        match self {
+            CompilerNotes::None => "-".into(),
+            CompilerNotes::Resilient {
+                fully_corrected,
+                mismatches_after,
+                ..
+            } => {
+                if *fully_corrected {
+                    "corrected:yes".into()
+                } else {
+                    format!("corrected:NO({mismatches_after} left)")
+                }
+            }
+            CompilerNotes::Expander {
+                trees, good_trees, ..
+            } => format!("good-trees:{good_trees}/{trees}"),
+            CompilerNotes::CycleCover {
+                dilation,
+                congestion,
+                ..
+            } => format!("dil:{dilation},cong:{congestion}"),
+            CompilerNotes::Rewind { rewinds, .. } => format!("rewinds:{rewinds}"),
+            CompilerNotes::Secure { key_rounds, .. } => format!("key-rounds:{key_rounds}"),
+            CompilerNotes::CongestionSensitive {
+                local_key_rounds,
+                global_key_rounds,
+                ..
+            } => format!("key-rounds:{}", local_key_rounds + global_key_rounds),
+        }
+    }
+
+    /// The numeric facets of the diagnostics, as stable `(name, value)`
+    /// pairs (booleans as 0/1).  This is what campaign-level aggregation
+    /// (mean/min/max/p50/p99 over repetitions) runs over.
+    pub fn metrics(&self) -> Vec<(&'static str, f64)> {
+        fn b(v: bool) -> f64 {
+            if v {
+                1.0
+            } else {
+                0.0
+            }
+        }
+        match self {
+            CompilerNotes::None => Vec::new(),
+            CompilerNotes::Resilient {
+                fully_corrected,
+                mismatches_before,
+                mismatches_after,
+                failed_trees,
+            } => vec![
+                ("fully_corrected", b(*fully_corrected)),
+                ("mismatches_before", *mismatches_before as f64),
+                ("mismatches_after", *mismatches_after as f64),
+                ("failed_trees", *failed_trees as f64),
+            ],
+            CompilerNotes::Expander {
+                trees,
+                good_trees,
+                packing_rounds,
+                fully_corrected,
+                mismatches_after,
+            } => vec![
+                ("trees", *trees as f64),
+                ("good_trees", *good_trees as f64),
+                ("packing_rounds", *packing_rounds as f64),
+                ("fully_corrected", b(*fully_corrected)),
+                ("mismatches_after", *mismatches_after as f64),
+            ],
+            CompilerNotes::CycleCover {
+                paths_per_edge,
+                dilation,
+                congestion,
+                colors,
+            } => vec![
+                ("paths_per_edge", *paths_per_edge as f64),
+                ("dilation", *dilation as f64),
+                ("congestion", *congestion as f64),
+                ("colors", *colors as f64),
+            ],
+            CompilerNotes::Rewind {
+                rewinds,
+                committed_rounds,
+                global_rounds,
+                completed,
+            } => vec![
+                ("rewinds", *rewinds as f64),
+                ("committed_rounds", *committed_rounds as f64),
+                ("global_rounds", *global_rounds as f64),
+                ("completed", b(*completed)),
+            ],
+            CompilerNotes::Secure {
+                key_rounds,
+                simulation_rounds,
+            } => vec![
+                ("key_rounds", *key_rounds as f64),
+                ("simulation_rounds", *simulation_rounds as f64),
+            ],
+            CompilerNotes::CongestionSensitive {
+                local_key_rounds,
+                global_key_rounds,
+                simulation_rounds,
+                congestion,
+            } => vec![
+                ("local_key_rounds", *local_key_rounds as f64),
+                ("global_key_rounds", *global_key_rounds as f64),
+                ("simulation_rounds", *simulation_rounds as f64),
+                ("congestion", *congestion as f64),
+            ],
+        }
+    }
+}
+
+impl core::fmt::Display for CompilerNotes {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "{}", self.summary())
+    }
+}
+
 /// The uniform compiler interface of the scenario pipeline.
 ///
 /// A compiler takes an arbitrary round-by-round CONGEST algorithm and
@@ -199,7 +477,8 @@ pub trait Compiler {
     /// What the compiler defends against.
     fn kind(&self) -> CompilerKind;
 
-    /// Compile and execute `payload` on `net`.
+    /// Compile and execute `payload` on `net`, returning the payload outputs
+    /// together with the compiler's typed diagnostics.
     ///
     /// Implementations re-check the adversary role against [`Network::role`],
     /// but full graph validation runs once in [`Compiler::validate`] (the
@@ -210,7 +489,7 @@ pub trait Compiler {
         &self,
         payload: BoxedAlgorithm,
         net: &mut Network,
-    ) -> Result<Vec<Output>, ScenarioError>;
+    ) -> Result<(Vec<Output>, CompilerNotes), ScenarioError>;
 
     /// Compile and execute with access to fresh payload instances.  Compilers
     /// that re-simulate from a committed prefix (the rewind compiler)
@@ -220,7 +499,7 @@ pub trait Compiler {
         &self,
         make: &dyn Fn() -> BoxedAlgorithm,
         net: &mut Network,
-    ) -> Result<Vec<Output>, ScenarioError> {
+    ) -> Result<(Vec<Output>, CompilerNotes), ScenarioError> {
         self.compile(make(), net)
     }
 
@@ -266,8 +545,8 @@ impl Compiler for Uncompiled {
         &self,
         mut payload: BoxedAlgorithm,
         net: &mut Network,
-    ) -> Result<Vec<Output>, ScenarioError> {
-        Ok(run_on_network(&mut *payload, net))
+    ) -> Result<(Vec<Output>, CompilerNotes), ScenarioError> {
+        Ok((run_on_network(&mut *payload, net), CompilerNotes::None))
     }
 }
 
@@ -287,8 +566,8 @@ impl Compiler for FaultFree {
         &self,
         mut payload: BoxedAlgorithm,
         _net: &mut Network,
-    ) -> Result<Vec<Output>, ScenarioError> {
-        Ok(run_fault_free(&mut *payload))
+    ) -> Result<(Vec<Output>, CompilerNotes), ScenarioError> {
+        Ok((run_fault_free(&mut *payload), CompilerNotes::None))
     }
 }
 
@@ -496,7 +775,7 @@ impl BuiltScenario {
             net.set_bandwidth_words(words);
         }
         let adversary = net.adversary_name();
-        let outputs = self.compiler.compile_replayable(&self.payload, &mut net)?;
+        let (outputs, notes) = self.compiler.compile_replayable(&self.payload, &mut net)?;
         let fault_free = if self.check_fault_free && is_reference {
             Some(outputs.clone())
         } else {
@@ -515,6 +794,7 @@ impl BuiltScenario {
             network_rounds: net.round(),
             outputs,
             fault_free,
+            notes,
             metrics: net.metrics().clone(),
             view: net.view_log().clone(),
         })
@@ -548,6 +828,9 @@ pub struct RunReport {
     pub outputs: Vec<Output>,
     /// The fault-free reference outputs, when requested.
     pub fault_free: Option<Vec<Output>>,
+    /// The compiler's typed diagnostics (rewinds, correction verdicts, key
+    /// rounds, packing quality, …).
+    pub notes: CompilerNotes,
     /// Round / message / bandwidth / corruption counters.
     pub metrics: Metrics,
     /// What the eavesdropper saw (empty for byzantine roles).
@@ -566,6 +849,15 @@ impl RunReport {
         self.network_rounds as f64 / self.payload_rounds.max(1) as f64
     }
 
+    /// Whether this run counts as correct for grid verdicts: baseline-kind
+    /// compilers are exempt (an uncompiled run is *supposed* to be
+    /// corruptible); everything else must not diverge from the fault-free
+    /// reference.  Shared by `matrix::MatrixReport` and the harness
+    /// campaign report.
+    pub fn protected_cell_ok(&self) -> bool {
+        self.compiler_kind == CompilerKind::Baseline || self.agrees_with_fault_free() != Some(false)
+    }
+
     /// Whether any plaintext word from `secrets` appears verbatim in the
     /// adversary's recorded view (the operational leak check of the security
     /// experiments).
@@ -581,7 +873,7 @@ impl RunReport {
     /// Header row matching [`RunReport::table_row`].
     pub fn table_header() -> String {
         format!(
-            "{:<22} {:<20} {:<22} {:>7} {:>9} {:>9} {:>10} {:>8}",
+            "{:<22} {:<20} {:<22} {:>7} {:>9} {:>9} {:>10} {:>8} {:<20}",
             "payload",
             "compiler",
             "adversary",
@@ -589,14 +881,15 @@ impl RunReport {
             "net rnds",
             "overhead",
             "corrupted",
-            "agrees"
+            "agrees",
+            "notes"
         )
     }
 
     /// One formatted results row (experiment tables).
     pub fn table_row(&self) -> String {
         format!(
-            "{:<22} {:<20} {:<22} {:>7} {:>9} {:>9.1} {:>10} {:>8}",
+            "{:<22} {:<20} {:<22} {:>7} {:>9} {:>9.1} {:>10} {:>8} {:<20}",
             self.payload,
             self.compiler,
             self.adversary,
@@ -608,6 +901,11 @@ impl RunReport {
                 Some(true) => "yes",
                 Some(false) => "NO",
                 None => "-",
+            },
+            if self.notes.is_none() {
+                "-".into()
+            } else {
+                format!("notes={}", self.notes.summary())
             }
         )
     }
@@ -680,6 +978,13 @@ pub mod matrix {
     //! Grid sweeps: every graph family × adversary strategy × compiler in one
     //! call, with incompatible cells recorded as typed skips instead of
     //! panics.
+    //!
+    //! The specs here are `Send + Sync` factories, so a grid description can
+    //! be shared across worker threads.  [`sweep`] is the single-threaded
+    //! facade over the per-cell engine entry point [`run_cell`]; the
+    //! `mobile-congest-harness` crate drives the same entry point from a
+    //! deterministic parallel worker pool (`harness::Campaign`) for
+    //! multi-core sweeps with repetitions and aggregation.
 
     use super::{BoxedAlgorithm, Compiler, RunReport, Scenario, ScenarioError};
     use crate::adversary::{AdversaryRole, AdversaryStrategy, CorruptionBudget};
@@ -711,7 +1016,7 @@ pub mod matrix {
         pub role: AdversaryRole,
         /// The corruption budget.
         pub budget: CorruptionBudget,
-        make: Box<dyn Fn(u64) -> Box<dyn AdversaryStrategy>>,
+        make: Box<dyn Fn(u64) -> Box<dyn AdversaryStrategy> + Send + Sync>,
     }
 
     impl AdversarySpec {
@@ -721,7 +1026,7 @@ pub mod matrix {
             name: impl Into<String>,
             role: AdversaryRole,
             budget: CorruptionBudget,
-            make: impl Fn(u64) -> Box<dyn AdversaryStrategy> + 'static,
+            make: impl Fn(u64) -> Box<dyn AdversaryStrategy> + Send + Sync + 'static,
         ) -> Self {
             AdversarySpec {
                 name: name.into(),
@@ -737,14 +1042,14 @@ pub mod matrix {
     pub struct CompilerSpec {
         /// Display name.
         pub name: String,
-        make: Box<dyn Fn() -> Box<dyn Compiler>>,
+        make: Box<dyn Fn() -> Box<dyn Compiler> + Send + Sync>,
     }
 
     impl CompilerSpec {
         /// A named compiler factory.
         pub fn new(
             name: impl Into<String>,
-            make: impl Fn() -> Box<dyn Compiler> + 'static,
+            make: impl Fn() -> Box<dyn Compiler> + Send + Sync + 'static,
         ) -> Self {
             CompilerSpec {
                 name: name.into(),
@@ -753,7 +1058,7 @@ pub mod matrix {
         }
 
         /// Shorthand for compilers that are `Clone`.
-        pub fn of<C: Compiler + Clone + 'static>(compiler: C) -> Self {
+        pub fn of<C: Compiler + Clone + Send + Sync + 'static>(compiler: C) -> Self {
             let name = compiler.name();
             CompilerSpec::new(name, move || Box::new(compiler.clone()))
         }
@@ -777,13 +1082,7 @@ pub mod matrix {
         /// per-graph parameter rejection) as opposed to having failed at
         /// runtime.
         pub fn skipped(&self) -> bool {
-            matches!(
-                self.outcome,
-                Err(ScenarioError::RoleMismatch { .. })
-                    | Err(ScenarioError::UnsupportedGraph { .. })
-                    | Err(ScenarioError::InsufficientConnectivity { .. })
-                    | Err(ScenarioError::InvalidParameter { .. })
-            )
+            matches!(&self.outcome, Err(e) if e.is_validation_error())
         }
     }
 
@@ -810,10 +1109,7 @@ pub mod matrix {
         /// uncompiled run is *supposed* to be corruptible.
         pub fn all_protected_cells_agree(&self) -> bool {
             self.executed().all(|cell| match &cell.outcome {
-                Ok(report) => {
-                    report.compiler_kind == super::CompilerKind::Baseline
-                        || report.agrees_with_fault_free() != Some(false)
-                }
+                Ok(report) => report.protected_cell_ok(),
                 Err(_) => false,
             })
         }
@@ -864,12 +1160,51 @@ pub mod matrix {
         h
     }
 
+    /// Execute one grid cell: build the scenario for `gspec` × `aspec` ×
+    /// `cspec` with the given seed and run it.
+    ///
+    /// This is the single per-cell engine entry point: [`sweep`] calls it
+    /// sequentially, and the `harness` campaign engine calls it from worker
+    /// threads (everything a cell needs is constructed inside the call, so
+    /// nothing non-`Send` ever crosses a thread boundary).  The outcome is a
+    /// pure function of the specs and the seed, which is what makes parallel
+    /// campaigns byte-identical at any thread count.
+    pub fn run_cell<P>(
+        gspec: &GraphSpec,
+        aspec: &AdversarySpec,
+        cspec: &CompilerSpec,
+        payload: &P,
+        seed: u64,
+    ) -> Result<RunReport, ScenarioError>
+    where
+        P: Fn(&Graph) -> BoxedAlgorithm + Clone + 'static,
+    {
+        let graph = gspec.graph.clone();
+        let payload_graph = gspec.graph.clone();
+        let make_payload = payload.clone();
+        Scenario::on(graph)
+            .payload_boxed(move || make_payload(&payload_graph))
+            .adversary_boxed(aspec.role, (aspec.make)(seed), aspec.budget.clone())
+            .seed(seed)
+            .compiled_with_boxed((cspec.make)())
+            .run()
+    }
+
     /// Run `payload` through every graph × adversary × compiler combination.
     ///
     /// `payload` receives the cell's graph and must return a fresh boxed
     /// instance every call.  Cells whose configuration fails validation are
     /// recorded as skipped, not errors — a sweep mixing secrecy and
     /// resilience compilers across both roles is the intended usage.
+    ///
+    /// This is the thin single-threaded facade over [`run_cell`]; for
+    /// multi-core grids with seed repetitions and statistical aggregation use
+    /// `mobile_congest::harness::Campaign`, which drives the same per-cell
+    /// pipeline in parallel, byte-identical at any thread count.  (The two
+    /// derive per-cell seeds differently — `sweep` mixes grid coordinates,
+    /// a campaign mixes its flat cell index — so a 1-repetition campaign is
+    /// deterministic but not seed-compatible with a `sweep` of the same base
+    /// seed.)
     pub fn sweep<P>(
         graphs: &[GraphSpec],
         adversaries: &[AdversarySpec],
@@ -885,20 +1220,11 @@ pub mod matrix {
             for (ai, aspec) in adversaries.iter().enumerate() {
                 for (ci, cspec) in compilers.iter().enumerate() {
                     let seed = cell_seed(base_seed, gi, ai, ci);
-                    let graph = gspec.graph.clone();
-                    let payload_graph = gspec.graph.clone();
-                    let make_payload = payload.clone();
-                    let outcome = Scenario::on(graph)
-                        .payload_boxed(move || make_payload(&payload_graph))
-                        .adversary_boxed(aspec.role, (aspec.make)(seed), aspec.budget.clone())
-                        .seed(seed)
-                        .compiled_with_boxed((cspec.make)())
-                        .run();
                     cells.push(MatrixCell {
                         graph: gspec.name.clone(),
                         adversary: aspec.name.clone(),
                         compiler: cspec.name.clone(),
-                        outcome,
+                        outcome: run_cell(gspec, aspec, cspec, &payload, seed),
                     });
                 }
             }
@@ -1068,7 +1394,7 @@ mod tests {
                 &self,
                 payload: BoxedAlgorithm,
                 net: &mut Network,
-            ) -> Result<Vec<Output>, ScenarioError> {
+            ) -> Result<(Vec<Output>, CompilerNotes), ScenarioError> {
                 Uncompiled.compile(payload, net)
             }
         }

@@ -25,7 +25,9 @@ use crate::resilient::{
 };
 use crate::secure::{CongestionSensitiveCompiler, StaticToMobileCompiler};
 use congest_sim::network::Network;
-use congest_sim::scenario::{validate_role, BoxedAlgorithm, Compiler, CompilerKind, ScenarioError};
+use congest_sim::scenario::{
+    validate_role, BoxedAlgorithm, Compiler, CompilerKind, CompilerNotes, ScenarioError,
+};
 use congest_sim::traffic::Output;
 use congest_sim::AdversaryRole;
 use netgraph::connectivity::edge_connectivity;
@@ -100,6 +102,17 @@ fn default_tree_count(f: usize) -> usize {
     2 * interactive_coding::T_RS * interactive_coding::C_RS * f.max(1) * 2 + 1
 }
 
+/// Fold a [`ByzantineCompilerReport`] correction trace into the typed notes
+/// channel (shared by the clique, tree-packing and expander adapters).
+fn resilient_notes(report: &crate::resilient::ByzantineCompilerReport) -> CompilerNotes {
+    CompilerNotes::Resilient {
+        fully_corrected: report.fully_corrected,
+        mismatches_before: report.per_round.iter().map(|r| r.mismatches_before).sum(),
+        mismatches_after: report.per_round.iter().map(|r| r.mismatches_after).sum(),
+        failed_trees: report.per_round.iter().map(|r| r.failed_trees).sum(),
+    }
+}
+
 /// Theorem 1.6: the CONGESTED CLIQUE compiler (star packing over `K_n`).
 #[derive(Debug, Clone, Copy)]
 pub struct CliqueAdapter {
@@ -153,12 +166,12 @@ impl Compiler for CliqueAdapter {
         &self,
         mut payload: BoxedAlgorithm,
         net: &mut Network,
-    ) -> Result<Vec<Output>, ScenarioError> {
+    ) -> Result<(Vec<Output>, CompilerNotes), ScenarioError> {
         validate_role(self, net.role())?;
         let compiler =
             CliqueCompiler::new(net.graph(), self.f, self.seed).with_variant(self.variant);
-        let (out, _report) = compiler.run(&mut *payload, net);
-        Ok(out)
+        let (out, report) = compiler.run(&mut *payload, net);
+        Ok((out, resilient_notes(&report)))
     }
 }
 
@@ -221,15 +234,15 @@ impl Compiler for TreePackingAdapter {
         &self,
         mut payload: BoxedAlgorithm,
         net: &mut Network,
-    ) -> Result<Vec<Output>, ScenarioError> {
+    ) -> Result<(Vec<Output>, CompilerNotes), ScenarioError> {
         // Full graph validation runs once at `ScenarioBuilder::build`; here
         // only the cheap role check guards direct trait callers.
         validate_role(self, net.role())?;
         let packing = resilient_packing(net.graph(), self.k);
         let compiler =
             MobileByzantineCompiler::new(packing, self.f, self.seed).with_variant(self.variant);
-        let (out, _report) = compiler.run(&mut *payload, net);
-        Ok(out)
+        let (out, report) = compiler.run(&mut *payload, net);
+        Ok((out, resilient_notes(&report)))
     }
 }
 
@@ -272,7 +285,7 @@ impl Compiler for CycleCoverAdapter {
         &self,
         mut payload: BoxedAlgorithm,
         net: &mut Network,
-    ) -> Result<Vec<Output>, ScenarioError> {
+    ) -> Result<(Vec<Output>, CompilerNotes), ScenarioError> {
         validate_role(self, net.role())?;
         let compiler = CycleCoverCompiler::new(net.graph(), self.f).ok_or_else(|| {
             ScenarioError::InsufficientConnectivity {
@@ -281,8 +294,14 @@ impl Compiler for CycleCoverAdapter {
                 found: edge_connectivity(net.graph()),
             }
         })?;
-        let (out, _report) = compiler.run(&mut *payload, net);
-        Ok(out)
+        let (out, report) = compiler.run(&mut *payload, net);
+        let notes = CompilerNotes::CycleCover {
+            paths_per_edge: report.paths_per_edge,
+            dilation: report.dilation,
+            congestion: report.congestion,
+            colors: report.colors,
+        };
+        Ok((out, notes))
     }
 }
 
@@ -340,9 +359,9 @@ impl Compiler for ExpanderAdapter {
         &self,
         mut payload: BoxedAlgorithm,
         net: &mut Network,
-    ) -> Result<Vec<Output>, ScenarioError> {
+    ) -> Result<(Vec<Output>, CompilerNotes), ScenarioError> {
         validate_role(self, net.role())?;
-        let (out, _report) = run_expander_compiled(
+        let (out, report) = run_expander_compiled(
             &mut *payload,
             net,
             self.f,
@@ -350,7 +369,19 @@ impl Compiler for ExpanderAdapter {
             self.bfs_rounds,
             self.seed,
         );
-        Ok(out)
+        let notes = CompilerNotes::Expander {
+            trees: report.packing.k,
+            good_trees: report.packing.good_trees,
+            packing_rounds: report.packing.rounds,
+            fully_corrected: report.compilation.fully_corrected,
+            mismatches_after: report
+                .compilation
+                .per_round
+                .iter()
+                .map(|r| r.mismatches_after)
+                .sum(),
+        };
+        Ok((out, notes))
     }
 }
 
@@ -390,7 +421,7 @@ impl Compiler for RewindAdapter {
         &self,
         _payload: BoxedAlgorithm,
         _net: &mut Network,
-    ) -> Result<Vec<Output>, ScenarioError> {
+    ) -> Result<(Vec<Output>, CompilerNotes), ScenarioError> {
         Err(ScenarioError::ReplayRequired {
             compiler: self.name(),
         })
@@ -399,7 +430,7 @@ impl Compiler for RewindAdapter {
         &self,
         make: &dyn Fn() -> BoxedAlgorithm,
         net: &mut Network,
-    ) -> Result<Vec<Output>, ScenarioError> {
+    ) -> Result<(Vec<Output>, CompilerNotes), ScenarioError> {
         // Full graph validation runs once at `ScenarioBuilder::build`; here
         // only the cheap role check guards direct trait callers.
         validate_role(self, net.role())?;
@@ -415,7 +446,13 @@ impl Compiler for RewindAdapter {
                 ),
             });
         }
-        Ok(out)
+        let notes = CompilerNotes::Rewind {
+            rewinds: report.rewinds,
+            committed_rounds: report.committed_rounds,
+            global_rounds: report.global_rounds,
+            completed: report.completed,
+        };
+        Ok((out, notes))
     }
 }
 
@@ -464,11 +501,15 @@ impl Compiler for StaticToMobileAdapter {
         &self,
         mut payload: BoxedAlgorithm,
         net: &mut Network,
-    ) -> Result<Vec<Output>, ScenarioError> {
+    ) -> Result<(Vec<Output>, CompilerNotes), ScenarioError> {
         self.validate(net.graph(), net.role())?;
         let compiler = StaticToMobileCompiler::new(self.t, self.words_per_message, self.seed);
-        let (out, _report) = compiler.run(&mut *payload, net);
-        Ok(out)
+        let (out, report) = compiler.run(&mut *payload, net);
+        let notes = CompilerNotes::Secure {
+            key_rounds: report.key_rounds,
+            simulation_rounds: report.simulation_rounds,
+        };
+        Ok((out, notes))
     }
 }
 
@@ -536,11 +577,17 @@ impl Compiler for CongestionSensitiveAdapter {
         &self,
         mut payload: BoxedAlgorithm,
         net: &mut Network,
-    ) -> Result<Vec<Output>, ScenarioError> {
+    ) -> Result<(Vec<Output>, CompilerNotes), ScenarioError> {
         self.validate(net.graph(), net.role())?;
         let compiler = CongestionSensitiveCompiler::new(self.f, self.words_per_message, self.seed);
-        let (out, _report) = compiler.run(&mut *payload, net, self.source);
-        Ok(out)
+        let (out, report) = compiler.run(&mut *payload, net, self.source);
+        let notes = CompilerNotes::CongestionSensitive {
+            local_key_rounds: report.local_key_rounds,
+            global_key_rounds: report.global_key_rounds,
+            simulation_rounds: report.simulation_rounds,
+            congestion: report.congestion,
+        };
+        Ok((out, notes))
     }
 }
 

@@ -1,0 +1,563 @@
+//! Campaigns: batched grids of graph × adversary × compiler × seed-repetition
+//! cells, executed deterministically in parallel and aggregated into
+//! campaign-level summaries with a JSONL export.
+
+use crate::engine;
+use crate::stats::StatSummary;
+use congest_sim::scenario::matrix::{run_cell, AdversarySpec, CompilerSpec, GraphSpec};
+use congest_sim::scenario::{BoxedAlgorithm, RunReport, ScenarioError};
+use netgraph::Graph;
+use std::sync::Arc;
+
+/// A shareable payload factory: receives the cell's graph, returns a fresh
+/// boxed payload instance.
+pub type SharedPayload = Arc<dyn Fn(&Graph) -> BoxedAlgorithm + Send + Sync>;
+
+/// Mix a per-cell seed out of the campaign seed and the cell index: the
+/// SplitMix64 finalizer applied to
+/// `campaign_seed + 0x9E3779B97F4A7C15 + index · 0xBF58476D1CE4E5B9`
+/// (all wrapping).
+///
+/// The seed depends only on the cell's position in the enumeration order —
+/// never on which worker thread claims it or when — so campaign results are
+/// byte-identical at any thread count.
+pub fn cell_seed(campaign_seed: u64, cell_index: usize) -> u64 {
+    let mut z = campaign_seed
+        .wrapping_add(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add((cell_index as u64).wrapping_mul(0xBF58_476D_1CE4_E5B9));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A batched experiment grid: every graph × adversary × compiler cell of the
+/// campaign runs `repetitions` times with per-repetition seeds, fanned across
+/// worker threads by the deterministic engine.
+///
+/// See the crate docs for a runnable end-to-end example.
+pub struct Campaign {
+    graphs: Vec<GraphSpec>,
+    adversaries: Vec<AdversarySpec>,
+    compilers: Vec<CompilerSpec>,
+    payload: Option<SharedPayload>,
+    repetitions: usize,
+    seed: u64,
+    threads: usize,
+}
+
+impl Campaign {
+    /// Start a campaign with the given base seed.
+    pub fn new(seed: u64) -> Self {
+        Campaign {
+            graphs: Vec::new(),
+            adversaries: Vec::new(),
+            compilers: Vec::new(),
+            payload: None,
+            repetitions: 1,
+            seed,
+            threads: 0,
+        }
+    }
+
+    /// The graph axis of the grid.
+    pub fn graphs(mut self, graphs: Vec<GraphSpec>) -> Self {
+        self.graphs = graphs;
+        self
+    }
+
+    /// The adversary axis of the grid.
+    pub fn adversaries(mut self, adversaries: Vec<AdversarySpec>) -> Self {
+        self.adversaries = adversaries;
+        self
+    }
+
+    /// The compiler axis of the grid.
+    pub fn compilers(mut self, compilers: Vec<CompilerSpec>) -> Self {
+        self.compilers = compilers;
+        self
+    }
+
+    /// The payload factory: receives the cell's graph, returns a fresh boxed
+    /// instance on every call.
+    pub fn payload<P>(mut self, payload: P) -> Self
+    where
+        P: Fn(&Graph) -> BoxedAlgorithm + Send + Sync + 'static,
+    {
+        self.payload = Some(Arc::new(payload));
+        self
+    }
+
+    /// Seed repetitions per grid cell (clamped to at least 1; default 1).
+    /// Each repetition gets its own derived seed, so the aggregated summaries
+    /// measure seed-to-seed spread.
+    pub fn repetitions(mut self, repetitions: usize) -> Self {
+        self.repetitions = repetitions.max(1);
+        self
+    }
+
+    /// Worker threads to fan the cells across (`0`, the default, uses the
+    /// machine's available parallelism).  The thread count never changes the
+    /// results, only the wall clock.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Total number of cells the campaign will run.
+    pub fn cell_count(&self) -> usize {
+        self.graphs.len() * self.adversaries.len() * self.compilers.len() * self.repetitions
+    }
+
+    /// Execute every cell of the campaign across the worker pool and collect
+    /// the report.
+    ///
+    /// Cells are enumerated graph-major, then adversary, then compiler, with
+    /// repetitions innermost; each cell's RNG seed is [`cell_seed`]`(campaign
+    /// seed, cell index)` and the whole cell is built and run inside the
+    /// worker via [`run_cell`], so the report is byte-identical at any thread
+    /// count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no payload factory was configured.
+    pub fn run(&self) -> CampaignReport {
+        let payload = Arc::clone(
+            self.payload
+                .as_ref()
+                .expect("Campaign::payload must be configured before run()"),
+        );
+        let reps = self.repetitions;
+        let (n_a, n_c) = (self.adversaries.len(), self.compilers.len());
+        let count = self.cell_count();
+        let threads = if self.threads == 0 {
+            engine::default_threads()
+        } else {
+            self.threads
+        };
+
+        let cells = engine::run_indexed(threads, count, |index| {
+            // Invert the enumeration order: repetition innermost.
+            let rep = index % reps;
+            let ci = (index / reps) % n_c;
+            let ai = (index / (reps * n_c)) % n_a;
+            let gi = index / (reps * n_c * n_a);
+            let (gspec, aspec, cspec) =
+                (&self.graphs[gi], &self.adversaries[ai], &self.compilers[ci]);
+            let seed = cell_seed(self.seed, index);
+            let cell_payload = {
+                let p = Arc::clone(&payload);
+                move |g: &Graph| p(g)
+            };
+            CampaignCell {
+                index,
+                graph: gspec.name.clone(),
+                adversary: aspec.name.clone(),
+                compiler: cspec.name.clone(),
+                repetition: rep,
+                seed,
+                outcome: run_cell(gspec, aspec, cspec, &cell_payload, seed),
+            }
+        });
+        CampaignReport { cells }
+    }
+}
+
+/// One executed campaign cell.
+#[derive(Debug)]
+pub struct CampaignCell {
+    /// Position in the campaign's enumeration order (drives the seed).
+    pub index: usize,
+    /// Graph name.
+    pub graph: String,
+    /// Adversary name.
+    pub adversary: String,
+    /// Compiler name.
+    pub compiler: String,
+    /// Repetition number within the grid cell.
+    pub repetition: usize,
+    /// The derived per-cell seed.
+    pub seed: u64,
+    /// The run report, or the typed reason the cell could not run.
+    pub outcome: Result<RunReport, ScenarioError>,
+}
+
+impl CampaignCell {
+    /// Whether the cell was skipped by validation (structurally incompatible
+    /// configuration) as opposed to having failed at runtime.
+    pub fn skipped(&self) -> bool {
+        matches!(&self.outcome, Err(e) if e.is_validation_error())
+    }
+
+    /// `ok` / `skipped` / `failed`, for the JSONL export.
+    pub fn status(&self) -> &'static str {
+        match &self.outcome {
+            Ok(_) => "ok",
+            Err(_) if self.skipped() => "skipped",
+            Err(_) => "failed",
+        }
+    }
+}
+
+/// Aggregated view of one grid cell (graph × adversary × compiler) over its
+/// repetitions.
+#[derive(Debug)]
+pub struct GroupSummary {
+    /// Graph name.
+    pub graph: String,
+    /// Adversary name.
+    pub adversary: String,
+    /// Compiler name.
+    pub compiler: String,
+    /// Repetitions that executed to a report.
+    pub executed: usize,
+    /// Repetitions skipped by validation.
+    pub skipped: usize,
+    /// Repetitions that failed at runtime.
+    pub failed: usize,
+    /// Executed repetitions whose outputs diverged from the fault-free
+    /// reference.
+    pub disagreements: usize,
+    /// Five-number summaries per facet, in stable order: the shared run
+    /// metrics (`network_rounds`, `payload_rounds`, `overhead`,
+    /// `corrupted_edge_rounds`) followed by the compiler's typed
+    /// [`CompilerNotes`] metrics (`rewinds`, `fully_corrected`, `key_rounds`,
+    /// `good_trees`, …).
+    pub stats: Vec<(String, StatSummary)>,
+}
+
+impl GroupSummary {
+    /// Look up one facet summary by name.
+    pub fn stat(&self, name: &str) -> Option<&StatSummary> {
+        self.stats.iter().find(|(n, _)| n == name).map(|(_, s)| s)
+    }
+}
+
+/// Everything a campaign produced, in enumeration order.
+#[derive(Debug)]
+pub struct CampaignReport {
+    /// All cells, ordered by [`CampaignCell::index`].
+    pub cells: Vec<CampaignCell>,
+}
+
+impl CampaignReport {
+    /// Cells that executed rather than being skipped by validation.
+    pub fn executed(&self) -> impl Iterator<Item = &CampaignCell> {
+        self.cells.iter().filter(|c| !c.skipped())
+    }
+
+    /// Number of validation-skipped cells.
+    pub fn skipped_count(&self) -> usize {
+        self.cells.iter().filter(|c| c.skipped()).count()
+    }
+
+    /// Whether every executed non-baseline cell produced outputs that agree
+    /// with the fault-free reference (mirrors
+    /// `matrix::MatrixReport::all_protected_cells_agree`).
+    pub fn all_protected_cells_agree(&self) -> bool {
+        self.executed().all(|cell| match &cell.outcome {
+            Ok(report) => report.protected_cell_ok(),
+            Err(_) => false,
+        })
+    }
+
+    /// Aggregate the repetitions of every grid cell into mean/min/max/p50/p99
+    /// summaries, in enumeration order.
+    pub fn summaries(&self) -> Vec<GroupSummary> {
+        // Group on the repetition boundary (repetitions are enumerated
+        // innermost, restarting at 0 for every grid cell), not on display
+        // names — two specs may render to the same name (e.g. two
+        // `clique(f=1)` adapters with different compiler seeds) and must
+        // still be summarised separately.
+        let mut groups: Vec<(String, String, String, Vec<&CampaignCell>)> = Vec::new();
+        for cell in &self.cells {
+            match groups.last_mut() {
+                Some((_, _, _, members)) if cell.repetition > 0 => members.push(cell),
+                _ => groups.push((
+                    cell.graph.clone(),
+                    cell.adversary.clone(),
+                    cell.compiler.clone(),
+                    vec![cell],
+                )),
+            }
+        }
+        groups
+            .into_iter()
+            .map(|(graph, adversary, compiler, members)| {
+                let reports: Vec<&RunReport> = members
+                    .iter()
+                    .filter_map(|c| c.outcome.as_ref().ok())
+                    .collect();
+                let mut stats: Vec<(String, Vec<f64>)> = Vec::new();
+                let mut push =
+                    |name: &str, value: f64| match stats.iter_mut().find(|(n, _)| n == name) {
+                        Some((_, samples)) => samples.push(value),
+                        None => stats.push((name.to_string(), vec![value])),
+                    };
+                for report in &reports {
+                    push("network_rounds", report.network_rounds as f64);
+                    push("payload_rounds", report.payload_rounds as f64);
+                    push("overhead", report.overhead());
+                    push(
+                        "corrupted_edge_rounds",
+                        report.metrics.corrupted_edge_rounds as f64,
+                    );
+                    for (name, value) in report.notes.metrics() {
+                        push(name, value);
+                    }
+                }
+                GroupSummary {
+                    graph,
+                    adversary,
+                    compiler,
+                    executed: reports.len(),
+                    skipped: members.iter().filter(|c| c.skipped()).count(),
+                    failed: members
+                        .iter()
+                        .filter(|c| !c.skipped() && c.outcome.is_err())
+                        .count(),
+                    disagreements: reports
+                        .iter()
+                        .filter(|r| r.agrees_with_fault_free() == Some(false))
+                        .count(),
+                    stats: stats
+                        .into_iter()
+                        .filter_map(|(name, samples)| StatSummary::of(&samples).map(|s| (name, s)))
+                        .collect(),
+                }
+            })
+            .collect()
+    }
+
+    /// The JSONL export for the bench trajectory: one `kind:"cell"` line per
+    /// cell (status, run metrics, typed notes) followed by one
+    /// `kind:"summary"` line per grid cell (the mean/min/max/p50/p99
+    /// aggregates).  Deterministic byte-for-byte at any thread count.
+    pub fn to_jsonl(&self) -> String {
+        self.to_jsonl_with(&self.summaries())
+    }
+
+    /// [`CampaignReport::to_jsonl`] with a precomputed [`summaries`] result,
+    /// so callers that also print the summaries aggregate only once.
+    ///
+    /// [`summaries`]: CampaignReport::summaries
+    pub fn to_jsonl_with(&self, summaries: &[GroupSummary]) -> String {
+        let mut out = String::new();
+        for cell in &self.cells {
+            out.push_str(&cell_json(cell));
+            out.push('\n');
+        }
+        for summary in summaries {
+            out.push_str(&summary_json(summary));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// A canonical serialization of every cell (debug-formatted reports and
+    /// errors, in enumeration order).  Two campaigns are byte-identical iff
+    /// their fingerprints are — this is what the determinism regression test
+    /// compares across thread counts.
+    pub fn fingerprint(&self) -> String {
+        format!("{:?}", self.cells)
+    }
+
+    /// A formatted per-group summary table.
+    pub fn to_table(&self) -> String {
+        self.to_table_with(&self.summaries())
+    }
+
+    /// [`CampaignReport::to_table`] with a precomputed [`summaries`] result.
+    ///
+    /// [`summaries`]: CampaignReport::summaries
+    pub fn to_table_with(&self, summaries: &[GroupSummary]) -> String {
+        let mut out = format!(
+            "{:<12} {:<22} {:<22} {:>5} {:>9} {:>9} {:>9} {:>8}\n",
+            "graph", "adversary", "compiler", "reps", "net p50", "net p99", "overhead", "agree"
+        );
+        for s in summaries {
+            if s.executed == 0 {
+                out.push_str(&format!(
+                    "{:<12} {:<22} {:<22} {:>5} skipped={} failed={}\n",
+                    s.graph, s.adversary, s.compiler, 0, s.skipped, s.failed
+                ));
+                continue;
+            }
+            let net = s.stat("network_rounds");
+            out.push_str(&format!(
+                "{:<12} {:<22} {:<22} {:>5} {:>9} {:>9} {:>9.1} {:>8}{}\n",
+                s.graph,
+                s.adversary,
+                s.compiler,
+                s.executed,
+                net.map(|v| v.p50).unwrap_or(0.0),
+                net.map(|v| v.p99).unwrap_or(0.0),
+                s.stat("overhead").map(|v| v.mean).unwrap_or(0.0),
+                if s.disagreements == 0 { "yes" } else { "NO" },
+                // A group can agree on its executed repetitions and still
+                // have runtime failures — don't let them hide.
+                if s.failed > 0 {
+                    format!("  failed={}", s.failed)
+                } else {
+                    String::new()
+                },
+            ));
+        }
+        out
+    }
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control characters).
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Format an f64 the way JSON expects (no NaN/inf ever reaches this point).
+fn json_num(v: f64) -> String {
+    if v == v.trunc() && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+fn cell_json(cell: &CampaignCell) -> String {
+    let mut line = format!(
+        "{{\"kind\":\"cell\",\"index\":{},\"graph\":{},\"adversary\":{},\"compiler\":{},\"repetition\":{},\"seed\":{},\"status\":{}",
+        cell.index,
+        json_str(&cell.graph),
+        json_str(&cell.adversary),
+        json_str(&cell.compiler),
+        cell.repetition,
+        cell.seed,
+        json_str(cell.status()),
+    );
+    match &cell.outcome {
+        Ok(report) => {
+            line.push_str(&format!(
+                ",\"payload_rounds\":{},\"network_rounds\":{},\"overhead\":{},\"corrupted_edge_rounds\":{},\"agrees\":{}",
+                report.payload_rounds,
+                report.network_rounds,
+                json_num(report.overhead()),
+                report.metrics.corrupted_edge_rounds,
+                match report.agrees_with_fault_free() {
+                    Some(true) => "true",
+                    Some(false) => "false",
+                    None => "null",
+                },
+            ));
+            line.push_str(&format!(
+                ",\"notes\":{{\"type\":{}",
+                json_str(report.notes.label())
+            ));
+            for (name, value) in report.notes.metrics() {
+                line.push_str(&format!(",{}:{}", json_str(name), json_num(value)));
+            }
+            line.push_str("}}");
+        }
+        Err(e) => {
+            line.push_str(&format!(",\"error\":{}}}", json_str(&e.to_string())));
+        }
+    }
+    line
+}
+
+fn summary_json(s: &GroupSummary) -> String {
+    let mut line = format!(
+        "{{\"kind\":\"summary\",\"graph\":{},\"adversary\":{},\"compiler\":{},\"executed\":{},\"skipped\":{},\"failed\":{},\"disagreements\":{},\"stats\":{{",
+        json_str(&s.graph),
+        json_str(&s.adversary),
+        json_str(&s.compiler),
+        s.executed,
+        s.skipped,
+        s.failed,
+        s.disagreements,
+    );
+    for (i, (name, stat)) in s.stats.iter().enumerate() {
+        if i > 0 {
+            line.push(',');
+        }
+        line.push_str(&format!(
+            "{}:{{\"mean\":{},\"min\":{},\"max\":{},\"p50\":{},\"p99\":{}}}",
+            json_str(name),
+            json_num(stat.mean),
+            json_num(stat.min),
+            json_num(stat.max),
+            json_num(stat.p50),
+            json_num(stat.p99),
+        ));
+    }
+    line.push_str("}}");
+    line
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cell_seed_is_a_pure_function_of_campaign_seed_and_index() {
+        assert_eq!(cell_seed(7, 3), cell_seed(7, 3));
+        assert_ne!(cell_seed(7, 3), cell_seed(7, 4));
+        assert_ne!(cell_seed(7, 3), cell_seed(8, 3));
+    }
+
+    #[test]
+    fn json_strings_are_escaped() {
+        assert_eq!(json_str("a\"b\\c\n"), "\"a\\\"b\\\\c\\n\"");
+    }
+
+    #[test]
+    fn json_numbers_render_integers_without_fraction() {
+        assert_eq!(json_num(3.0), "3");
+        assert_eq!(json_num(3.5), "3.5");
+    }
+
+    #[test]
+    fn same_named_compiler_specs_are_summarised_separately() {
+        use congest_sim::adversary::{AdversaryRole, CorruptionBudget, RandomMobile};
+        use congest_sim::scenario::matrix::{AdversarySpec, CompilerSpec, GraphSpec};
+        use congest_sim::scenario::{doctest_payload, Uncompiled};
+        use netgraph::generators;
+
+        // Two specs rendering to the identical display name ("uncompiled"):
+        // grouping must follow the grid structure, not the names.
+        let report = Campaign::new(5)
+            .graphs(vec![GraphSpec::new("K5", generators::complete(5))])
+            .adversaries(vec![AdversarySpec::new(
+                "random-mobile",
+                AdversaryRole::Byzantine,
+                CorruptionBudget::Mobile { f: 1 },
+                |seed| Box::new(RandomMobile::new(1, seed)),
+            )])
+            .compilers(vec![
+                CompilerSpec::of(Uncompiled),
+                CompilerSpec::of(Uncompiled),
+            ])
+            .payload(|g| Box::new(doctest_payload(g.clone())) as BoxedAlgorithm)
+            .repetitions(2)
+            .threads(1)
+            .run();
+
+        let summaries = report.summaries();
+        assert_eq!(
+            summaries.len(),
+            2,
+            "one summary per grid cell, not per name"
+        );
+        assert!(summaries.iter().all(|s| s.executed == 2));
+    }
+}

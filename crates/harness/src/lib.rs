@@ -1,0 +1,64 @@
+//! `mobile-congest-harness` — the deterministic parallel experiment engine
+//! (re-exported as `mobile_congest::harness`).
+//!
+//! A [`Campaign`] is a batched grid of graph × adversary × compiler ×
+//! seed-repetition cells.  The engine fans the cells across a self-scheduling
+//! worker pool built on `std::thread` + channels ([`engine::run_indexed`]),
+//! derives every cell's RNG seed from `(campaign_seed, cell_index)`
+//! ([`cell_seed`]), and collects the results in enumeration order — so a
+//! campaign's report is **byte-identical at any thread count** (covered by a
+//! regression test that compares 1-, 2- and 8-worker fingerprints).
+//!
+//! Each cell runs through the same `Scenario` pipeline as
+//! `congest_sim::scenario::matrix::sweep` (the single-threaded facade over
+//! the shared [`run_cell`](congest_sim::scenario::matrix::run_cell) entry
+//! point), so typed validation skips, [`RunReport`]s and the per-compiler
+//! [`CompilerNotes`] diagnostics all flow through unchanged.  On top, the
+//! report aggregates every numeric facet — run metrics plus the typed notes
+//! (rewinds, correction verdicts, key rounds, packing quality) — into
+//! mean/min/max/p50/p99 summaries per grid cell, and exports the whole
+//! trajectory as JSONL for the bench harness.
+//!
+//! A small two-worker campaign on a clique:
+//!
+//! ```
+//! use congest_sim::adversary::{AdversaryRole, CorruptionBudget, RandomMobile};
+//! use congest_sim::scenario::matrix::{AdversarySpec, CompilerSpec, GraphSpec};
+//! use congest_sim::scenario::{doctest_payload, BoxedAlgorithm, Uncompiled};
+//! use mobile_congest_harness::Campaign;
+//! use netgraph::generators;
+//!
+//! let report = Campaign::new(7)
+//!     .graphs(vec![GraphSpec::new("K6", generators::complete(6))])
+//!     .adversaries(vec![AdversarySpec::new(
+//!         "random-mobile",
+//!         AdversaryRole::Byzantine,
+//!         CorruptionBudget::Mobile { f: 1 },
+//!         |seed| Box::new(RandomMobile::new(1, seed)),
+//!     )])
+//!     .compilers(vec![CompilerSpec::of(Uncompiled)])
+//!     .payload(|g| Box::new(doctest_payload(g.clone())) as BoxedAlgorithm)
+//!     .repetitions(2)
+//!     .threads(2)
+//!     .run();
+//!
+//! assert_eq!(report.cells.len(), 2);
+//! assert!(report.cells.iter().all(|cell| cell.outcome.is_ok()));
+//! let summaries = report.summaries();
+//! assert_eq!(summaries.len(), 1);
+//! assert_eq!(summaries[0].stat("network_rounds").unwrap().count, 2);
+//! assert!(report.to_jsonl().lines().count() >= 3); // 2 cells + 1 summary
+//! ```
+//!
+//! [`RunReport`]: congest_sim::scenario::RunReport
+//! [`CompilerNotes`]: congest_sim::scenario::CompilerNotes
+
+pub mod campaign;
+pub mod engine;
+pub mod stats;
+
+pub use campaign::{
+    cell_seed, Campaign, CampaignCell, CampaignReport, GroupSummary, SharedPayload,
+};
+pub use engine::{default_threads, run_indexed};
+pub use stats::StatSummary;

@@ -1,0 +1,82 @@
+//! Summary statistics over campaign repetitions: mean/min/max/p50/p99.
+
+/// Five-number summary of one numeric facet over a group of repetitions.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StatSummary {
+    /// Number of samples.
+    pub count: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Minimum.
+    pub min: f64,
+    /// Maximum.
+    pub max: f64,
+    /// Median (nearest-rank).
+    pub p50: f64,
+    /// 99th percentile (nearest-rank; equals the max for small samples).
+    pub p99: f64,
+}
+
+impl StatSummary {
+    /// Summarise a non-empty sample set; returns `None` for an empty one.
+    pub fn of(samples: &[f64]) -> Option<StatSummary> {
+        if samples.is_empty() {
+            return None;
+        }
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("campaign metrics are never NaN"));
+        let sum: f64 = sorted.iter().sum();
+        Some(StatSummary {
+            count: sorted.len(),
+            mean: sum / sorted.len() as f64,
+            min: sorted[0],
+            max: sorted[sorted.len() - 1],
+            p50: percentile(&sorted, 50.0),
+            p99: percentile(&sorted, 99.0),
+        })
+    }
+}
+
+/// Nearest-rank percentile over an already-sorted sample set.
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_has_no_summary() {
+        assert_eq!(StatSummary::of(&[]), None);
+    }
+
+    #[test]
+    fn five_numbers_of_a_known_sample() {
+        let s = StatSummary::of(&[4.0, 1.0, 3.0, 2.0]).unwrap();
+        assert_eq!(s.count, 4);
+        assert_eq!(s.mean, 2.5);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 4.0);
+        assert_eq!(s.p50, 2.0);
+        assert_eq!(s.p99, 4.0);
+    }
+
+    #[test]
+    fn singleton_collapses_to_the_value() {
+        let s = StatSummary::of(&[7.0]).unwrap();
+        assert_eq!(
+            (s.mean, s.min, s.max, s.p50, s.p99),
+            (7.0, 7.0, 7.0, 7.0, 7.0)
+        );
+    }
+
+    #[test]
+    fn p99_picks_the_tail_of_a_large_sample() {
+        let samples: Vec<f64> = (1..=200).map(|i| i as f64).collect();
+        let s = StatSummary::of(&samples).unwrap();
+        assert_eq!(s.p50, 100.0);
+        assert_eq!(s.p99, 198.0);
+    }
+}

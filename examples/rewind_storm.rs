@@ -35,5 +35,16 @@ fn main() {
         report.overhead(),
         report.metrics.corrupted_edge_rounds
     );
+    // The typed diagnostics channel: the compiler reports exactly how often
+    // the burst forced it to rewind.
+    println!(
+        "typed notes: {:?} ({})",
+        report.notes,
+        report.notes.summary()
+    );
     assert_eq!(report.agrees_with_fault_free(), Some(true));
+    assert!(
+        report.notes.rewinds().expect("rewind notes") >= 1,
+        "the burst should force at least one rewind"
+    );
 }

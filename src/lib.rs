@@ -36,16 +36,22 @@
 //! * [`icoding`] — the RS-compiler oracle and the Lemma 3.3 scheduler,
 //! * [`payloads`] — fault-free payload algorithms,
 //! * [`compilers`] — the paper's mobile-secure and mobile-resilient compilers
-//!   (wrapped for the pipeline by the adapters re-exported from [`scenario`]).
+//!   (wrapped for the pipeline by the adapters re-exported from [`scenario`]),
+//! * [`harness`] — the deterministic parallel campaign engine: grids of
+//!   graph × adversary × compiler × seed-repetition cells fanned across
+//!   worker threads with byte-identical results at any thread count, typed
+//!   [`scenario::CompilerNotes`] aggregation (mean/min/max/p50/p99) and a
+//!   JSONL export.
 //!
 //! See `README.md` for a guided tour; `benches/experiments.rs` is the
-//! experiment index (E1–E15, one table per theorem).
+//! experiment index (E1–E16, one table per theorem).
 
 pub use coding as codes;
 pub use congest_algorithms as payloads;
 pub use congest_sim as sim;
 pub use interactive_coding as icoding;
 pub use mobile_congest_core as compilers;
+pub use mobile_congest_harness as harness;
 pub use netgraph as graphs;
 pub use sketches as sketch;
 
@@ -59,8 +65,8 @@ pub use sketches as sketch;
 pub mod scenario {
     pub use congest_sim::scenario::{
         doctest_payload, matrix, validate_role, BoxedAlgorithm, BuiltScenario, Compiler,
-        CompilerKind, FaultFree, PayloadFactory, RunReport, Scenario, ScenarioBuilder,
-        ScenarioError, Uncompiled,
+        CompilerKind, CompilerNotes, FaultFree, PayloadFactory, RunReport, Scenario,
+        ScenarioBuilder, ScenarioError, Uncompiled,
     };
     pub use mobile_congest_core::adapters::{
         CliqueAdapter, CongestionSensitiveAdapter, CycleCoverAdapter, ExpanderAdapter,

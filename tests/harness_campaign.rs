@@ -1,0 +1,238 @@
+//! Integration tests for the deterministic parallel campaign engine
+//! (`mobile_congest::harness`): thread-count determinism, the full
+//! 3 × 4 × 6 × 4 acceptance grid, and typed `CompilerNotes` assertions
+//! through the whole stack.
+
+use mobile_congest::graphs::generators;
+use mobile_congest::harness::Campaign;
+use mobile_congest::payloads::{FloodBroadcast, LeaderElection};
+use mobile_congest::scenario::matrix::{AdversarySpec, CompilerSpec, GraphSpec};
+use mobile_congest::scenario::{
+    BoxedAlgorithm, CliqueAdapter, CompilerNotes, CycleCoverAdapter, FaultFree, RewindAdapter,
+    StaticToMobileAdapter, TreePackingAdapter, Uncompiled,
+};
+use mobile_congest::sim::adversary::{
+    AdversaryRole, BurstAdversary, CorruptionBudget, CorruptionMode, GreedyHeaviest, RandomMobile,
+    SweepMobile,
+};
+
+fn graphs() -> Vec<GraphSpec> {
+    vec![
+        GraphSpec::new("K12", generators::complete(12)),
+        GraphSpec::new("circ(18,4)", generators::circulant(18, 4)),
+        GraphSpec::new("circ(10,2)", generators::circulant(10, 2)),
+    ]
+}
+
+fn adversaries() -> Vec<AdversarySpec> {
+    vec![
+        AdversarySpec::new(
+            "random-mobile",
+            AdversaryRole::Byzantine,
+            CorruptionBudget::Mobile { f: 1 },
+            |seed| Box::new(RandomMobile::new(1, seed)),
+        ),
+        AdversarySpec::new(
+            "sweep-mobile",
+            AdversaryRole::Byzantine,
+            CorruptionBudget::Mobile { f: 1 },
+            |_| Box::new(SweepMobile::new(1)),
+        ),
+        AdversarySpec::new(
+            "greedy-heaviest",
+            AdversaryRole::Byzantine,
+            CorruptionBudget::Mobile { f: 1 },
+            |_| Box::new(GreedyHeaviest::new(1).with_mode(CorruptionMode::FlipLowBit)),
+        ),
+        AdversarySpec::new(
+            "eavesdropper",
+            AdversaryRole::Eavesdropper,
+            CorruptionBudget::Mobile { f: 2 },
+            |seed| Box::new(RandomMobile::new(2, seed)),
+        ),
+    ]
+}
+
+fn compilers() -> Vec<CompilerSpec> {
+    vec![
+        CompilerSpec::of(FaultFree),
+        CompilerSpec::of(Uncompiled),
+        CompilerSpec::of(CliqueAdapter::new(1, 5)),
+        CompilerSpec::of(TreePackingAdapter::new(1, 5)),
+        CompilerSpec::of(CycleCoverAdapter::new(1)),
+        CompilerSpec::of(StaticToMobileAdapter::new(4, 2, 5)),
+    ]
+}
+
+fn flood_payload(g: &mobile_congest::graphs::Graph) -> BoxedAlgorithm {
+    Box::new(FloodBroadcast::new(g.clone(), 0, 4242))
+}
+
+/// Same campaign seed, 1 vs 2 vs 8 worker threads: the serialized reports
+/// (cell order and contents, including outputs, metrics, view logs and typed
+/// notes) must be byte-identical.
+#[test]
+fn campaign_results_are_byte_identical_across_thread_counts() {
+    let run_with = |threads: usize| {
+        Campaign::new(2024)
+            .graphs(vec![
+                GraphSpec::new("K10", generators::complete(10)),
+                GraphSpec::new("circ(10,2)", generators::circulant(10, 2)),
+            ])
+            .adversaries(vec![
+                AdversarySpec::new(
+                    "random-mobile",
+                    AdversaryRole::Byzantine,
+                    CorruptionBudget::Mobile { f: 1 },
+                    |seed| Box::new(RandomMobile::new(1, seed)),
+                ),
+                AdversarySpec::new(
+                    "eavesdropper",
+                    AdversaryRole::Eavesdropper,
+                    CorruptionBudget::Mobile { f: 1 },
+                    |seed| Box::new(RandomMobile::new(1, seed)),
+                ),
+            ])
+            .compilers(vec![
+                CompilerSpec::of(Uncompiled),
+                CompilerSpec::of(CliqueAdapter::new(1, 5)),
+                CompilerSpec::of(StaticToMobileAdapter::new(4, 2, 5)),
+            ])
+            .payload(flood_payload)
+            .repetitions(3)
+            .threads(threads)
+            .run()
+    };
+
+    let single = run_with(1);
+    let double = run_with(2);
+    let eight = run_with(8);
+
+    assert_eq!(single.cells.len(), 2 * 2 * 3 * 3);
+    assert_eq!(single.fingerprint(), double.fingerprint());
+    assert_eq!(single.fingerprint(), eight.fingerprint());
+    assert_eq!(single.to_jsonl(), double.to_jsonl());
+    assert_eq!(single.to_jsonl(), eight.to_jsonl());
+}
+
+/// The acceptance-grade campaign: the 3 × 4 × 6 matrix with 4 repetitions
+/// per cell, through the parallel engine, with per-compiler notes aggregated
+/// into summaries and exported as JSONL.
+#[test]
+fn full_grid_campaign_with_repetitions_through_the_parallel_engine() {
+    let report = Campaign::new(77)
+        .graphs(graphs())
+        .adversaries(adversaries())
+        .compilers(compilers())
+        .payload(flood_payload)
+        .repetitions(4)
+        .run();
+
+    assert_eq!(report.cells.len(), 3 * 4 * 6 * 4, "full grid × repetitions");
+    assert!(report.skipped_count() > 0, "expected typed skips");
+    assert!(report.all_protected_cells_agree());
+
+    // Repetitions of one grid cell differ only in their derived seed.
+    let seeds: Vec<u64> = report
+        .cells
+        .iter()
+        .filter(|c| {
+            c.graph == "K12" && c.adversary == "random-mobile" && c.compiler.starts_with("clique")
+        })
+        .map(|c| c.seed)
+        .collect();
+    assert_eq!(seeds.len(), 4);
+    assert!(
+        seeds.windows(2).all(|w| w[0] != w[1]),
+        "per-repetition seeds must differ"
+    );
+
+    // The resilient compiler's typed notes survive aggregation: every
+    // repetition on the clique under every byzantine adversary ended fully
+    // corrected.
+    let summaries = report.summaries();
+    let clique = summaries
+        .iter()
+        .find(|s| {
+            s.graph == "K12" && s.adversary == "random-mobile" && s.compiler.starts_with("clique")
+        })
+        .expect("clique group present");
+    assert_eq!(clique.executed, 4);
+    assert_eq!(clique.disagreements, 0);
+    let corrected = clique
+        .stat("fully_corrected")
+        .expect("resilient notes aggregated");
+    assert_eq!(corrected.count, 4);
+    assert_eq!(corrected.mean, 1.0, "every repetition fully corrected");
+    assert!(clique.stat("mismatches_after").is_some());
+
+    // The secrecy compiler's notes likewise: key rounds are aggregated and
+    // positive on every executed eavesdropper cell.
+    let secure = summaries
+        .iter()
+        .find(|s| s.adversary == "eavesdropper" && s.compiler.starts_with("static-to-mobile"))
+        .expect("static-to-mobile group present");
+    assert!(secure.executed > 0);
+    assert!(
+        secure
+            .stat("key_rounds")
+            .expect("secure notes aggregated")
+            .min
+            > 0.0
+    );
+
+    // The JSONL trajectory carries one line per cell plus one per group, and
+    // records the typed notes.
+    let jsonl = report.to_jsonl();
+    assert_eq!(jsonl.lines().count(), report.cells.len() + summaries.len());
+    assert!(jsonl.contains("\"notes\":{\"type\":\"resilient\",\"fully_corrected\":1"));
+    assert!(jsonl.contains("\"kind\":\"summary\""));
+    assert!(jsonl.contains("\"status\":\"skipped\""));
+}
+
+/// The rate compiler's rewind counter flows through the typed notes channel:
+/// a bursty adversary forces rewinds, and the campaign can assert on them.
+#[test]
+fn rewind_notes_are_assertable_through_the_campaign() {
+    let report = Campaign::new(9)
+        .graphs(vec![GraphSpec::new("K14", generators::complete(14))])
+        .adversaries(vec![AdversarySpec::new(
+            "burst",
+            AdversaryRole::Byzantine,
+            CorruptionBudget::RoundErrorRate { total: 200 },
+            |_| Box::new(BurstAdversary::new(40, 4, 12, 9)),
+        )])
+        .compilers(vec![CompilerSpec::of(RewindAdapter::new(1, 3))])
+        .payload(|g| Box::new(LeaderElection::new(g.clone())) as BoxedAlgorithm)
+        .repetitions(2)
+        .threads(2)
+        .run();
+
+    assert_eq!(report.cells.len(), 2);
+    for cell in &report.cells {
+        let run = cell.outcome.as_ref().expect("rewind cell completed");
+        assert_eq!(run.agrees_with_fault_free(), Some(true));
+        match run.notes {
+            CompilerNotes::Rewind {
+                rewinds,
+                committed_rounds,
+                completed,
+                ..
+            } => {
+                assert!(completed);
+                assert_eq!(committed_rounds, run.payload_rounds);
+                assert!(rewinds >= 1, "the burst must force at least one rewind");
+                assert_eq!(run.notes.rewinds(), Some(rewinds));
+            }
+            ref other => panic!("expected rewind notes, got {other:?}"),
+        }
+    }
+    let summaries = report.summaries();
+    assert!(
+        summaries[0]
+            .stat("rewinds")
+            .expect("rewind notes aggregated")
+            .min
+            >= 1.0
+    );
+}

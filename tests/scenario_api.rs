@@ -6,9 +6,9 @@
 use mobile_congest::graphs::generators;
 use mobile_congest::payloads::{ConvergecastSum, FloodBroadcast, LeaderElection};
 use mobile_congest::scenario::{
-    matrix, CliqueAdapter, Compiler, CompilerKind, CongestionSensitiveAdapter, CycleCoverAdapter,
-    FaultFree, RewindAdapter, Scenario, ScenarioError, StaticToMobileAdapter, TreePackingAdapter,
-    Uncompiled,
+    matrix, CliqueAdapter, Compiler, CompilerKind, CompilerNotes, CongestionSensitiveAdapter,
+    CycleCoverAdapter, ExpanderAdapter, FaultFree, RewindAdapter, Scenario, ScenarioError,
+    StaticToMobileAdapter, TreePackingAdapter, Uncompiled,
 };
 use mobile_congest::sim::adversary::{
     AdversaryRole, CorruptionBudget, CorruptionMode, GreedyHeaviest, RandomMobile, SweepMobile,
@@ -125,6 +125,132 @@ fn missing_payload_is_rejected_before_any_round_runs() {
         .run()
         .unwrap_err();
     assert_eq!(err, ScenarioError::MissingPayload);
+}
+
+/// Exhaustive pairing contract: for *every* compiler × adversary-role
+/// combination, `ScenarioBuilder::build` accepts iff
+/// `CompilerKind::supports(role)` says so, on a graph (K12) that passes every
+/// compiler's structural validation — so the only reject reason in play is
+/// the role, and it is always the typed `RoleMismatch`.
+#[test]
+fn every_compiler_kind_role_pairing_matches_builder_behavior() {
+    let g = generators::complete(12);
+    type MakeCompiler = Box<dyn Fn() -> Box<dyn Compiler>>;
+    let all_compilers: Vec<MakeCompiler> = vec![
+        Box::new(|| Box::new(Uncompiled)),
+        Box::new(|| Box::new(FaultFree)),
+        Box::new(|| Box::new(CliqueAdapter::new(1, 3))),
+        Box::new(|| Box::new(TreePackingAdapter::new(1, 3))),
+        Box::new(|| Box::new(CycleCoverAdapter::new(1))),
+        Box::new(|| Box::new(ExpanderAdapter::new(1, 2, 6, 3))),
+        Box::new(|| Box::new(RewindAdapter::new(1, 3))),
+        Box::new(|| Box::new(StaticToMobileAdapter::new(4, 2, 3))),
+        Box::new(|| Box::new(CongestionSensitiveAdapter::new(1, 2, 3))),
+    ];
+    // Every CompilerKind is represented, so the table below really is the
+    // full supports() matrix.
+    for kind in [
+        CompilerKind::Baseline,
+        CompilerKind::Reference,
+        CompilerKind::Resilient,
+        CompilerKind::RateResilient,
+        CompilerKind::Secure,
+    ] {
+        assert!(
+            all_compilers.iter().any(|make| make().kind() == kind),
+            "no compiler of kind {kind:?} in the exhaustive pairing test"
+        );
+    }
+    for make in &all_compilers {
+        for role in [AdversaryRole::Byzantine, AdversaryRole::Eavesdropper] {
+            let compiler = make();
+            let name = compiler.name();
+            let kind = compiler.kind();
+            let gg = g.clone();
+            let built = Scenario::on(g.clone())
+                .payload(move || LeaderElection::new(gg.clone()))
+                .adversary(
+                    role,
+                    RandomMobile::new(1, 5),
+                    CorruptionBudget::Mobile { f: 1 },
+                )
+                .compiled_with_boxed(compiler)
+                .build();
+            if kind.supports(role) {
+                assert!(
+                    built.is_ok(),
+                    "{name} ({kind:?}) should accept a {role:?} adversary"
+                );
+            } else {
+                assert!(
+                    matches!(
+                        built.as_ref().err(),
+                        Some(ScenarioError::RoleMismatch { .. })
+                    ),
+                    "{name} ({kind:?}) should reject a {role:?} adversary with RoleMismatch"
+                );
+            }
+        }
+    }
+}
+
+/// Typed `CompilerNotes` reach the report from a direct scenario run: the
+/// resilient compiler reports its correction verdict, the secrecy compiler
+/// its key-exchange phase split.
+#[test]
+fn compiler_notes_reach_the_run_report() {
+    let g = generators::complete(12);
+    let gg = g.clone();
+    let resilient = Scenario::on(g.clone())
+        .payload(move || FloodBroadcast::new(gg.clone(), 0, 99))
+        .adversary(
+            AdversaryRole::Byzantine,
+            RandomMobile::new(1, 7),
+            CorruptionBudget::Mobile { f: 1 },
+        )
+        .seed(7)
+        .compiled_with(CliqueAdapter::new(1, 3))
+        .run()
+        .unwrap();
+    assert_eq!(resilient.notes.fully_corrected(), Some(true));
+    assert!(matches!(
+        resilient.notes,
+        CompilerNotes::Resilient {
+            fully_corrected: true,
+            ..
+        }
+    ));
+    assert!(resilient.table_row().contains("notes=corrected:yes"));
+
+    let gg = g.clone();
+    let secure = Scenario::on(g)
+        .payload(move || FloodBroadcast::new(gg.clone(), 0, 99))
+        .adversary(
+            AdversaryRole::Eavesdropper,
+            RandomMobile::new(1, 7),
+            CorruptionBudget::Mobile { f: 1 },
+        )
+        .seed(7)
+        .compiled_with(StaticToMobileAdapter::new(4, 2, 3))
+        .run()
+        .unwrap();
+    let key_rounds = secure.notes.key_rounds().expect("secure notes present");
+    assert!(key_rounds > 0);
+    match secure.notes {
+        CompilerNotes::Secure {
+            key_rounds: kr,
+            simulation_rounds,
+        } => {
+            assert_eq!(kr, key_rounds);
+            assert_eq!(simulation_rounds, secure.payload_rounds);
+            assert_eq!(secure.network_rounds, kr + simulation_rounds);
+        }
+        ref other => panic!("expected secure notes, got {other:?}"),
+    }
+
+    // Baselines stay silent and the table shows a placeholder.
+    let uncompiled_header = mobile_congest::scenario::RunReport::table_header();
+    assert!(uncompiled_header.contains("notes"));
 }
 
 /// `Uncompiled` through the pipeline must reproduce `run_on_network` on an
