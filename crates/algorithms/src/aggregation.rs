@@ -71,19 +71,18 @@ impl CongestAlgorithm for BfsTreeAlgorithm {
         self.rounds
     }
 
-    fn send(&mut self, _round: usize) -> Traffic {
-        let mut t = Traffic::new(&self.graph);
+    fn send_into(&mut self, _round: usize, out: &mut Traffic) {
+        out.begin_round(&self.graph);
         for v in self.graph.nodes() {
             if let Some(d) = self.depth[v] {
                 if !self.announced[v] {
                     for &(u, _) in self.graph.neighbors(v) {
-                        t.send(&self.graph, v, u, vec![d]);
+                        out.send(&self.graph, v, u, [d]);
                     }
                     self.announced[v] = true;
                 }
             }
         }
-        t
     }
 
     fn receive(&mut self, _round: usize, inbox: &Traffic) {
@@ -93,7 +92,7 @@ impl CongestAlgorithm for BfsTreeAlgorithm {
             }
             // Adopt the smallest-depth announcing neighbour as parent.
             let mut best: Option<(u64, NodeId)> = None;
-            for (from, payload) in inbox.inbox_of(&self.graph, v) {
+            for (from, payload) in inbox.inbox(&self.graph, v) {
                 if let Some(&d) = payload.first() {
                     if best.is_none_or(|(bd, bf)| d < bd || (d == bd && from < bf)) {
                         best = Some((d, from));
@@ -218,15 +217,15 @@ impl CongestAlgorithm for ConvergecastSum {
         self.rounds
     }
 
-    fn send(&mut self, round: usize) -> Traffic {
-        let mut t = Traffic::new(&self.graph);
+    fn send_into(&mut self, round: usize, out: &mut Traffic) {
+        out.begin_round(&self.graph);
         if round < self.diam {
             // Phase 1: BFS construction.
             for v in self.graph.nodes() {
                 if let Some(d) = self.depth[v] {
                     if !self.announced[v] {
                         for &(u, _) in self.graph.neighbors(v) {
-                            t.send(&self.graph, v, u, vec![TAG_BFS, d]);
+                            out.send(&self.graph, v, u, [TAG_BFS, d]);
                         }
                         self.announced[v] = true;
                     }
@@ -243,7 +242,7 @@ impl CongestAlgorithm for ConvergecastSum {
                 let ready = children.iter().all(|c| self.received_from[v].contains(c));
                 if ready {
                     if let Some(p) = self.parent[v] {
-                        t.send(&self.graph, v, p, vec![TAG_UP, self.subtotal[v]]);
+                        out.send(&self.graph, v, p, [TAG_UP, self.subtotal[v]]);
                         self.sent_up[v] = true;
                     }
                 }
@@ -263,19 +262,18 @@ impl CongestAlgorithm for ConvergecastSum {
                 if let Some(total) = self.total[v] {
                     if !self.forwarded_total[v] {
                         for c in self.children_of(v) {
-                            t.send(&self.graph, v, c, vec![TAG_TOTAL, total]);
+                            out.send(&self.graph, v, c, [TAG_TOTAL, total]);
                         }
                         self.forwarded_total[v] = true;
                     }
                 }
             }
         }
-        t
     }
 
     fn receive(&mut self, _round: usize, inbox: &Traffic) {
         for v in self.graph.nodes() {
-            for (from, payload) in inbox.inbox_of(&self.graph, v) {
+            for (from, payload) in inbox.inbox(&self.graph, v) {
                 match payload.first() {
                     Some(&TAG_BFS) if self.depth[v].is_none() => {
                         if let Some(&d) = payload.get(1) {

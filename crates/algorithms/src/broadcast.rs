@@ -73,19 +73,18 @@ impl CongestAlgorithm for FloodBroadcast {
         self.rounds
     }
 
-    fn send(&mut self, _round: usize) -> Traffic {
-        let mut t = Traffic::new(&self.graph);
+    fn send_into(&mut self, _round: usize, out: &mut Traffic) {
+        out.begin_round(&self.graph);
         for v in self.graph.nodes() {
             if let Some(val) = self.known[v] {
                 if !self.forwarded[v] {
                     for &(u, _) in self.graph.neighbors(v) {
-                        t.send(&self.graph, v, u, vec![val]);
+                        out.send(&self.graph, v, u, [val]);
                     }
                     self.forwarded[v] = true;
                 }
             }
         }
-        t
     }
 
     fn receive(&mut self, _round: usize, inbox: &Traffic) {
@@ -93,7 +92,7 @@ impl CongestAlgorithm for FloodBroadcast {
             if self.known[v].is_some() {
                 continue;
             }
-            for (_, payload) in inbox.inbox_of(&self.graph, v) {
+            for (_, payload) in inbox.inbox(&self.graph, v) {
                 if let Some(&val) = payload.first() {
                     self.known[v] = Some(val);
                     break;
@@ -156,25 +155,26 @@ impl CongestAlgorithm for LeaderElection {
         self.rounds
     }
 
-    fn send(&mut self, _round: usize) -> Traffic {
-        let mut t = Traffic::new(&self.graph);
+    fn send_into(&mut self, _round: usize, out: &mut Traffic) {
+        out.begin_round(&self.graph);
         for v in self.graph.nodes() {
             for &(u, _) in self.graph.neighbors(v) {
-                t.send(&self.graph, v, u, vec![self.best[v]]);
+                out.send(&self.graph, v, u, [self.best[v]]);
             }
         }
-        t
     }
 
     fn receive(&mut self, _round: usize, inbox: &Traffic) {
         for v in self.graph.nodes() {
-            for (_, payload) in inbox.inbox_of(&self.graph, v) {
+            let mut best = self.best[v];
+            for (_, payload) in inbox.inbox(&self.graph, v) {
                 if let Some(&val) = payload.first() {
                     if val < self.graph.node_count() as u64 {
-                        self.best[v] = self.best[v].max(val);
+                        best = best.max(val);
                     }
                 }
             }
+            self.best[v] = best;
         }
     }
 

@@ -78,30 +78,24 @@ impl CongestAlgorithm for TokenDissemination {
         self.rounds
     }
 
-    fn send(&mut self, _round: usize) -> Traffic {
-        let mut t = Traffic::new(&self.graph);
+    fn send_into(&mut self, _round: usize, out: &mut Traffic) {
+        out.begin_round(&self.graph);
         for v in self.graph.nodes() {
             for (ni, &(u, _)) in self.graph.neighbors(v).iter().enumerate() {
                 let already = self.sent[v][ni];
-                let to_send: Vec<u64> = self.known[v]
-                    .iter()
-                    .skip(already)
-                    .take(self.batch)
-                    .copied()
-                    .collect();
-                if !to_send.is_empty() {
-                    self.sent[v][ni] = already + to_send.len();
-                    t.send(&self.graph, v, u, to_send);
+                let end = (already + self.batch).min(self.known[v].len());
+                if already < end {
+                    self.sent[v][ni] = end;
+                    out.send(&self.graph, v, u, &self.known[v][already..end]);
                 }
             }
         }
-        t
     }
 
     fn receive(&mut self, _round: usize, inbox: &Traffic) {
         for v in self.graph.nodes() {
-            for (_, payload) in inbox.inbox_of(&self.graph, v) {
-                for &tok in &payload {
+            for (_, payload) in inbox.inbox(&self.graph, v) {
+                for &tok in payload {
                     if !self.known[v].contains(&tok) {
                         self.known[v].push(tok);
                     }
@@ -191,21 +185,20 @@ impl CongestAlgorithm for RandomizedColoring {
         self.rounds
     }
 
-    fn send(&mut self, _round: usize) -> Traffic {
-        let mut t = Traffic::new(&self.graph);
+    fn send_into(&mut self, _round: usize, out: &mut Traffic) {
+        out.begin_round(&self.graph);
         for v in self.graph.nodes() {
             let msg = match self.decided[v] {
-                Some(c) => vec![1, c],
+                Some(c) => [1, c],
                 None => {
                     self.proposal[v] = self.rng_streams[v].gen_range(0..self.palette);
-                    vec![0, self.proposal[v]]
+                    [0, self.proposal[v]]
                 }
             };
             for &(u, _) in self.graph.neighbors(v) {
-                t.send(&self.graph, v, u, msg.clone());
+                out.send(&self.graph, v, u, msg);
             }
         }
-        t
     }
 
     fn receive(&mut self, _round: usize, inbox: &Traffic) {
@@ -214,7 +207,7 @@ impl CongestAlgorithm for RandomizedColoring {
                 continue;
             }
             let mut conflict = false;
-            for (from, payload) in inbox.inbox_of(&self.graph, v) {
+            for (from, payload) in inbox.inbox(&self.graph, v) {
                 let (is_final, colour) = (
                     payload.first().copied().unwrap_or(0),
                     payload.get(1).copied().unwrap_or(u64::MAX),

@@ -13,9 +13,15 @@
 //! adversary), or a total of `f·r` edge-rounds (round-error-rate adversary).
 //! The [`crate::network::Network`] enforces the budget; strategies only express
 //! *intent*.
+//!
+//! Strategies mark the edges they want into a reusable [`EdgeSet`]
+//! ([`AdversaryStrategy::mark_edges`]) instead of returning a fresh
+//! collection every round, so the per-round engine path is allocation-free;
+//! [`AdversaryStrategy::choose_edges`] remains as the allocating convenience
+//! for tests and diagnostics.
 
 use crate::traffic::{Payload, Traffic};
-use netgraph::{EdgeId, Graph};
+use netgraph::{EdgeId, Graph, NodeId};
 use rand::Rng;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -37,10 +43,16 @@ pub enum CorruptionBudget {
     /// A fixed set of edges is controlled in every round (static adversary).
     Static(Vec<EdgeId>),
     /// At most `f` (arbitrary, possibly different) edges per round (mobile adversary).
-    Mobile { f: usize },
+    Mobile {
+        /// The per-round edge bound.
+        f: usize,
+    },
     /// A total budget of `total` edge-rounds across the whole execution
     /// (round-error-rate adversary: `total = f · r`).
-    RoundErrorRate { total: usize },
+    RoundErrorRate {
+        /// The whole-execution edge-round budget.
+        total: usize,
+    },
 }
 
 impl CorruptionBudget {
@@ -64,6 +76,75 @@ impl CorruptionBudget {
     }
 }
 
+/// A deduplicating, insertion-ordered edge set backed by a reusable bitset.
+///
+/// This is the vehicle strategies mark their wanted edges into: the network
+/// owns one, [`EdgeSet::reset`]s it each round (an `O(m/64)` word fill, no
+/// allocation at steady state), and reads the marked edges back in insertion
+/// order — the order budget clamping honours.
+#[derive(Debug, Clone, Default)]
+pub struct EdgeSet {
+    /// One bit per edge id (grown on demand).
+    bits: Vec<u64>,
+    /// Marked edges in first-insertion order.
+    order: Vec<EdgeId>,
+}
+
+impl EdgeSet {
+    /// An empty set (no capacity reserved yet).
+    pub fn new() -> Self {
+        EdgeSet::default()
+    }
+
+    /// Clear the set and make sure `edge_count` edges fit without growing.
+    pub fn reset(&mut self, edge_count: usize) {
+        self.order.clear();
+        self.bits.clear();
+        self.bits.resize(edge_count.div_ceil(64), 0);
+    }
+
+    /// Mark an edge; returns `true` if it was newly inserted.
+    pub fn insert(&mut self, e: EdgeId) -> bool {
+        let (word, bit) = (e / 64, 1u64 << (e % 64));
+        if word >= self.bits.len() {
+            self.bits.resize(word + 1, 0);
+        }
+        if self.bits[word] & bit != 0 {
+            return false;
+        }
+        self.bits[word] |= bit;
+        self.order.push(e);
+        true
+    }
+
+    /// Whether `e` is marked.
+    pub fn contains(&self, e: EdgeId) -> bool {
+        self.bits
+            .get(e / 64)
+            .is_some_and(|w| w & (1u64 << (e % 64)) != 0)
+    }
+
+    /// Number of marked edges.
+    pub fn len(&self) -> usize {
+        self.order.len()
+    }
+
+    /// Whether nothing is marked.
+    pub fn is_empty(&self) -> bool {
+        self.order.is_empty()
+    }
+
+    /// The marked edges in first-insertion order.
+    pub fn as_slice(&self) -> &[EdgeId] {
+        &self.order
+    }
+
+    /// Iterate the marked edges in first-insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = EdgeId> + '_ {
+        self.order.iter().copied()
+    }
+}
+
 /// How a byzantine adversary rewrites a controlled message.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum CorruptionMode {
@@ -79,31 +160,50 @@ pub enum CorruptionMode {
 }
 
 impl CorruptionMode {
-    /// Apply the corruption to an optional payload.
+    /// Apply the corruption into a reusable buffer: `out` receives the
+    /// replacement payload and the return value says whether a message is
+    /// present at all (`false` ⇒ the message is dropped).  This is the
+    /// allocation-free path the network's round engine uses.
+    pub fn apply_into<R: Rng + ?Sized>(
+        &self,
+        original: Option<&[u64]>,
+        rng: &mut R,
+        out: &mut Vec<u64>,
+    ) -> bool {
+        out.clear();
+        match self {
+            CorruptionMode::ReplaceRandom => {
+                let len = original.map(|p| p.len().max(1)).unwrap_or(1);
+                out.extend((0..len).map(|_| rng.gen::<u64>()));
+                true
+            }
+            CorruptionMode::FlipLowBit => {
+                match original {
+                    Some(p) if !p.is_empty() => out.extend_from_slice(p),
+                    _ => out.push(0),
+                }
+                out[0] ^= 1;
+                true
+            }
+            CorruptionMode::Drop => false,
+            CorruptionMode::Constant(w) => {
+                let len = original.map(|p| p.len().max(1)).unwrap_or(1);
+                out.extend(std::iter::repeat_n(*w, len));
+                true
+            }
+        }
+    }
+
+    /// Apply the corruption to an optional payload, allocating the result
+    /// (convenience wrapper over [`CorruptionMode::apply_into`]).
     pub fn apply<R: Rng + ?Sized>(
         &self,
         original: Option<&Payload>,
         rng: &mut R,
     ) -> Option<Payload> {
-        match self {
-            CorruptionMode::ReplaceRandom => {
-                let len = original.map(|p| p.len().max(1)).unwrap_or(1);
-                Some((0..len).map(|_| rng.gen()).collect())
-            }
-            CorruptionMode::FlipLowBit => {
-                let mut p = original.cloned().unwrap_or_else(|| vec![0]);
-                if p.is_empty() {
-                    p.push(0);
-                }
-                p[0] ^= 1;
-                Some(p)
-            }
-            CorruptionMode::Drop => None,
-            CorruptionMode::Constant(w) => {
-                let len = original.map(|p| p.len().max(1)).unwrap_or(1);
-                Some(vec![*w; len])
-            }
-        }
+        let mut out = Vec::new();
+        self.apply_into(original.map(|p| p.as_slice()), rng, &mut out)
+            .then_some(out)
     }
 }
 
@@ -112,14 +212,29 @@ impl CorruptionMode {
 /// The network intersects the request with the configured budget, so a strategy
 /// never needs to worry about exceeding `f`; asking for more than allowed just
 /// means the surplus is ignored (in request order).
+///
+/// Implement [`AdversaryStrategy::mark_edges`]; the network calls it with a
+/// recycled [`EdgeSet`] so the hot path never allocates.
 pub trait AdversaryStrategy: Send {
     /// Human-readable name for experiment reports.
     fn name(&self) -> String;
 
-    /// Edges the adversary wants to control in this round.  The strategy sees
-    /// the full outgoing traffic of the round (the adversary is all-powerful and
-    /// rushing), but not the nodes' private randomness.
-    fn choose_edges(&mut self, round: usize, graph: &Graph, traffic: &Traffic) -> Vec<EdgeId>;
+    /// Mark the edges the adversary wants to control in this round into
+    /// `out` (already cleared and sized by the caller).  The strategy sees
+    /// the full outgoing traffic of the round (the adversary is all-powerful
+    /// and rushing), but not the nodes' private randomness.  Insertion order
+    /// is the priority order budget clamping honours.
+    fn mark_edges(&mut self, round: usize, graph: &Graph, traffic: &Traffic, out: &mut EdgeSet);
+
+    /// Edges the adversary wants to control in this round, as an owned,
+    /// deduplicated list (allocating convenience over
+    /// [`AdversaryStrategy::mark_edges`], for tests and diagnostics).
+    fn choose_edges(&mut self, round: usize, graph: &Graph, traffic: &Traffic) -> Vec<EdgeId> {
+        let mut out = EdgeSet::new();
+        out.reset(graph.edge_count());
+        self.mark_edges(round, graph, traffic, &mut out);
+        out.as_slice().to_vec()
+    }
 
     /// How controlled byzantine messages are rewritten (ignored for eavesdroppers).
     fn corruption_mode(&self) -> CorruptionMode {
@@ -135,8 +250,13 @@ impl AdversaryStrategy for NoAdversary {
     fn name(&self) -> String {
         "none".into()
     }
-    fn choose_edges(&mut self, _round: usize, _graph: &Graph, _traffic: &Traffic) -> Vec<EdgeId> {
-        Vec::new()
+    fn mark_edges(
+        &mut self,
+        _round: usize,
+        _graph: &Graph,
+        _traffic: &Traffic,
+        _out: &mut EdgeSet,
+    ) {
     }
 }
 
@@ -167,8 +287,10 @@ impl AdversaryStrategy for FixedEdges {
     fn name(&self) -> String {
         format!("static({})", self.edges.len())
     }
-    fn choose_edges(&mut self, _round: usize, _graph: &Graph, _traffic: &Traffic) -> Vec<EdgeId> {
-        self.edges.clone()
+    fn mark_edges(&mut self, _round: usize, _graph: &Graph, _traffic: &Traffic, out: &mut EdgeSet) {
+        for &e in &self.edges {
+            out.insert(e);
+        }
     }
     fn corruption_mode(&self) -> CorruptionMode {
         self.mode
@@ -205,21 +327,16 @@ impl AdversaryStrategy for RandomMobile {
     fn name(&self) -> String {
         format!("random-mobile(f={})", self.f)
     }
-    fn choose_edges(&mut self, _round: usize, graph: &Graph, _traffic: &Traffic) -> Vec<EdgeId> {
+    fn mark_edges(&mut self, _round: usize, graph: &Graph, _traffic: &Traffic, out: &mut EdgeSet) {
         let m = graph.edge_count();
         if m == 0 {
-            return Vec::new();
+            return;
         }
-        let mut chosen = Vec::with_capacity(self.f);
         let mut tries = 0;
-        while chosen.len() < self.f.min(m) && tries < 20 * self.f.max(1) {
-            let e = self.rng.gen_range(0..m);
-            if !chosen.contains(&e) {
-                chosen.push(e);
-            }
+        while out.len() < self.f.min(m) && tries < 20 * self.f.max(1) {
+            out.insert(self.rng.gen_range(0..m));
             tries += 1;
         }
-        chosen
     }
     fn corruption_mode(&self) -> CorruptionMode {
         self.mode
@@ -258,17 +375,15 @@ impl AdversaryStrategy for SweepMobile {
     fn name(&self) -> String {
         format!("sweep-mobile(f={})", self.f)
     }
-    fn choose_edges(&mut self, _round: usize, graph: &Graph, _traffic: &Traffic) -> Vec<EdgeId> {
+    fn mark_edges(&mut self, _round: usize, graph: &Graph, _traffic: &Traffic, out: &mut EdgeSet) {
         let m = graph.edge_count();
         if m == 0 {
-            return Vec::new();
+            return;
         }
-        let mut chosen = Vec::with_capacity(self.f);
         for i in 0..self.f.min(m) {
-            chosen.push((self.cursor + i) % m);
+            out.insert((self.cursor + i) % m);
         }
         self.cursor = (self.cursor + self.f) % m;
-        chosen
     }
     fn corruption_mode(&self) -> CorruptionMode {
         self.mode
@@ -282,6 +397,10 @@ impl AdversaryStrategy for SweepMobile {
 pub struct GreedyHeaviest {
     f: usize,
     mode: CorruptionMode,
+    /// Reused per-edge weight accumulator.
+    weight: Vec<usize>,
+    /// Reused ranking scratch.
+    ranked: Vec<EdgeId>,
 }
 
 impl GreedyHeaviest {
@@ -290,6 +409,8 @@ impl GreedyHeaviest {
         GreedyHeaviest {
             f,
             mode: CorruptionMode::ReplaceRandom,
+            weight: Vec::new(),
+            ranked: Vec::new(),
         }
     }
 
@@ -300,20 +421,146 @@ impl GreedyHeaviest {
     }
 }
 
+/// Rank all edges by a weight vector, heaviest first (ties by edge id), and
+/// mark the top `f` — the shared core of [`GreedyHeaviest`] and
+/// [`AdaptiveHeaviest`].
+fn mark_heaviest(weight: &[usize], ranked: &mut Vec<EdgeId>, f: usize, out: &mut EdgeSet) {
+    ranked.clear();
+    ranked.extend(0..weight.len());
+    ranked.sort_unstable_by_key(|&e| (std::cmp::Reverse(weight[e]), e));
+    for &e in ranked.iter().take(f) {
+        out.insert(e);
+    }
+}
+
 impl AdversaryStrategy for GreedyHeaviest {
     fn name(&self) -> String {
         format!("greedy-heaviest(f={})", self.f)
     }
-    fn choose_edges(&mut self, _round: usize, graph: &Graph, traffic: &Traffic) -> Vec<EdgeId> {
-        let mut weight = vec![0usize; graph.edge_count()];
+    fn mark_edges(&mut self, _round: usize, graph: &Graph, traffic: &Traffic, out: &mut EdgeSet) {
+        self.weight.clear();
+        self.weight.resize(graph.edge_count(), 0);
         for (arc, payload) in traffic.iter_present() {
-            let (e, _, _) = graph.arc_endpoints(arc);
-            weight[e] += payload.len();
+            self.weight[Graph::edge_of(arc)] += payload.len();
         }
-        let mut edges: Vec<EdgeId> = (0..graph.edge_count()).collect();
-        edges.sort_by_key(|&e| std::cmp::Reverse(weight[e]));
-        edges.truncate(self.f);
-        edges
+        mark_heaviest(&self.weight, &mut self.ranked, self.f, out);
+    }
+    fn corruption_mode(&self) -> CorruptionMode {
+        self.mode
+    }
+}
+
+/// Re-targets using the loads it *observed in the previous round*: the rushing
+/// adversary of [`GreedyHeaviest`] sees the current round before choosing, but
+/// an adaptive adversary that must commit its taps before the round starts can
+/// only extrapolate — the natural attack model against pipelines whose traffic
+/// pattern is stable across rounds (aggregation trees, keystream exchanges).
+///
+/// Round 0 has no observation yet, so the lowest-id edges are attacked first.
+#[derive(Debug, Clone)]
+pub struct AdaptiveHeaviest {
+    f: usize,
+    mode: CorruptionMode,
+    /// Loads observed in the previous round.
+    prev: Vec<usize>,
+    /// Reused ranking scratch.
+    ranked: Vec<EdgeId>,
+}
+
+impl AdaptiveHeaviest {
+    /// Control the `f` edges that carried the largest total payload in the
+    /// previous round.
+    pub fn new(f: usize) -> Self {
+        AdaptiveHeaviest {
+            f,
+            mode: CorruptionMode::ReplaceRandom,
+            prev: Vec::new(),
+            ranked: Vec::new(),
+        }
+    }
+
+    /// Select the corruption mode.
+    pub fn with_mode(mut self, mode: CorruptionMode) -> Self {
+        self.mode = mode;
+        self
+    }
+}
+
+impl AdversaryStrategy for AdaptiveHeaviest {
+    fn name(&self) -> String {
+        format!("adaptive-heaviest(f={})", self.f)
+    }
+    fn mark_edges(&mut self, _round: usize, graph: &Graph, traffic: &Traffic, out: &mut EdgeSet) {
+        let m = graph.edge_count();
+        if self.prev.len() != m {
+            self.prev.clear();
+            self.prev.resize(m, 0);
+        }
+        // Target by last round's observation …
+        mark_heaviest(&self.prev, &mut self.ranked, self.f, out);
+        // … then observe the current round for the next one.
+        self.prev.fill(0);
+        for (arc, payload) in traffic.iter_present() {
+            self.prev[Graph::edge_of(arc)] += payload.len();
+        }
+    }
+    fn corruption_mode(&self) -> CorruptionMode {
+        self.mode
+    }
+}
+
+/// Concentrates the whole budget on one node's incident edges — the eclipse
+/// attack.  With `f ≥ deg(v)` the victim is fully cut off every round; with a
+/// smaller budget the window rotates through the incident edges so every one
+/// of them is eventually hit (no edge of the victim stays clean forever).
+#[derive(Debug, Clone)]
+pub struct EclipseNode {
+    node: NodeId,
+    f: usize,
+    cursor: usize,
+    mode: CorruptionMode,
+}
+
+impl EclipseNode {
+    /// Attack up to `f` of `node`'s incident edges per round.
+    pub fn new(node: NodeId, f: usize) -> Self {
+        EclipseNode {
+            node,
+            f,
+            cursor: 0,
+            mode: CorruptionMode::ReplaceRandom,
+        }
+    }
+
+    /// Select the corruption mode.
+    pub fn with_mode(mut self, mode: CorruptionMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// The node under attack.
+    pub fn target(&self) -> NodeId {
+        self.node
+    }
+}
+
+impl AdversaryStrategy for EclipseNode {
+    fn name(&self) -> String {
+        format!("eclipse(v={},f={})", self.node, self.f)
+    }
+    fn mark_edges(&mut self, _round: usize, graph: &Graph, _traffic: &Traffic, out: &mut EdgeSet) {
+        if self.node >= graph.node_count() {
+            return;
+        }
+        let incident = graph.neighbors(self.node);
+        let deg = incident.len();
+        if deg == 0 {
+            return;
+        }
+        for i in 0..self.f.min(deg) {
+            out.insert(incident[(self.cursor + i) % deg].1);
+        }
+        self.cursor = (self.cursor + self.f) % deg;
     }
     fn corruption_mode(&self) -> CorruptionMode {
         self.mode
@@ -361,23 +608,20 @@ impl AdversaryStrategy for BurstAdversary {
             self.quiet, self.burst, self.per_burst_round
         )
     }
-    fn choose_edges(&mut self, round: usize, graph: &Graph, _traffic: &Traffic) -> Vec<EdgeId> {
+    fn mark_edges(&mut self, round: usize, graph: &Graph, _traffic: &Traffic, out: &mut EdgeSet) {
         let period = self.quiet + self.burst;
         if period == 0 || round % period < self.quiet {
-            return Vec::new();
+            return;
         }
         let m = graph.edge_count();
-        let mut chosen = Vec::new();
+        if m == 0 {
+            return;
+        }
         let mut tries = 0;
-        while chosen.len() < self.per_burst_round.min(m) && tries < 20 * self.per_burst_round.max(1)
-        {
-            let e = self.rng.gen_range(0..m);
-            if !chosen.contains(&e) {
-                chosen.push(e);
-            }
+        while out.len() < self.per_burst_round.min(m) && tries < 20 * self.per_burst_round.max(1) {
+            out.insert(self.rng.gen_range(0..m));
             tries += 1;
         }
-        chosen
     }
     fn corruption_mode(&self) -> CorruptionMode {
         self.mode
@@ -403,8 +647,12 @@ impl AdversaryStrategy for ScheduledEdges {
     fn name(&self) -> String {
         format!("scheduled({} rounds)", self.schedule.len())
     }
-    fn choose_edges(&mut self, round: usize, _graph: &Graph, _traffic: &Traffic) -> Vec<EdgeId> {
-        self.schedule.get(round).cloned().unwrap_or_default()
+    fn mark_edges(&mut self, round: usize, _graph: &Graph, _traffic: &Traffic, out: &mut EdgeSet) {
+        if let Some(edges) = self.schedule.get(round) {
+            for &e in edges {
+                out.insert(e);
+            }
+        }
     }
 }
 
@@ -429,6 +677,26 @@ mod tests {
     }
 
     #[test]
+    fn edge_set_dedups_and_keeps_order() {
+        let mut s = EdgeSet::new();
+        s.reset(100);
+        assert!(s.insert(7));
+        assert!(s.insert(3));
+        assert!(!s.insert(7));
+        assert!(s.insert(99));
+        assert!(s.contains(3) && s.contains(7) && s.contains(99));
+        assert!(!s.contains(4));
+        assert_eq!(s.as_slice(), &[7, 3, 99]);
+        assert_eq!(s.len(), 3);
+        s.reset(100);
+        assert!(s.is_empty());
+        assert!(!s.contains(7));
+        // Inserting beyond the reset capacity grows the bitset.
+        assert!(s.insert(1000));
+        assert!(s.contains(1000));
+    }
+
+    #[test]
     fn corruption_modes() {
         let mut rng = ChaCha8Rng::seed_from_u64(1);
         let orig = vec![5u64, 6];
@@ -449,6 +717,23 @@ mod tests {
         assert_eq!(
             CorruptionMode::Constant(3).apply(None, &mut rng),
             Some(vec![3])
+        );
+    }
+
+    #[test]
+    fn apply_into_reuses_the_buffer() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let mut out = Vec::new();
+        assert!(CorruptionMode::Constant(7).apply_into(Some(&[1, 2, 3]), &mut rng, &mut out));
+        assert_eq!(out, vec![7, 7, 7]);
+        let cap = out.capacity();
+        assert!(!CorruptionMode::Drop.apply_into(Some(&[1]), &mut rng, &mut out));
+        assert!(CorruptionMode::FlipLowBit.apply_into(None, &mut rng, &mut out));
+        assert_eq!(out, vec![1]);
+        assert_eq!(
+            out.capacity(),
+            cap,
+            "shrinking applications must not realloc"
         );
     }
 
@@ -491,6 +776,52 @@ mod tests {
         let mut adv = GreedyHeaviest::new(1);
         let chosen = adv.choose_edges(0, &g, &t);
         assert_eq!(chosen, vec![g.edge_between(1, 2).unwrap()]);
+    }
+
+    #[test]
+    fn adaptive_heaviest_lags_one_round_behind() {
+        let g = generators::path(4);
+        let busy = {
+            let mut t = Traffic::new(&g);
+            t.send(&g, 1, 2, vec![1, 2, 3, 4, 5]);
+            t
+        };
+        let quiet = empty_traffic(&g);
+        let mut adv = AdaptiveHeaviest::new(1);
+        // Round 0: nothing observed yet — falls back to the lowest edge id.
+        assert_eq!(adv.choose_edges(0, &g, &busy), vec![0]);
+        // Round 1: now it targets what was busy in round 0, even though the
+        // current round is quiet.
+        assert_eq!(
+            adv.choose_edges(1, &g, &quiet),
+            vec![g.edge_between(1, 2).unwrap()]
+        );
+        // Round 2: last round was quiet — back to the fallback.
+        assert_eq!(adv.choose_edges(2, &g, &quiet), vec![0]);
+    }
+
+    #[test]
+    fn eclipse_node_rotates_through_incident_edges() {
+        let g = generators::complete(5);
+        let t = empty_traffic(&g);
+        let mut adv = EclipseNode::new(2, 2);
+        assert_eq!(adv.target(), 2);
+        let mut covered = std::collections::HashSet::new();
+        for round in 0..4 {
+            let chosen = adv.choose_edges(round, &g, &t);
+            assert!(chosen.len() <= 2);
+            for e in chosen {
+                assert!(g.edge(e).touches(2), "edge {e} must touch the victim");
+                covered.insert(e);
+            }
+        }
+        assert_eq!(covered.len(), g.degree(2), "rotation must cover all edges");
+        // A full-degree budget cuts the victim off completely every round.
+        let mut full = EclipseNode::new(2, 4);
+        assert_eq!(full.choose_edges(0, &g, &t).len(), 4);
+        // An out-of-range victim is a no-op, not a panic.
+        let mut oob = EclipseNode::new(99, 2);
+        assert!(oob.choose_edges(0, &g, &t).is_empty());
     }
 
     #[test]

@@ -20,6 +20,13 @@ use crate::network::Network;
 use crate::traffic::{Output, Traffic};
 
 /// A CONGEST algorithm expressed round by round.
+///
+/// Implement **at least one** of [`CongestAlgorithm::send`] and
+/// [`CongestAlgorithm::send_into`] — each has a default implementation in
+/// terms of the other, so overriding neither recurses forever.  Hot payloads
+/// override `send_into` (the drivers reuse one [`Traffic`] buffer across all
+/// rounds, making the steady-state round loop allocation-free); simple or
+/// legacy algorithms can keep implementing `send`.
 pub trait CongestAlgorithm {
     /// A short human-readable name used in experiment reports.
     fn name(&self) -> String;
@@ -27,8 +34,21 @@ pub trait CongestAlgorithm {
     /// The total number of rounds the algorithm runs.
     fn rounds(&self) -> usize;
 
-    /// Outgoing messages for round `round` (0-based).
-    fn send(&mut self, round: usize) -> Traffic;
+    /// Outgoing messages for round `round` (0-based), as a fresh value.
+    fn send(&mut self, round: usize) -> Traffic {
+        let mut out = Traffic::default();
+        self.send_into(round, &mut out);
+        out
+    }
+
+    /// Write the outgoing messages for round `round` into `out`.
+    ///
+    /// Implementations must start with [`Traffic::begin_round`] (which clears
+    /// the buffer and sizes it for the graph) — `out` arrives with the
+    /// previous round's contents.
+    fn send_into(&mut self, round: usize, out: &mut Traffic) {
+        *out = self.send(round);
+    }
 
     /// Deliver the messages received in round `round`.
     fn receive(&mut self, round: usize, inbox: &Traffic);
@@ -54,6 +74,9 @@ impl<T: CongestAlgorithm + ?Sized> CongestAlgorithm for Box<T> {
     fn send(&mut self, round: usize) -> Traffic {
         (**self).send(round)
     }
+    fn send_into(&mut self, round: usize, out: &mut Traffic) {
+        (**self).send_into(round, out)
+    }
     fn receive(&mut self, round: usize, inbox: &Traffic) {
         (**self).receive(round, inbox)
     }
@@ -67,10 +90,14 @@ impl<T: CongestAlgorithm + ?Sized> CongestAlgorithm for Box<T> {
 
 /// Run an algorithm in the fault-free setting (no network, no adversary):
 /// every round's messages are delivered verbatim.  Returns the outputs.
+///
+/// One [`Traffic`] buffer is reused across all rounds, so algorithms that
+/// override [`CongestAlgorithm::send_into`] run allocation-free here.
 pub fn run_fault_free<A: CongestAlgorithm + ?Sized>(alg: &mut A) -> Vec<Output> {
+    let mut buf = Traffic::default();
     for round in 0..alg.rounds() {
-        let traffic = alg.send(round);
-        alg.receive(round, &traffic);
+        alg.send_into(round, &mut buf);
+        alg.receive(round, &buf);
     }
     alg.outputs()
 }
@@ -78,11 +105,16 @@ pub fn run_fault_free<A: CongestAlgorithm + ?Sized>(alg: &mut A) -> Vec<Output> 
 /// Run an algorithm *uncompiled* on a network: each of its rounds is one
 /// network round, so a byzantine adversary corrupts whatever it likes.  This is
 /// the baseline the compilers are compared against.
+///
+/// The round loop reuses one [`Traffic`] buffer through
+/// [`Network::exchange_in_place`], so algorithms that override
+/// [`CongestAlgorithm::send_into`] run allocation-free at steady state.
 pub fn run_on_network<A: CongestAlgorithm + ?Sized>(alg: &mut A, net: &mut Network) -> Vec<Output> {
+    let mut buf = Traffic::new(net.graph());
     for round in 0..alg.rounds() {
-        let traffic = alg.send(round);
-        let delivered = net.exchange(traffic);
-        alg.receive(round, &delivered);
+        alg.send_into(round, &mut buf);
+        net.exchange_in_place(&mut buf);
+        alg.receive(round, &buf);
     }
     alg.outputs()
 }

@@ -35,17 +35,30 @@
 //! assert!(net.corruption_history()[0].len() <= 1);
 //! # let _ = delivered;
 //! ```
+//!
+//! # Performance model
+//!
+//! The round engine is **zero-allocation at steady state**: [`Traffic`] is a
+//! flat word arena recycled via [`Traffic::begin_round`], adversaries mark
+//! edges into a reusable [`adversary::EdgeSet`] bitset, corruption rewrites
+//! payloads in place through a recycled scratch buffer, and the corruption
+//! history appends to a flattened [`network::CorruptionHistory`].  The
+//! PR-2-era engine is retained in [`mod@reference`] for parity tests and the
+//! before/after benchmark.
+
+#![warn(missing_docs)]
 
 pub mod adversary;
 pub mod algorithm;
 pub mod metrics;
 pub mod network;
+pub mod reference;
 pub mod scenario;
 pub mod traffic;
 
-pub use adversary::{AdversaryRole, AdversaryStrategy, CorruptionBudget, CorruptionMode};
+pub use adversary::{AdversaryRole, AdversaryStrategy, CorruptionBudget, CorruptionMode, EdgeSet};
 pub use algorithm::{run_fault_free, run_on_network, CongestAlgorithm};
 pub use metrics::Metrics;
-pub use network::{Network, ViewEntry, ViewLog};
+pub use network::{CorruptionHistory, Network, ViewEntry, ViewLog};
 pub use scenario::{Compiler, CompilerKind, RunReport, Scenario, ScenarioError};
 pub use traffic::{Output, Payload, Traffic};

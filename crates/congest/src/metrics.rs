@@ -42,15 +42,14 @@ impl Metrics {
         self.edge_messages.iter().copied().max().unwrap_or(0)
     }
 
-    pub(crate) fn record_exchange(&mut self, g: &Graph, traffic: &Traffic, bandwidth_words: usize) {
+    pub(crate) fn record_exchange(&mut self, traffic: &Traffic, bandwidth_words: usize) {
         self.rounds += 1;
         let max_words = traffic.max_words();
         self.bandwidth_rounds += max_words.div_ceil(bandwidth_words).max(1);
         for (arc, payload) in traffic.iter_present() {
-            let (e, _, _) = g.arc_endpoints(arc);
             self.messages += 1;
             self.words += payload.len();
-            self.edge_messages[e] += 1;
+            self.edge_messages[Graph::edge_of(arc)] += 1;
         }
     }
 
@@ -88,7 +87,7 @@ mod tests {
         let mut t = Traffic::new(&g);
         t.send(&g, 0, 1, vec![1, 2, 3]);
         t.send(&g, 1, 0, vec![4]);
-        m.record_exchange(&g, &t, 2);
+        m.record_exchange(&t, 2);
         assert_eq!(m.rounds, 1);
         assert_eq!(m.bandwidth_rounds, 2); // 3 words / 2 per round
         assert_eq!(m.messages, 2);
@@ -101,7 +100,7 @@ mod tests {
     fn empty_exchange_still_counts_a_round() {
         let g = generators::path(2);
         let mut m = Metrics::new(&g);
-        m.record_exchange(&g, &Traffic::new(&g), 2);
+        m.record_exchange(&Traffic::new(&g), 2);
         assert_eq!(m.rounds, 1);
         assert_eq!(m.bandwidth_rounds, 1);
         assert_eq!(m.messages, 0);

@@ -2,17 +2,28 @@
 //!
 //! A [`Network`] owns the communication graph, an adversary (role + strategy +
 //! budget) and the execution metrics.  Protocols drive it through
-//! [`Network::exchange`]: they hand over the round's outgoing [`Traffic`], the
-//! adversary picks the edges it controls (within its budget), either records or
-//! rewrites the traffic on those edges, and the resulting traffic is what the
-//! receiving nodes observe.
+//! [`Network::exchange`] (or the buffer-reusing
+//! [`Network::exchange_in_place`]): they hand over the round's outgoing
+//! [`Traffic`], the adversary picks the edges it controls (within its budget),
+//! either records or rewrites the traffic on those edges, and the resulting
+//! traffic is what the receiving nodes observe.
 //!
 //! The network also keeps the **corruption history** (which edges were
 //! controlled in which round) and, for eavesdroppers, the **view log** (what
 //! the adversary saw).  The first feeds the interactive-coding oracle of
 //! Theorem 3.2; the second feeds the perfect-security experiments.
+//!
+//! # The zero-allocation round engine
+//!
+//! `exchange_in_place` is the hot path: the adversary marks its wanted edges
+//! into a recycled [`EdgeSet`], the budget clamp writes into a recycled
+//! `controlled` vector, byzantine rewrites go through a recycled scratch
+//! payload buffer straight into the flat [`Traffic`] arena, and the history
+//! appends to a flattened [`CorruptionHistory`].  After warm-up, a round
+//! executes without touching the allocator (covered by a buffer-reuse
+//! regression test).
 
-use crate::adversary::{AdversaryRole, AdversaryStrategy, CorruptionBudget, NoAdversary};
+use crate::adversary::{AdversaryRole, AdversaryStrategy, CorruptionBudget, EdgeSet, NoAdversary};
 use crate::metrics::Metrics;
 use crate::traffic::{Payload, Traffic};
 use netgraph::{EdgeId, Graph};
@@ -73,6 +84,84 @@ impl ViewLog {
     }
 }
 
+/// Which edges the adversary controlled in each executed round, stored
+/// flattened (one shared edge vector plus per-round bounds) so recording a
+/// round is an amortised append instead of a fresh `Vec` per round.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CorruptionHistory {
+    edges: Vec<EdgeId>,
+    /// `bounds[r]` = end offset of round `r` in `edges`.
+    bounds: Vec<usize>,
+}
+
+impl CorruptionHistory {
+    /// Number of recorded rounds.
+    pub fn len(&self) -> usize {
+        self.bounds.len()
+    }
+
+    /// Whether no round has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.bounds.is_empty()
+    }
+
+    /// The edges controlled in round `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is out of range.
+    pub fn round(&self, r: usize) -> &[EdgeId] {
+        let start = if r == 0 { 0 } else { self.bounds[r - 1] };
+        &self.edges[start..self.bounds[r]]
+    }
+
+    /// The most recent round's controlled edges.
+    pub fn last(&self) -> Option<&[EdgeId]> {
+        (!self.bounds.is_empty()).then(|| self.round(self.bounds.len() - 1))
+    }
+
+    /// Iterate the controlled-edge list of every round in order.
+    pub fn iter(&self) -> impl Iterator<Item = &[EdgeId]> + '_ {
+        (0..self.len()).map(|r| self.round(r))
+    }
+
+    /// Total number of controlled edge-rounds.
+    pub fn total_edge_rounds(&self) -> usize {
+        self.edges.len()
+    }
+
+    fn push_round(&mut self, edges: &[EdgeId]) {
+        self.edges.extend_from_slice(edges);
+        self.bounds.push(self.edges.len());
+    }
+}
+
+impl std::ops::Index<usize> for CorruptionHistory {
+    type Output = [EdgeId];
+    fn index(&self, r: usize) -> &[EdgeId] {
+        self.round(r)
+    }
+}
+
+impl<'a> IntoIterator for &'a CorruptionHistory {
+    type Item = &'a [EdgeId];
+    type IntoIter = Box<dyn Iterator<Item = &'a [EdgeId]> + 'a>;
+    fn into_iter(self) -> Self::IntoIter {
+        Box::new(self.iter())
+    }
+}
+
+/// Recycled per-round scratch space of the engine (see the module docs).
+#[derive(Debug, Default)]
+struct RoundBuffers {
+    /// Edges the strategy marked this round.
+    wanted: EdgeSet,
+    /// The budget-clamped controlled set, in request order.
+    controlled: Vec<EdgeId>,
+    /// Replacement-payload scratch for in-place corruption.
+    scratch: Vec<u64>,
+}
+
 /// The round-synchronous network simulator.
 pub struct Network {
     graph: Graph,
@@ -81,10 +170,11 @@ pub struct Network {
     budget: CorruptionBudget,
     metrics: Metrics,
     view_log: ViewLog,
-    corruption_history: Vec<Vec<EdgeId>>,
+    corruption_history: CorruptionHistory,
     budget_spent: usize,
     bandwidth_words: usize,
     corruption_rng: ChaCha8Rng,
+    buffers: RoundBuffers,
 }
 
 impl std::fmt::Debug for Network {
@@ -132,10 +222,11 @@ impl Network {
             budget,
             metrics,
             view_log: ViewLog::default(),
-            corruption_history: Vec::new(),
+            corruption_history: CorruptionHistory::default(),
             budget_spent: 0,
             bandwidth_words: 2,
             corruption_rng: ChaCha8Rng::seed_from_u64(seed ^ 0xAD5E_55A7),
+            buffers: RoundBuffers::default(),
         }
     }
 
@@ -165,7 +256,7 @@ impl Network {
     }
 
     /// Which edges were controlled in each executed round.
-    pub fn corruption_history(&self) -> &[Vec<EdgeId>] {
+    pub fn corruption_history(&self) -> &CorruptionHistory {
         &self.corruption_history
     }
 
@@ -181,21 +272,50 @@ impl Network {
 
     /// Execute one communication round: the adversary interposes on `outgoing`
     /// and the returned traffic is what receivers observe.
+    ///
+    /// Thin by-value wrapper over [`Network::exchange_in_place`] — the buffer
+    /// moves in and back out, so no copy is made either way.
     pub fn exchange(&mut self, outgoing: Traffic) -> Traffic {
-        let round = self.metrics.rounds;
-        self.metrics
-            .record_exchange(&self.graph, &outgoing, self.bandwidth_words);
+        let mut traffic = outgoing;
+        self.exchange_in_place(&mut traffic);
+        traffic
+    }
 
-        // 1. Let the strategy pick edges, then clamp to the budget.
-        let wanted = self.strategy.choose_edges(round, &self.graph, &outgoing);
+    /// Execute one communication round in place: `traffic` enters as the
+    /// round's outgoing messages and leaves as what the receivers observe.
+    /// This is the allocation-free engine path — all per-round scratch lives
+    /// in recycled buffers owned by the network.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `traffic` has fewer arc slots than the graph (build it with
+    /// [`Traffic::new`] or size it with [`Traffic::begin_round`]).
+    pub fn exchange_in_place(&mut self, traffic: &mut Traffic) {
+        assert!(
+            traffic.arc_slots() >= self.graph.arc_count(),
+            "traffic has {} arc slots but the graph has {} arcs",
+            traffic.arc_slots(),
+            self.graph.arc_count()
+        );
+        let round = self.metrics.rounds;
+        self.metrics.record_exchange(traffic, self.bandwidth_words);
+
+        // 1. Let the strategy mark edges, then clamp to the budget.
+        self.buffers.wanted.reset(self.graph.edge_count());
+        self.strategy
+            .mark_edges(round, &self.graph, traffic, &mut self.buffers.wanted);
         let cap = self.budget.round_cap(self.budget_spent);
-        let mut controlled: Vec<EdgeId> = Vec::new();
-        for e in wanted {
+        let RoundBuffers {
+            wanted,
+            controlled,
+            scratch,
+        } = &mut self.buffers;
+        controlled.clear();
+        for e in wanted.iter() {
             if controlled.len() >= cap {
                 break;
             }
-            if e < self.graph.edge_count() && self.budget.allows_edge(e) && !controlled.contains(&e)
-            {
+            if e < self.graph.edge_count() && self.budget.allows_edge(e) {
                 controlled.push(e);
             }
         }
@@ -203,46 +323,51 @@ impl Network {
             self.budget_spent += controlled.len();
         }
 
-        // 2. Apply the adversary's role on the controlled edges.
-        let mut delivered = outgoing;
+        // 2. Apply the adversary's role on the controlled edges, in place.
         let mut altered = 0usize;
-        for &e in &controlled {
-            let edge = self.graph.edge(e);
-            let fwd_arc = self.graph.arc(e, edge.u, edge.v);
-            let bwd_arc = self.graph.arc(e, edge.v, edge.u);
+        let mode = self.strategy.corruption_mode();
+        for &e in controlled.iter() {
+            let (fwd_arc, bwd_arc) = Graph::arcs_of(e);
             match self.role {
                 AdversaryRole::Eavesdropper => {
                     self.view_log.entries.push(ViewEntry {
                         round,
                         edge: e,
-                        forward: delivered.get_arc(fwd_arc).cloned(),
-                        backward: delivered.get_arc(bwd_arc).cloned(),
+                        forward: traffic.get_arc(fwd_arc).map(<[u64]>::to_vec),
+                        backward: traffic.get_arc(bwd_arc).map(<[u64]>::to_vec),
                     });
                 }
                 AdversaryRole::Byzantine => {
-                    let mode = self.strategy.corruption_mode();
                     for arc in [fwd_arc, bwd_arc] {
-                        let original = delivered.get_arc(arc).cloned();
-                        let replacement = mode.apply(original.as_ref(), &mut self.corruption_rng);
-                        if replacement != original {
+                        let present = mode.apply_into(
+                            traffic.get_arc(arc),
+                            &mut self.corruption_rng,
+                            scratch,
+                        );
+                        let changed = match (present, traffic.get_arc(arc)) {
+                            (true, Some(original)) => scratch.as_slice() != original,
+                            (false, None) => false,
+                            _ => true,
+                        };
+                        if changed {
                             altered += 1;
                         }
-                        delivered.set_arc(arc, replacement);
+                        traffic.set_arc(arc, present.then_some(scratch.as_slice()));
                     }
                 }
             }
         }
-        self.metrics.record_corruption(&controlled, altered);
-        self.corruption_history.push(controlled);
-        delivered
+        self.metrics.record_corruption(controlled, altered);
+        self.corruption_history.push_round(controlled);
     }
 
     /// Run `count` empty rounds (used to model waiting / padding rounds; the
     /// adversary still gets to act, which matters for budget accounting).
     pub fn idle_rounds(&mut self, count: usize) {
+        let mut t = Traffic::new(&self.graph);
         for _ in 0..count {
-            let t = Traffic::new(&self.graph);
-            let _ = self.exchange(t);
+            t.begin_round(&self.graph);
+            self.exchange_in_place(&mut t);
         }
     }
 
@@ -305,8 +430,8 @@ mod tests {
         );
         let t = full_traffic(&g, 3);
         let out = net.exchange(t.clone());
-        assert_eq!(out.get(&g, 0, 1), Some(&vec![77]));
-        assert_eq!(out.get(&g, 1, 0), Some(&vec![77]));
+        assert_eq!(out.get(&g, 0, 1), Some(&[77u64][..]));
+        assert_eq!(out.get(&g, 1, 0), Some(&[77u64][..]));
         // Every other edge is untouched.
         for e in g.edges() {
             if g.edge_between(e.u, e.v).unwrap() != target {
@@ -336,6 +461,7 @@ mod tests {
             assert!(round_edges.len() <= 2);
         }
         assert_eq!(net.metrics().corrupted_edge_rounds, 10);
+        assert_eq!(net.corruption_history().total_edge_rounds(), 10);
     }
 
     #[test]
@@ -398,5 +524,65 @@ mod tests {
         let ys: Vec<u64> = (0..4).map(|_| b.gen()).collect();
         assert_eq!(xs, xs2);
         assert_ne!(xs, ys);
+    }
+
+    #[test]
+    fn corruption_history_flattening_round_trips() {
+        let mut h = CorruptionHistory::default();
+        h.push_round(&[3, 1]);
+        h.push_round(&[]);
+        h.push_round(&[7]);
+        assert_eq!(h.len(), 3);
+        assert_eq!(&h[0], &[3, 1][..]);
+        assert!(h[1].is_empty());
+        assert_eq!(h.last(), Some(&[7usize][..]));
+        assert_eq!(h.total_edge_rounds(), 3);
+        let rounds: Vec<&[EdgeId]> = h.iter().collect();
+        assert_eq!(rounds.len(), 3);
+    }
+
+    #[test]
+    fn steady_state_rounds_do_not_grow_the_buffers() {
+        // The zero-allocation claim of the round engine: after warm-up, the
+        // traffic arena, the adversary's scratch and the budget-clamp buffers
+        // all stop growing — per-round allocation count is constant (zero) in
+        // the round count.
+        let g = generators::complete(10);
+        let mut net = Network::new(
+            g.clone(),
+            AdversaryRole::Byzantine,
+            Box::new(RandomMobile::new(3, 5).with_mode(CorruptionMode::ReplaceRandom)),
+            CorruptionBudget::Mobile { f: 3 },
+            5,
+        );
+        let mut t = Traffic::new(&g);
+        let run_round = |net: &mut Network, t: &mut Traffic| {
+            t.begin_round(&g);
+            for e in g.edges() {
+                t.send(&g, e.u, e.v, [e.u as u64, e.v as u64]);
+                t.send(&g, e.v, e.u, [e.v as u64, e.u as u64]);
+            }
+            net.exchange_in_place(t);
+        };
+        for _ in 0..20 {
+            run_round(&mut net, &mut t);
+        }
+        let traffic_cap = t.word_capacity();
+        let scratch_cap = net.buffers.scratch.capacity();
+        let controlled_cap = net.buffers.controlled.capacity();
+        for _ in 0..500 {
+            run_round(&mut net, &mut t);
+        }
+        assert_eq!(t.word_capacity(), traffic_cap, "traffic arena regrew");
+        assert_eq!(
+            net.buffers.scratch.capacity(),
+            scratch_cap,
+            "corruption scratch regrew"
+        );
+        assert_eq!(
+            net.buffers.controlled.capacity(),
+            controlled_cap,
+            "controlled buffer regrew"
+        );
     }
 }

@@ -1,0 +1,263 @@
+//! The PR-2-era round engine, retained verbatim as a *reference
+//! implementation* for two purposes:
+//!
+//! 1. **Parity** — regression tests drive the same scenario through this
+//!    engine and through [`crate::network::Network`] and require byte-identical
+//!    outputs, metrics, corruption history and eavesdropper views, proving the
+//!    flat-buffer rewrite changed the cost of a round but not its semantics.
+//! 2. **Benchmarking** — `benches/experiments.rs` (E16a) measures the same
+//!    round workload on both engines; the reported speedup is the
+//!    before/after comparison against the seed representation (one
+//!    `Option<Vec<u64>>` heap allocation per arc per round).
+//!
+//! Nothing here is used by the production path; prefer
+//! [`crate::network::Network`] everywhere else.
+
+use crate::adversary::{AdversaryRole, AdversaryStrategy, CorruptionBudget};
+use crate::metrics::Metrics;
+use crate::network::{ViewEntry, ViewLog};
+use crate::traffic::{Payload, Traffic};
+use netgraph::{ArcId, EdgeId, Graph, NodeId};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// The seed representation of one round's traffic: one owned, optional
+/// payload per directed arc.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LegacyTraffic {
+    arcs: Vec<Option<Payload>>,
+}
+
+impl LegacyTraffic {
+    /// Empty traffic for a graph.
+    pub fn new(g: &Graph) -> Self {
+        LegacyTraffic {
+            arcs: vec![None; g.arc_count()],
+        }
+    }
+
+    /// Set the message sent from `from` to `to`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `(from, to)` is not an edge of the graph.
+    pub fn send(&mut self, g: &Graph, from: NodeId, to: NodeId, payload: Payload) {
+        let arc = g
+            .arc_between(from, to)
+            .unwrap_or_else(|| panic!("({from},{to}) is not an edge"));
+        self.arcs[arc] = Some(payload);
+    }
+
+    /// The message on a specific arc, if any.
+    pub fn get_arc(&self, arc: ArcId) -> Option<&Payload> {
+        self.arcs.get(arc).and_then(|o| o.as_ref())
+    }
+
+    /// Convert to the flat representation (for delivering to an algorithm).
+    pub fn to_traffic(&self, g: &Graph) -> Traffic {
+        let mut t = Traffic::new(g);
+        for (arc, payload) in self.arcs.iter().enumerate() {
+            if let Some(p) = payload {
+                t.set_arc(arc, Some(p));
+            }
+        }
+        t
+    }
+
+    /// Convert from the flat representation (for feeding an algorithm's round
+    /// into this engine).
+    pub fn from_traffic(g: &Graph, t: &Traffic) -> Self {
+        let mut out = LegacyTraffic::new(g);
+        for (arc, payload) in t.iter_present() {
+            out.arcs[arc] = Some(payload.to_vec());
+        }
+        out
+    }
+}
+
+/// The seed round engine: identical decision sequence to
+/// [`crate::network::Network`], seed-era data structures (per-round `Vec`s,
+/// per-payload clones, allocating corruption).
+pub struct ReferenceNetwork {
+    graph: Graph,
+    role: AdversaryRole,
+    strategy: Box<dyn AdversaryStrategy>,
+    budget: CorruptionBudget,
+    /// Metrics accumulated exactly as the production engine accumulates them.
+    pub metrics: Metrics,
+    /// The eavesdropper's view.
+    pub view_log: ViewLog,
+    /// Per-round controlled edges, in the seed's nested representation.
+    pub corruption_history: Vec<Vec<EdgeId>>,
+    budget_spent: usize,
+    bandwidth_words: usize,
+    corruption_rng: ChaCha8Rng,
+    rounds: usize,
+}
+
+impl ReferenceNetwork {
+    /// A reference network with the given adversary configuration (mirrors
+    /// [`crate::network::Network::new`], including the RNG derivation).
+    pub fn new(
+        graph: Graph,
+        role: AdversaryRole,
+        strategy: Box<dyn AdversaryStrategy>,
+        budget: CorruptionBudget,
+        seed: u64,
+    ) -> Self {
+        let metrics = Metrics::new(&graph);
+        ReferenceNetwork {
+            graph,
+            role,
+            strategy,
+            budget,
+            metrics,
+            view_log: ViewLog::default(),
+            corruption_history: Vec::new(),
+            budget_spent: 0,
+            bandwidth_words: 2,
+            corruption_rng: ChaCha8Rng::seed_from_u64(seed ^ 0xAD5E_55A7),
+            rounds: 0,
+        }
+    }
+
+    /// The communication graph.
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// Number of rounds executed.
+    pub fn round(&self) -> usize {
+        self.rounds
+    }
+
+    /// The seed's `Network::exchange`, verbatim: allocate-and-clone on every
+    /// controlled arc.
+    pub fn exchange(&mut self, outgoing: LegacyTraffic) -> LegacyTraffic {
+        let round = self.rounds;
+        self.rounds += 1;
+        // Metrics, recorded identically to the production engine.
+        let flat = outgoing.to_traffic(&self.graph);
+        self.metrics.record_exchange(&flat, self.bandwidth_words);
+
+        let wanted = self.strategy.choose_edges(round, &self.graph, &flat);
+        let cap = self.budget.round_cap(self.budget_spent);
+        let mut controlled: Vec<EdgeId> = Vec::new();
+        for e in wanted {
+            if controlled.len() >= cap {
+                break;
+            }
+            if e < self.graph.edge_count() && self.budget.allows_edge(e) && !controlled.contains(&e)
+            {
+                controlled.push(e);
+            }
+        }
+        if matches!(self.budget, CorruptionBudget::RoundErrorRate { .. }) {
+            self.budget_spent += controlled.len();
+        }
+
+        let mut delivered = outgoing;
+        let mut altered = 0usize;
+        for &e in &controlled {
+            let (fwd_arc, bwd_arc) = Graph::arcs_of(e);
+            match self.role {
+                AdversaryRole::Eavesdropper => {
+                    self.view_log.entries.push(ViewEntry {
+                        round,
+                        edge: e,
+                        forward: delivered.get_arc(fwd_arc).cloned(),
+                        backward: delivered.get_arc(bwd_arc).cloned(),
+                    });
+                }
+                AdversaryRole::Byzantine => {
+                    let mode = self.strategy.corruption_mode();
+                    for arc in [fwd_arc, bwd_arc] {
+                        let original = delivered.get_arc(arc).cloned();
+                        let replacement = mode.apply(original.as_ref(), &mut self.corruption_rng);
+                        if replacement != original {
+                            altered += 1;
+                        }
+                        delivered.arcs[arc] = replacement;
+                    }
+                }
+            }
+        }
+        self.metrics.record_corruption(&controlled, altered);
+        self.corruption_history.push(controlled);
+        delivered
+    }
+}
+
+/// Run an algorithm uncompiled through the reference engine (the seed's
+/// `run_on_network`): per-round conversion to the legacy representation, the
+/// legacy exchange, and conversion back for delivery.
+pub fn run_on_reference_network<A: crate::algorithm::CongestAlgorithm + ?Sized>(
+    alg: &mut A,
+    net: &mut ReferenceNetwork,
+) -> Vec<crate::traffic::Output> {
+    let g = net.graph().clone();
+    for round in 0..alg.rounds() {
+        let outgoing = LegacyTraffic::from_traffic(&g, &alg.send(round));
+        let delivered = net.exchange(outgoing);
+        alg.receive(round, &delivered.to_traffic(&g));
+    }
+    alg.outputs()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adversary::RandomMobile;
+    use crate::network::Network;
+
+    /// The parity contract: identical decision sequences on both engines.
+    #[test]
+    fn reference_and_flat_engine_agree_round_by_round() {
+        let g = netgraph::generators::complete(8);
+        let make = |role| {
+            (
+                Network::new(
+                    g.clone(),
+                    role,
+                    Box::new(RandomMobile::new(2, 9)),
+                    CorruptionBudget::Mobile { f: 2 },
+                    9,
+                ),
+                ReferenceNetwork::new(
+                    g.clone(),
+                    role,
+                    Box::new(RandomMobile::new(2, 9)),
+                    CorruptionBudget::Mobile { f: 2 },
+                    9,
+                ),
+            )
+        };
+        for role in [AdversaryRole::Byzantine, AdversaryRole::Eavesdropper] {
+            let (mut flat_net, mut ref_net) = make(role);
+            for round in 0..12 {
+                let mut flat = Traffic::new(&g);
+                let mut legacy = LegacyTraffic::new(&g);
+                for e in g.edges() {
+                    let w = (round as u64) << 8 | e.u as u64;
+                    flat.send(&g, e.u, e.v, [w]);
+                    legacy.send(&g, e.u, e.v, vec![w]);
+                }
+                flat_net.exchange_in_place(&mut flat);
+                let delivered = ref_net.exchange(legacy);
+                assert_eq!(
+                    flat,
+                    delivered.to_traffic(&g),
+                    "round {round} delivered traffic diverged"
+                );
+            }
+            assert_eq!(flat_net.metrics(), &ref_net.metrics);
+            assert_eq!(flat_net.view_log(), &ref_net.view_log);
+            let flat_history: Vec<Vec<EdgeId>> = flat_net
+                .corruption_history()
+                .iter()
+                .map(|r| r.to_vec())
+                .collect();
+            assert_eq!(flat_history, ref_net.corruption_history);
+        }
+    }
+}

@@ -592,6 +592,32 @@ impl Scenario {
 }
 
 /// Fluent configuration for one scenario run.
+///
+/// Built by [`Scenario::on`]; every setter returns `self`, and
+/// [`ScenarioBuilder::build`] / [`ScenarioBuilder::run`] perform the typed
+/// validation.
+///
+/// ```
+/// use congest_sim::adversary::{AdversaryRole, CorruptionBudget, EclipseNode};
+/// use congest_sim::scenario::{doctest_payload, Scenario};
+/// use netgraph::generators;
+///
+/// // Eclipse node 0 of a torus while running the id-exchange demo payload.
+/// let g = generators::torus(3, 4);
+/// let payload_graph = g.clone();
+/// let report = Scenario::on(g)
+///     .payload(move || doctest_payload(payload_graph.clone()))
+///     .adversary(
+///         AdversaryRole::Byzantine,
+///         EclipseNode::new(0, 2),
+///         CorruptionBudget::Mobile { f: 2 },
+///     )
+///     .seed(11)
+///     .run()
+///     .unwrap();
+/// assert_eq!(report.network_rounds, 1);
+/// assert_eq!(report.metrics.corrupted_edge_rounds, 2);
+/// ```
 pub struct ScenarioBuilder {
     graph: Graph,
     payload: Option<PayloadFactory>,
@@ -989,6 +1015,7 @@ pub mod matrix {
     use super::{BoxedAlgorithm, Compiler, RunReport, Scenario, ScenarioError};
     use crate::adversary::{AdversaryRole, AdversaryStrategy, CorruptionBudget};
     use netgraph::Graph;
+    use rand::SeedableRng;
 
     /// A named graph in the sweep.
     pub struct GraphSpec {
@@ -1148,6 +1175,88 @@ pub mod matrix {
             }
             out
         }
+    }
+
+    /// The standard topology zoo for campaign grids: the classic families the
+    /// compilers target (clique, circulant, grid) plus the expanded set —
+    /// 2-D torus, seeded random-regular expander, Watts–Strogatz small
+    /// world, ring of cliques and barbell.  `seed` drives the randomized
+    /// generators, so two zoos with the same seed are identical.
+    ///
+    /// Sizes are chosen so a full zoo × [`adversary_zoo`] × compiler grid
+    /// stays fast enough for tests while still exercising every generator.
+    pub fn graph_zoo(seed: u64) -> Vec<GraphSpec> {
+        use netgraph::generators as gen;
+        let mut ws_rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed ^ 0x5A11);
+        vec![
+            GraphSpec::new("K12", gen::complete(12)),
+            GraphSpec::new("circ(18,4)", gen::circulant(18, 4)),
+            GraphSpec::new("grid4x4", gen::grid(4, 4)),
+            GraphSpec::new("torus4x5", gen::torus(4, 5)),
+            GraphSpec::new("expander(24,8)", gen::expander_d_regular(24, 8, seed)),
+            GraphSpec::new(
+                "small-world(24,6)",
+                gen::watts_strogatz(&mut ws_rng, 24, 6, 0.2),
+            ),
+            GraphSpec::new("ring-of-cliques(4,5)", gen::ring_of_cliques(4, 5)),
+            GraphSpec::new("barbell(5,2)", gen::barbell(5, 2)),
+        ]
+    }
+
+    /// The standard adversary zoo for campaign grids: every strategy family
+    /// (random / sweeping / greedy / adaptive / eclipse / bursty) under the
+    /// budgets that make them meaningful, plus an eavesdropper so secrecy
+    /// compilers run too.  `f` is the per-round edge budget.
+    pub fn adversary_zoo(f: usize) -> Vec<AdversarySpec> {
+        use crate::adversary::{
+            AdaptiveHeaviest, BurstAdversary, CorruptionMode, EclipseNode, GreedyHeaviest,
+            RandomMobile, SweepMobile,
+        };
+        let f = f.max(1);
+        vec![
+            AdversarySpec::new(
+                "random-mobile",
+                AdversaryRole::Byzantine,
+                CorruptionBudget::Mobile { f },
+                move |seed| Box::new(RandomMobile::new(f, seed)),
+            ),
+            AdversarySpec::new(
+                "sweep-mobile",
+                AdversaryRole::Byzantine,
+                CorruptionBudget::Mobile { f },
+                move |_| Box::new(SweepMobile::new(f)),
+            ),
+            AdversarySpec::new(
+                "greedy-heaviest",
+                AdversaryRole::Byzantine,
+                CorruptionBudget::Mobile { f },
+                move |_| Box::new(GreedyHeaviest::new(f).with_mode(CorruptionMode::FlipLowBit)),
+            ),
+            AdversarySpec::new(
+                "adaptive-heaviest",
+                AdversaryRole::Byzantine,
+                CorruptionBudget::Mobile { f },
+                move |_| Box::new(AdaptiveHeaviest::new(f)),
+            ),
+            AdversarySpec::new(
+                "eclipse(v=0)",
+                AdversaryRole::Byzantine,
+                CorruptionBudget::Mobile { f },
+                move |_| Box::new(EclipseNode::new(0, f).with_mode(CorruptionMode::Drop)),
+            ),
+            AdversarySpec::new(
+                "burst",
+                AdversaryRole::Byzantine,
+                CorruptionBudget::RoundErrorRate { total: 12 * f },
+                move |seed| Box::new(BurstAdversary::new(6, 2, 4 * f, seed)),
+            ),
+            AdversarySpec::new(
+                "eavesdropper",
+                AdversaryRole::Eavesdropper,
+                CorruptionBudget::Mobile { f: f + 1 },
+                move |seed| Box::new(RandomMobile::new(f + 1, seed)),
+            ),
+        ]
     }
 
     /// Mix a stable per-cell seed out of the base seed and cell coordinates.

@@ -1,10 +1,26 @@
-//! Per-round message traffic.
+//! Per-round message traffic, stored as a flat reusable word arena.
 //!
 //! A [`Traffic`] value holds, for every directed arc of the communication
 //! graph, the (optional) payload sent over that arc in a single round.  This is
 //! the unit that flows through the network: protocols build a `Traffic`, the
 //! network lets the adversary interpose on it, and the (possibly corrupted)
 //! `Traffic` is what the receivers observe.
+//!
+//! # Representation
+//!
+//! The seed engine stored one `Option<Vec<u64>>` per arc — every message was
+//! its own heap allocation, rebuilt every round.  `Traffic` now keeps a single
+//! flat `words` arena plus one fixed-size span record per arc; sending copies
+//! the payload words into the arena, and [`Traffic::clear`] /
+//! [`Traffic::begin_round`] recycle both buffers without releasing their
+//! capacity.  A round loop that reuses one `Traffic` therefore performs **no
+//! steady-state allocations**, which is what the campaign engine’s ≥2×
+//! round-throughput win comes from (see `benches/experiments.rs`, E16a).
+//!
+//! Re-sending on an arc reuses its span in place when the new payload fits and
+//! appends to the arena otherwise; superseded words are reclaimed at the next
+//! `clear`.  All logical accessors ([`Traffic::get_arc`], equality, diffs)
+//! see only the live spans.
 
 use netgraph::{ArcId, Graph, NodeId};
 
@@ -18,23 +34,120 @@ pub type Payload = Vec<u64>;
 /// Per-node protocol output: an arbitrary word sequence.
 pub type Output = Vec<u64>;
 
+/// Span of one arc's payload inside the word arena.
+///
+/// `len_plus_one == 0` encodes "no message"; otherwise the payload is
+/// `words[off .. off + len_plus_one - 1]` (so empty-but-present payloads are
+/// distinguishable from absent ones, as with the seed's `Option<Vec>`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+struct Span {
+    off: u32,
+    len_plus_one: u32,
+}
+
+impl Span {
+    #[inline]
+    fn len(self) -> usize {
+        (self.len_plus_one as usize).saturating_sub(1)
+    }
+}
+
 /// The messages sent over every directed arc in one communication round.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Default)]
 pub struct Traffic {
-    arcs: Vec<Option<Payload>>,
+    /// Per-arc span into `words` (`len_plus_one == 0` ⇒ no message).
+    spans: Vec<Span>,
+    /// The shared word arena all present payloads live in.
+    words: Vec<u64>,
+}
+
+impl Clone for Traffic {
+    fn clone(&self) -> Self {
+        Traffic {
+            spans: self.spans.clone(),
+            words: self.words.clone(),
+        }
+    }
+
+    /// Buffer-reusing clone: compilers that need a pristine copy of the sent
+    /// traffic each round (`received.clone_from(&sent)`) keep both arenas'
+    /// capacity across rounds.
+    fn clone_from(&mut self, source: &Self) {
+        self.spans.clone_from(&source.spans);
+        self.words.clone_from(&source.words);
+    }
 }
 
 impl Traffic {
     /// Empty traffic for a graph (no messages on any arc).
     pub fn new(g: &Graph) -> Self {
+        Traffic::with_arcs(g.arc_count())
+    }
+
+    /// Empty traffic with `arcs` arc slots.
+    pub fn with_arcs(arcs: usize) -> Self {
         Traffic {
-            arcs: vec![None; g.arc_count()],
+            spans: vec![Span::default(); arcs],
+            words: Vec::new(),
         }
     }
 
     /// Number of arcs (2·m).
     pub fn arc_slots(&self) -> usize {
-        self.arcs.len()
+        self.spans.len()
+    }
+
+    /// Drop every message, keeping the arc slots and all buffer capacity.
+    pub fn clear(&mut self) {
+        self.spans.fill(Span::default());
+        self.words.clear();
+    }
+
+    /// Prepare this buffer for a fresh round on `g`: drop every message and
+    /// (re)size the arc slots to `g.arc_count()`, reusing all capacity.
+    /// This is what [`crate::algorithm::CongestAlgorithm::send_into`]
+    /// implementations call first.
+    pub fn begin_round(&mut self, g: &Graph) {
+        self.spans.clear();
+        self.spans.resize(g.arc_count(), Span::default());
+        self.words.clear();
+    }
+
+    /// Allocated capacity of the word arena, in words.  Exposed so
+    /// buffer-reuse tests can assert that a steady-state round loop stops
+    /// allocating (a `Vec` only reallocates to grow).
+    pub fn word_capacity(&self) -> usize {
+        self.words.capacity()
+    }
+
+    /// Copy `payload` into the arc's slot, reusing the existing span when the
+    /// new payload fits.
+    fn write_arc(&mut self, arc: ArcId, payload: &[u64]) {
+        assert!(
+            arc < self.spans.len(),
+            "arc {arc} out of range for {} slots",
+            self.spans.len()
+        );
+        let span = self.spans[arc];
+        let off = if span.len_plus_one != 0 && payload.len() <= span.len() {
+            span.off as usize
+        } else {
+            self.words.len()
+        };
+        if off == self.words.len() {
+            // Strict bound: `len_plus_one = len + 1` must also fit in u32.
+            assert!(
+                off + payload.len() < u32::MAX as usize,
+                "traffic word arena overflow"
+            );
+            self.words.extend_from_slice(payload);
+        } else {
+            self.words[off..off + payload.len()].copy_from_slice(payload);
+        }
+        self.spans[arc] = Span {
+            off: off as u32,
+            len_plus_one: payload.len() as u32 + 1,
+        };
     }
 
     /// Set the message sent from `from` to `to`.
@@ -42,76 +155,115 @@ impl Traffic {
     /// # Panics
     ///
     /// Panics if `(from, to)` is not an edge of the graph.
-    pub fn send(&mut self, g: &Graph, from: NodeId, to: NodeId, payload: Payload) {
+    pub fn send(&mut self, g: &Graph, from: NodeId, to: NodeId, payload: impl AsRef<[u64]>) {
         let arc = g
             .arc_between(from, to)
             .unwrap_or_else(|| panic!("({from},{to}) is not an edge"));
-        self.arcs[arc] = Some(payload);
+        self.write_arc(arc, payload.as_ref());
     }
 
     /// The message sent from `from` to `to`, if any.
-    pub fn get(&self, g: &Graph, from: NodeId, to: NodeId) -> Option<&Payload> {
+    pub fn get(&self, g: &Graph, from: NodeId, to: NodeId) -> Option<&[u64]> {
         let arc = g.arc_between(from, to)?;
-        self.arcs[arc].as_ref()
+        self.get_arc(arc)
     }
 
     /// The message on a specific arc, if any.
-    pub fn get_arc(&self, arc: ArcId) -> Option<&Payload> {
-        self.arcs.get(arc).and_then(|o| o.as_ref())
+    #[inline]
+    pub fn get_arc(&self, arc: ArcId) -> Option<&[u64]> {
+        let span = *self.spans.get(arc)?;
+        if span.len_plus_one == 0 {
+            None
+        } else {
+            let off = span.off as usize;
+            Some(&self.words[off..off + span.len()])
+        }
     }
 
     /// Overwrite the message on a specific arc (used by the adversary).
-    pub fn set_arc(&mut self, arc: ArcId, payload: Option<Payload>) {
-        self.arcs[arc] = payload;
+    ///
+    /// # Panics
+    ///
+    /// Panics if `arc` is out of range.
+    pub fn set_arc(&mut self, arc: ArcId, payload: Option<&[u64]>) {
+        match payload {
+            Some(p) => self.write_arc(arc, p),
+            None => {
+                assert!(
+                    arc < self.spans.len(),
+                    "arc {arc} out of range for {} slots",
+                    self.spans.len()
+                );
+                self.spans[arc] = Span::default();
+            }
+        }
     }
 
     /// Iterate over all present messages as `(arc, payload)`.
-    pub fn iter_present(&self) -> impl Iterator<Item = (ArcId, &Payload)> {
-        self.arcs
-            .iter()
-            .enumerate()
-            .filter_map(|(a, p)| p.as_ref().map(|p| (a, p)))
+    pub fn iter_present(&self) -> impl Iterator<Item = (ArcId, &[u64])> {
+        self.spans.iter().enumerate().filter_map(|(a, span)| {
+            if span.len_plus_one == 0 {
+                None
+            } else {
+                let off = span.off as usize;
+                Some((a, &self.words[off..off + span.len()]))
+            }
+        })
     }
 
     /// Number of non-empty messages.
     pub fn message_count(&self) -> usize {
-        self.arcs.iter().filter(|p| p.is_some()).count()
+        self.spans.iter().filter(|s| s.len_plus_one != 0).count()
     }
 
     /// Largest payload length (in words) over all messages, 0 if empty.
     pub fn max_words(&self) -> usize {
-        self.arcs
-            .iter()
-            .flatten()
-            .map(|p| p.len())
-            .max()
-            .unwrap_or(0)
+        self.spans.iter().map(|s| s.len()).max().unwrap_or(0)
     }
 
-    /// Collect the messages *received by* node `v`: a list of `(sender, payload)`.
+    /// Collect the messages *received by* node `v` as owned payloads.
+    ///
+    /// This is the allocating convenience; hot loops should iterate
+    /// [`Traffic::inbox`] instead.
     pub fn inbox_of(&self, g: &Graph, v: NodeId) -> Vec<(NodeId, Payload)> {
-        let mut inbox = Vec::new();
-        for &(u, e) in g.neighbors(v) {
-            let arc = g.arc(e, u, v);
-            if let Some(p) = &self.arcs[arc] {
-                inbox.push((u, p.clone()));
-            }
-        }
-        inbox
+        self.inbox(g, v).map(|(u, p)| (u, p.to_vec())).collect()
+    }
+
+    /// Iterate the messages *received by* node `v` as `(sender, payload)`
+    /// without copying, walking the graph's CSR index.
+    pub fn inbox<'a>(
+        &'a self,
+        g: &'a Graph,
+        v: NodeId,
+    ) -> impl Iterator<Item = (NodeId, &'a [u64])> + 'a {
+        g.csr()
+            .neighbors(v)
+            .iter()
+            .filter_map(move |entry| self.get_arc(entry.arc_in).map(|p| (entry.neighbor, p)))
     }
 
     /// Whether two traffic snapshots agree on every arc.
     pub fn agrees_with(&self, other: &Traffic) -> bool {
-        self.arcs == other.arcs
+        self == other
     }
 
     /// The arcs on which two snapshots differ.
     pub fn diff_arcs(&self, other: &Traffic) -> Vec<ArcId> {
-        (0..self.arcs.len().max(other.arcs.len()))
-            .filter(|&a| self.arcs.get(a) != other.arcs.get(a))
+        (0..self.spans.len().max(other.spans.len()))
+            .filter(|&a| self.get_arc(a) != other.get_arc(a))
             .collect()
     }
 }
+
+/// Logical equality: same per-arc messages, regardless of arena layout.
+impl PartialEq for Traffic {
+    fn eq(&self, other: &Self) -> bool {
+        let arcs = self.spans.len().max(other.spans.len());
+        (0..arcs).all(|a| self.get_arc(a) == other.get_arc(a))
+    }
+}
+
+impl Eq for Traffic {}
 
 #[cfg(test)]
 mod tests {
@@ -123,8 +275,8 @@ mod tests {
         let g = generators::path(3);
         let mut t = Traffic::new(&g);
         t.send(&g, 0, 1, vec![42]);
-        t.send(&g, 2, 1, vec![7, 8]);
-        assert_eq!(t.get(&g, 0, 1), Some(&vec![42]));
+        t.send(&g, 2, 1, [7, 8]);
+        assert_eq!(t.get(&g, 0, 1), Some(&[42u64][..]));
         assert_eq!(t.get(&g, 1, 0), None);
         assert_eq!(t.message_count(), 2);
         assert_eq!(t.max_words(), 2);
@@ -133,6 +285,10 @@ mod tests {
         assert!(inbox.contains(&(0, vec![42])));
         assert!(inbox.contains(&(2, vec![7, 8])));
         assert!(t.inbox_of(&g, 0).is_empty());
+        // The borrowing iterator sees the same inbox.
+        let borrowed: Vec<(NodeId, Vec<u64>)> =
+            t.inbox(&g, 1).map(|(u, p)| (u, p.to_vec())).collect();
+        assert_eq!(borrowed.len(), 2);
     }
 
     #[test]
@@ -164,10 +320,61 @@ mod tests {
         let g = generators::path(2);
         let mut t = Traffic::new(&g);
         let arc = g.arc_between(1, 0).unwrap();
-        t.set_arc(arc, Some(vec![5]));
-        assert_eq!(t.get_arc(arc), Some(&vec![5]));
-        assert_eq!(t.get(&g, 1, 0), Some(&vec![5]));
+        t.set_arc(arc, Some(&[5]));
+        assert_eq!(t.get_arc(arc), Some(&[5u64][..]));
+        assert_eq!(t.get(&g, 1, 0), Some(&[5u64][..]));
         t.set_arc(arc, None);
         assert_eq!(t.message_count(), 0);
+    }
+
+    #[test]
+    fn empty_payload_is_present_but_empty() {
+        let g = generators::path(2);
+        let mut t = Traffic::new(&g);
+        t.send(&g, 0, 1, Vec::<u64>::new());
+        assert_eq!(t.get(&g, 0, 1), Some(&[][..]));
+        assert_eq!(t.message_count(), 1);
+        assert_eq!(t.max_words(), 0);
+    }
+
+    #[test]
+    fn overwrites_reuse_spans_and_equality_is_logical() {
+        let g = generators::path(3);
+        let mut a = Traffic::new(&g);
+        a.send(&g, 0, 1, vec![1, 2, 3]);
+        a.send(&g, 0, 1, vec![9]); // shrinking overwrite reuses the span
+        let mut b = Traffic::new(&g);
+        b.send(&g, 2, 1, vec![5]); // different arena layout
+        b.send(&g, 0, 1, vec![9]);
+        b.set_arc(g.arc_between(2, 1).unwrap(), None);
+        assert_eq!(a, b, "equality must ignore arena layout");
+        a.send(&g, 0, 1, vec![4, 5, 6, 7]); // growing overwrite appends
+        assert_eq!(a.get(&g, 0, 1), Some(&[4u64, 5, 6, 7][..]));
+    }
+
+    #[test]
+    fn round_reuse_stops_allocating() {
+        let g = generators::complete(8);
+        let mut t = Traffic::new(&g);
+        let fill = |t: &mut Traffic| {
+            for e in g.edges() {
+                t.send(&g, e.u, e.v, [e.u as u64, e.v as u64]);
+                t.send(&g, e.v, e.u, [e.v as u64]);
+            }
+        };
+        // Warm-up round grows the arena once.
+        t.begin_round(&g);
+        fill(&mut t);
+        let cap = t.word_capacity();
+        assert!(cap > 0);
+        for _ in 0..100 {
+            t.begin_round(&g);
+            fill(&mut t);
+        }
+        assert_eq!(
+            t.word_capacity(),
+            cap,
+            "steady-state rounds must not grow the arena"
+        );
     }
 }

@@ -118,13 +118,13 @@ impl RewindCompiler {
             }
             let mut majority = Traffic::new(&g);
             for arc in 0..g.arc_count() {
-                let mut counts: std::collections::HashMap<Option<&Vec<u64>>, usize> =
+                let mut counts: std::collections::HashMap<Option<&[u64]>, usize> =
                     std::collections::HashMap::new();
                 for c in &copies {
                     *counts.entry(c.get_arc(arc)).or_insert(0) += 1;
                 }
                 if let Some((val, _)) = counts.into_iter().max_by_key(|(_, c)| *c) {
-                    majority.set_arc(arc, val.cloned());
+                    majority.set_arc(arc, val);
                 }
             }
 

@@ -76,12 +76,7 @@ pub fn unpack_element(element: u64) -> (ArcId, u64, u64) {
 /// may contain arbitrary adversarial garbage; their words are truncated to the
 /// 40-bit content lane, which is sound because negative records are only used
 /// to *remove* a receiver's word at a given index, never to set a value.
-fn stream_message<F: FnMut(u64, i64)>(
-    arc: ArcId,
-    payload: Option<&Vec<u64>>,
-    sign: i64,
-    f: &mut F,
-) {
+fn stream_message<F: FnMut(u64, i64)>(arc: ArcId, payload: Option<&[u64]>, sign: i64, f: &mut F) {
     if let Some(words) = payload {
         let len = (words.len() as u64).min(LEN_INDEX - 1);
         // Words are tracked modulo 2^40 (the content lane of the packed element).
@@ -140,7 +135,10 @@ pub fn apply_corrections(
         if arc >= g.arc_count() {
             continue;
         }
-        let current: Vec<u64> = estimate.get_arc(arc).cloned().unwrap_or_default();
+        let current: Vec<u64> = estimate
+            .get_arc(arc)
+            .map(<[u64]>::to_vec)
+            .unwrap_or_default();
         // Determine the corrected length: positive length record wins; a purely
         // negative length record with no positive replacement means "no message".
         let mut length: Option<usize> = if estimate.get_arc(arc).is_some() {
@@ -173,7 +171,7 @@ pub fn apply_corrections(
         }
         if let Some(len) = length {
             let rebuilt: Vec<u64> = (0..len).map(|i| *words.get(&i).unwrap_or(&0)).collect();
-            out.set_arc(arc, Some(rebuilt));
+            out.set_arc(arc, Some(&rebuilt));
         }
     }
     out

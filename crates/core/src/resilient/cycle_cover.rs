@@ -101,7 +101,7 @@ impl CycleCoverCompiler {
                             instances.push(FloodInstance {
                                 from,
                                 to,
-                                payload: payload.clone(),
+                                payload: payload.to_vec(),
                                 paths: oriented,
                             });
                         }
@@ -173,27 +173,28 @@ fn flood_instances(
         .collect();
     let mut arrived: Vec<Vec<Payload>> = vec![Vec::new(); instances.len()];
 
+    let mut traffic = Traffic::new(&g);
     for _ in 0..total_rounds {
-        let mut traffic = Traffic::new(&g);
+        traffic.begin_round(&g);
         for (ii, inst) in instances.iter().enumerate() {
             for (pi, path) in inst.paths.iter().enumerate() {
                 for hop in 0..path.len() - 1 {
                     if let Some(val) = &holder[ii][pi][hop] {
-                        traffic.send(&g, path[hop], path[hop + 1], val.clone());
+                        traffic.send(&g, path[hop], path[hop + 1], val);
                     }
                 }
             }
         }
-        let delivered = net.exchange(traffic);
+        net.exchange_in_place(&mut traffic);
         for (ii, inst) in instances.iter().enumerate() {
             for (pi, path) in inst.paths.iter().enumerate() {
                 for hop in (0..path.len() - 1).rev() {
                     if holder[ii][pi][hop].is_some() {
-                        if let Some(msg) = delivered.get(&g, path[hop], path[hop + 1]) {
+                        if let Some(msg) = traffic.get(&g, path[hop], path[hop + 1]) {
                             if hop + 1 == path.len() - 1 {
-                                arrived[ii].push(msg.clone());
+                                arrived[ii].push(msg.to_vec());
                             } else {
-                                holder[ii][pi][hop + 1] = Some(msg.clone());
+                                holder[ii][pi][hop + 1] = Some(msg.to_vec());
                             }
                         }
                     }

@@ -78,18 +78,19 @@ pub fn weak_packing_under_attack(
     // carries its own colour's wave).
     let mut best_id: Vec<Vec<u64>> = (0..n).map(|v| vec![v as u64; k]).collect();
     let mut parent: Vec<Vec<Option<NodeId>>> = vec![vec![None; k]; n];
+    let mut traffic = Traffic::new(&g);
     for _ in 0..bfs_rounds {
-        let mut traffic = Traffic::new(&g);
+        traffic.begin_round(&g);
         for v in g.nodes() {
             for &(u, e) in g.neighbors(v) {
                 if let Some(c) = colour_belief[e][endpoint_slot(&g, e, v)] {
-                    traffic.send(&g, v, u, vec![c as u64, best_id[v][c]]);
+                    traffic.send(&g, v, u, [c as u64, best_id[v][c]]);
                 }
             }
         }
-        let delivered = net.exchange(traffic);
+        net.exchange_in_place(&mut traffic);
         for v in g.nodes() {
-            for (from, payload) in delivered.inbox_of(&g, v) {
+            for (from, payload) in traffic.inbox(&g, v) {
                 let e = g.edge_between(from, v).unwrap();
                 let my_colour = colour_belief[e][endpoint_slot(&g, e, v)];
                 if payload.len() < 2 {

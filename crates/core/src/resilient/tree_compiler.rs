@@ -99,9 +99,13 @@ impl MobileByzantineCompiler {
         let start = net.round();
         let r = alg.rounds();
         let mut per_round = Vec::with_capacity(r);
+        // Round buffers, reused across all simulated rounds.
+        let mut sent = congest_sim::traffic::Traffic::new(net.graph());
+        let mut received = congest_sim::traffic::Traffic::new(net.graph());
         for round in 0..r {
-            let sent = alg.send(round);
-            let received = net.exchange(sent.clone());
+            alg.send_into(round, &mut sent);
+            received.clone_from(&sent);
+            net.exchange_in_place(&mut received);
             // The sparse-recovery sparsity must cover every word of every message
             // the adversary could have touched this round: O(f) messages of up to
             // `max_words` words each (plus their length records).

@@ -252,9 +252,12 @@ impl CongestionSensitiveCompiler {
         // Step 3: round-by-round simulation with dummy traffic on silent edges.
         let sim_start = net.round();
         let mut dummy_rng = Network::node_rng(self.seed ^ 0xD0_0D, 0);
+        let mut plain = Traffic::new(&g);
+        let mut cipher = Traffic::new(&g);
+        let mut decrypted = Traffic::new(&g);
         for round in 0..r {
-            let plain = alg.send(round);
-            let mut cipher = Traffic::new(&g);
+            alg.send_into(round, &mut plain);
+            cipher.begin_round(&g);
             for v in g.nodes() {
                 for &(u, _) in g.neighbors(v) {
                     let arc = g.arc_between(v, u).unwrap();
@@ -277,19 +280,19 @@ impl CongestionSensitiveCompiler {
                     cipher.send(&g, v, u, body);
                 }
             }
-            let delivered = net.exchange(cipher);
-            let mut decrypted = Traffic::new(&g);
+            net.exchange_in_place(&mut cipher);
+            decrypted.begin_round(&g);
             for v in g.nodes() {
                 for &(u, _) in g.neighbors(v) {
                     let arc = g.arc_between(u, v).unwrap();
-                    if let Some(msg) = delivered.get(&g, u, v) {
+                    if let Some(msg) = cipher.get(&g, u, v) {
                         let dec = pool.apply(&g, arc, round, msg);
                         if dec.len() == width {
                             let (framed, tag) = dec.split_at(self.words_per_message + 1);
                             let expect = tagger.hash(mix_words(framed, arc as u64, round as u64));
                             let len = framed[0] as usize;
                             if tag[0] == expect && len <= self.words_per_message {
-                                decrypted.send(&g, u, v, framed[1..1 + len].to_vec());
+                                decrypted.send(&g, u, v, &framed[1..1 + len]);
                             }
                         }
                     }

@@ -71,8 +71,9 @@ impl KeyPool {
         let mut raw: Vec<Vec<Vec<Gf2_16>>> = vec![Vec::new(); g.arc_count()];
         let mut node_rngs: Vec<_> = g.nodes().map(|v| Network::node_rng(seed, v)).collect();
 
+        let mut traffic = Traffic::new(&g);
         for _ in 0..exchange_rounds {
-            let mut traffic = Traffic::new(&g);
+            traffic.begin_round(&g);
             let mut this_round: Vec<Vec<Gf2_16>> = vec![Vec::new(); g.arc_count()];
             for v in g.nodes() {
                 for &(u, e) in g.neighbors(v) {
@@ -85,7 +86,7 @@ impl KeyPool {
                     this_round[arc] = chunks;
                 }
             }
-            let _ = net.exchange(traffic);
+            net.exchange_in_place(&mut traffic);
             for arc in 0..g.arc_count() {
                 raw[arc].push(std::mem::take(&mut this_round[arc]));
             }
@@ -146,7 +147,7 @@ impl KeyPool {
     ///
     /// Panics if `round` exceeds the number of protected rounds or the payload
     /// is wider than the keystream provisioned per round.
-    pub fn apply(&self, g: &Graph, arc: ArcId, round: usize, payload: &Payload) -> Payload {
+    pub fn apply(&self, g: &Graph, arc: ArcId, round: usize, payload: &[u64]) -> Payload {
         assert!(round < self.protected_rounds(), "keystream exhausted");
         assert!(
             payload.len() * CHUNKS_PER_WORD <= self.chunks_per_round,
@@ -255,7 +256,7 @@ mod tests {
         let g = generators::path(2);
         let (pool, _) = pool_on(g.clone(), 2, 1, 1);
         let arc = g.arc_between(0, 1).unwrap();
-        let _ = pool.apply(&g, arc, 2, &vec![1]);
+        let _ = pool.apply(&g, arc, 2, &[1]);
     }
 
     #[test]
@@ -264,7 +265,7 @@ mod tests {
         let g = generators::path(2);
         let (pool, _) = pool_on(g.clone(), 2, 1, 1);
         let arc = g.arc_between(0, 1).unwrap();
-        let _ = pool.apply(&g, arc, 0, &vec![1, 2, 3]);
+        let _ = pool.apply(&g, arc, 0, &[1, 2, 3]);
     }
 
     /// The structural security property: pads on edges the eavesdropper missed

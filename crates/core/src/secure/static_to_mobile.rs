@@ -85,22 +85,24 @@ impl StaticToMobileCompiler {
         let pool = KeyPool::establish(net, self.seed, r, self.words_per_message, self.t);
         let key_rounds = pool.exchange_rounds();
 
-        // Phase 2: round-by-round OTP simulation of A.
+        // Phase 2: round-by-round OTP simulation of A.  All three traffic
+        // buffers are recycled across rounds.
+        let mut plain = Traffic::new(&g);
+        let mut cipher = Traffic::new(&g);
+        let mut decrypted = Traffic::new(&g);
         for round in 0..r {
-            let plain = alg.send(round);
-            let mut cipher = Traffic::new(&g);
+            alg.send_into(round, &mut plain);
+            cipher.begin_round(&g);
             for (arc, payload) in plain.iter_present() {
-                let (_, from, to) = g.arc_endpoints(arc);
                 let enc = pool.apply(&g, arc, round, payload);
-                cipher.send(&g, from, to, enc);
+                cipher.set_arc(arc, Some(&enc));
             }
-            let delivered = net.exchange(cipher);
+            net.exchange_in_place(&mut cipher);
             // Receivers decrypt with the same per-arc keys.
-            let mut decrypted = Traffic::new(&g);
-            for (arc, payload) in delivered.iter_present() {
-                let (_, from, to) = g.arc_endpoints(arc);
+            decrypted.begin_round(&g);
+            for (arc, payload) in cipher.iter_present() {
                 let dec = pool.apply(&g, arc, round, payload);
-                decrypted.send(&g, from, to, dec);
+                decrypted.set_arc(arc, Some(&dec));
             }
             alg.receive(round, &decrypted);
         }

@@ -21,7 +21,7 @@
 //! edges it controlled in the *pad-exchange round*.
 
 use congest_sim::network::Network;
-use congest_sim::traffic::{Payload, Traffic};
+use congest_sim::traffic::Traffic;
 use netgraph::connectivity::edge_disjoint_paths;
 use netgraph::NodeId;
 use rand::Rng;
@@ -234,7 +234,7 @@ pub fn plain_unicast_baseline(
             traffic.send(&g, w[0], w[1], vec![val]);
         }
         let delivered = net.exchange(traffic);
-        carried = delivered.get(&g, w[0], w[1]).map(|p: &Payload| p[0]);
+        carried = delivered.get(&g, w[0], w[1]).map(|p| p[0]);
     }
     carried
 }

@@ -220,7 +220,8 @@ pub struct GroupSummary {
     /// Five-number summaries per facet, in stable order: the shared run
     /// metrics (`network_rounds`, `payload_rounds`, `overhead`,
     /// `corrupted_edge_rounds`) followed by the compiler's typed
-    /// [`CompilerNotes`] metrics (`rewinds`, `fully_corrected`, `key_rounds`,
+    /// [`CompilerNotes`](congest_sim::scenario::CompilerNotes) metrics
+    /// (`rewinds`, `fully_corrected`, `key_rounds`,
     /// `good_trees`, …).
     pub stats: Vec<(String, StatSummary)>,
 }

@@ -53,6 +53,8 @@
 //! [`RunReport`]: congest_sim::scenario::RunReport
 //! [`CompilerNotes`]: congest_sim::scenario::CompilerNotes
 
+#![warn(missing_docs)]
+
 pub mod campaign;
 pub mod engine;
 pub mod stats;

@@ -80,7 +80,7 @@ pub fn repeated_tree_broadcast(
                 if depths[v] == Some(level + 1) {
                     if let Some(p) = tree.parent[v] {
                         if let Some(msg) = delivered.get(&g, p, v) {
-                            received[v].push(msg.clone());
+                            received[v].push(msg.to_vec());
                         }
                     }
                 }
@@ -146,7 +146,7 @@ pub fn repeated_tree_sum(
                 if *depth == Some(sender_depth) {
                     if let Some(p) = tree.parent[v] {
                         if let Some(msg) = delivered.get(&g, v, p) {
-                            received[p].entry(v).or_default().push(msg.clone());
+                            received[p].entry(v).or_default().push(msg.to_vec());
                         }
                     }
                 }
@@ -231,9 +231,9 @@ pub fn flood_paths_majority(
                     let to = path[hop + 1];
                     if let Some(msg) = delivered.get(&g, from, to) {
                         if hop + 1 == path.len() - 1 {
-                            target_received.push(msg.clone());
+                            target_received.push(msg.to_vec());
                         } else {
-                            pipe[pi][hop + 1] = Some(msg.clone());
+                            pipe[pi][hop + 1] = Some(msg.to_vec());
                         }
                     }
                 }

@@ -12,6 +12,8 @@
 use crate::graph::{Graph, NodeId};
 use rand::seq::SliceRandom;
 use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
 
 /// A path `0 - 1 - … - (n-1)`.
 pub fn path(n: usize) -> Graph {
@@ -69,6 +71,114 @@ pub fn grid(rows: usize, cols: usize) -> Graph {
                 g.add_edge(id(r, c), id(r, c + 1));
             }
         }
+    }
+    g
+}
+
+/// A 2-D torus: an `rows × cols` grid with wrap-around edges in both
+/// dimensions.  4-regular and 4-edge-connected, the canonical
+/// constant-degree topology whose connectivity sits exactly at the `f = 1`
+/// cycle-cover threshold (`2f + 1 = 3 ≤ 4`).
+///
+/// # Panics
+///
+/// Panics if either dimension is below 3 (smaller wrap-arounds collapse into
+/// duplicate or self-loop edges).
+pub fn torus(rows: usize, cols: usize) -> Graph {
+    assert!(rows >= 3 && cols >= 3, "a torus needs both dimensions >= 3");
+    let mut g = Graph::new(rows * cols);
+    let id = |r: usize, c: usize| r * cols + c;
+    for r in 0..rows {
+        for c in 0..cols {
+            g.add_edge(id(r, c), id((r + 1) % rows, c));
+            g.add_edge(id(r, c), id(r, (c + 1) % cols));
+        }
+    }
+    g
+}
+
+/// A Watts–Strogatz small-world graph: the ring lattice `C_n(1, …, k/2)` with
+/// every lattice edge rewired to a uniformly random non-neighbour with
+/// probability `beta`.  `beta = 0` is the (high-diameter) circulant lattice,
+/// `beta = 1` approaches a random graph; intermediate values give the
+/// small-world regime the compilers' round overheads are sensitive to.
+///
+/// Rewiring keeps every node's lattice stubs, so the graph stays connected
+/// with overwhelming probability at moderate `beta`; degrees vary around `k`.
+///
+/// # Panics
+///
+/// Panics if `k` is odd, `k < 2`, or `k >= n`.
+pub fn watts_strogatz<R: Rng + ?Sized>(rng: &mut R, n: usize, k: usize, beta: f64) -> Graph {
+    assert!(k >= 2 && k.is_multiple_of(2), "k must be even and >= 2");
+    assert!(k < n, "k must be smaller than n");
+    let beta = beta.clamp(0.0, 1.0);
+    let mut g = Graph::new(n);
+    for i in 0..n {
+        for off in 1..=(k / 2) {
+            let j = (i + off) % n;
+            if rng.gen_bool(beta) {
+                // Rewire (i, j) to (i, random) avoiding self-loops and
+                // duplicates; fall back to the lattice edge when the node is
+                // saturated.
+                let mut rewired = false;
+                for _ in 0..8 {
+                    let t = rng.gen_range(0..n);
+                    if t != i && !g.has_edge(i, t) {
+                        g.add_edge(i, t);
+                        rewired = true;
+                        break;
+                    }
+                }
+                if !rewired && !g.has_edge(i, j) {
+                    g.add_edge(i, j);
+                }
+            } else {
+                g.add_edge(i, j);
+            }
+        }
+    }
+    g
+}
+
+/// A seeded random `d`-regular expander: [`random_regular`] driven by an
+/// internal ChaCha stream, so graph grids can name an expander by `(n, d,
+/// seed)` without threading an RNG through the spec.  For `d ≥ 3` these are
+/// expanders with high probability (the experiments verify conductance
+/// empirically).
+///
+/// # Panics
+///
+/// Panics if `n * d` is odd or `d >= n` (see [`random_regular`]).
+pub fn expander_d_regular(n: usize, d: usize, seed: u64) -> Graph {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0xE7A9_D000);
+    random_regular(&mut rng, n, d)
+}
+
+/// A ring of cliques ("caveman" graph): `cliques` complete graphs of
+/// `size` nodes each, with consecutive cliques joined by a single bridge
+/// edge and the last clique bridged back to the first.  Locally dense but
+/// globally 2-edge-connected — the adversarial playground for
+/// [`EclipseNode`-style](https://en.wikipedia.org/wiki/Eclipse_attack)
+/// attacks on bridge endpoints.
+///
+/// # Panics
+///
+/// Panics if `cliques < 3` or `size < 2`.
+pub fn ring_of_cliques(cliques: usize, size: usize) -> Graph {
+    assert!(cliques >= 3, "a ring needs at least 3 cliques");
+    assert!(size >= 2, "cliques need at least 2 nodes");
+    let mut g = Graph::new(cliques * size);
+    for c in 0..cliques {
+        let base = c * size;
+        for i in 0..size {
+            for j in (i + 1)..size {
+                g.add_edge(base + i, base + j);
+            }
+        }
+        // Bridge: the last node of this clique to the first node of the next.
+        let next = ((c + 1) % cliques) * size;
+        g.add_edge(base + size - 1, next);
     }
     g
 }
@@ -366,5 +476,78 @@ mod tests {
         let g = complete_minus_matching(6);
         assert_eq!(g.edge_count(), 15 - 3);
         assert_eq!(g.min_degree(), 4);
+    }
+
+    #[test]
+    fn torus_is_4_regular_and_4_connected() {
+        let g = torus(4, 5);
+        assert_eq!(g.node_count(), 20);
+        assert_eq!(g.min_degree(), 4);
+        assert_eq!(g.max_degree(), 4);
+        assert_eq!(g.edge_count(), 2 * 20);
+        assert_eq!(crate::connectivity::edge_connectivity(&g), 4);
+    }
+
+    #[test]
+    #[should_panic]
+    fn tiny_torus_rejected() {
+        torus(2, 5);
+    }
+
+    #[test]
+    fn watts_strogatz_zero_beta_is_the_lattice() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let g = watts_strogatz(&mut rng, 20, 4, 0.0);
+        let lattice = circulant(20, 2);
+        assert_eq!(g.edge_count(), lattice.edge_count());
+        assert_eq!(g.min_degree(), 4);
+        assert_eq!(g.max_degree(), 4);
+    }
+
+    #[test]
+    fn watts_strogatz_rewired_stays_connected_with_stable_edge_budget() {
+        for seed in 0..5 {
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            let g = watts_strogatz(&mut rng, 30, 6, 0.3);
+            // Every lattice stub either survives or is rewired (or, rarely,
+            // dropped when both the retries and the fallback hit duplicates),
+            // so the edge budget stays within a few percent of `n·k/2`.
+            assert!(g.edge_count() <= 30 * 3);
+            assert!(g.edge_count() >= 30 * 3 - 4);
+            assert!(
+                crate::traversal::diameter(&g).is_some(),
+                "seed {seed}: rewired graph must stay connected"
+            );
+        }
+    }
+
+    #[test]
+    fn expander_d_regular_is_seeded_and_near_regular() {
+        let a = expander_d_regular(40, 6, 9);
+        let b = expander_d_regular(40, 6, 9);
+        let c = expander_d_regular(40, 6, 10);
+        assert_eq!(format!("{:?}", a.edges()), format!("{:?}", b.edges()));
+        assert_ne!(format!("{:?}", a.edges()), format!("{:?}", c.edges()));
+        assert!(a.min_degree() >= 5);
+        assert!(a.max_degree() <= 6);
+        assert!(crate::traversal::diameter(&a).is_some());
+    }
+
+    #[test]
+    fn ring_of_cliques_shape_and_connectivity() {
+        let g = ring_of_cliques(4, 5);
+        assert_eq!(g.node_count(), 20);
+        // 4 cliques of C(5,2)=10 edges plus 4 bridges.
+        assert_eq!(g.edge_count(), 4 * 10 + 4);
+        assert_eq!(g.min_degree(), 4);
+        assert_eq!(g.max_degree(), 5); // bridge endpoints
+        assert_eq!(crate::connectivity::edge_connectivity(&g), 2);
+        assert!(crate::traversal::diameter(&g).is_some());
+    }
+
+    #[test]
+    #[should_panic]
+    fn ring_of_cliques_needs_three_cliques() {
+        ring_of_cliques(2, 4);
     }
 }

@@ -6,6 +6,7 @@
 //! indices so that protocol state can live in flat vectors.
 
 use std::collections::BTreeSet;
+use std::sync::OnceLock;
 
 /// Identifier of a node: a dense index in `[0, n)`.
 pub type NodeId = usize;
@@ -59,6 +60,87 @@ impl Edge {
     }
 }
 
+/// One adjacency record of the [`CsrIndex`]: a neighbour together with the
+/// connecting edge and both directed arcs, precomputed so hot loops (inbox
+/// iteration, per-round metrics) never re-derive arc ids from edge endpoints.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CsrEntry {
+    /// The neighbouring node.
+    pub neighbor: NodeId,
+    /// The connecting undirected edge.
+    pub edge: EdgeId,
+    /// The directed arc *from this node to* `neighbor`.
+    pub arc_out: ArcId,
+    /// The directed arc *from* `neighbor` *to this node*.
+    pub arc_in: ArcId,
+}
+
+/// A compressed-sparse-row view of a graph's adjacency structure: one flat
+/// entry array grouped by node, plus an `n + 1` offset table.
+///
+/// The per-node [`Graph::neighbors`] vectors are convenient while *building*
+/// a graph; the CSR index is what the round engine iterates — a single
+/// contiguous allocation with per-entry arc ids, so scanning every inbox of a
+/// round is a linear walk over `2m` cache-friendly entries.  Built lazily on
+/// first use ([`Graph::csr`]) and invalidated by [`Graph::add_edge`].
+#[derive(Debug, Clone, Default)]
+pub struct CsrIndex {
+    /// `offsets[u]..offsets[u + 1]` is `u`'s slice of `entries`.
+    offsets: Vec<usize>,
+    /// All adjacency records, grouped by node in insertion order.
+    entries: Vec<CsrEntry>,
+}
+
+impl CsrIndex {
+    fn build(g: &Graph) -> Self {
+        let mut offsets = Vec::with_capacity(g.n + 1);
+        let mut entries = Vec::with_capacity(2 * g.edges.len());
+        offsets.push(0);
+        for u in 0..g.n {
+            for &(v, e) in &g.adjacency[u] {
+                let (fwd, bwd) = Graph::arcs_of(e);
+                let forward = g.edges[e].u == u;
+                entries.push(CsrEntry {
+                    neighbor: v,
+                    edge: e,
+                    arc_out: if forward { fwd } else { bwd },
+                    arc_in: if forward { bwd } else { fwd },
+                });
+            }
+            offsets.push(entries.len());
+        }
+        CsrIndex { offsets, entries }
+    }
+
+    /// The adjacency records of node `u`, in edge-insertion order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` is out of range.
+    pub fn neighbors(&self, u: NodeId) -> &[CsrEntry] {
+        &self.entries[self.offsets[u]..self.offsets[u + 1]]
+    }
+
+    /// Degree of `u`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` is out of range.
+    pub fn degree(&self, u: NodeId) -> usize {
+        self.offsets[u + 1] - self.offsets[u]
+    }
+
+    /// All adjacency records of all nodes, grouped by node.
+    pub fn entries(&self) -> &[CsrEntry] {
+        &self.entries
+    }
+
+    /// Number of nodes the index covers.
+    pub fn node_count(&self) -> usize {
+        self.offsets.len().saturating_sub(1)
+    }
+}
+
 /// An undirected simple graph with dense node and edge indices.
 #[derive(Debug, Clone, Default)]
 pub struct Graph {
@@ -66,6 +148,8 @@ pub struct Graph {
     edges: Vec<Edge>,
     /// adjacency[u] = sorted list of (neighbor, edge id)
     adjacency: Vec<Vec<(NodeId, EdgeId)>>,
+    /// Lazily built CSR view of `adjacency`; reset on mutation.
+    csr: OnceLock<CsrIndex>,
 }
 
 impl Graph {
@@ -75,6 +159,7 @@ impl Graph {
             n,
             edges: Vec::new(),
             adjacency: vec![Vec::new(); n],
+            csr: OnceLock::new(),
         }
     }
 
@@ -133,7 +218,15 @@ impl Graph {
         self.edges.push(e);
         self.adjacency[a].push((b, id));
         self.adjacency[b].push((a, id));
+        self.csr = OnceLock::new();
         id
+    }
+
+    /// The compressed-sparse-row adjacency index, built lazily on first use
+    /// and cached until the graph is mutated.  Hot round-engine loops iterate
+    /// this instead of the per-node adjacency vectors.
+    pub fn csr(&self) -> &CsrIndex {
+        self.csr.get_or_init(|| CsrIndex::build(self))
     }
 
     /// Neighbours of `u` together with the connecting edge ids.
@@ -198,6 +291,21 @@ impl Graph {
     /// Directed arc id from `from` to `to`, if the edge exists.
     pub fn arc_between(&self, from: NodeId, to: NodeId) -> Option<ArcId> {
         self.edge_between(from, to).map(|e| self.arc(e, from, to))
+    }
+
+    /// The two directed arcs of edge `e`, as `(forward, backward)`: the
+    /// forward arc runs from the edge's smaller endpoint to the larger one.
+    /// This is the one place the `2e` / `2e + 1` numbering convention lives;
+    /// hot loops that would otherwise hardcode the arithmetic call this.
+    #[inline]
+    pub fn arcs_of(e: EdgeId) -> (ArcId, ArcId) {
+        (2 * e, 2 * e + 1)
+    }
+
+    /// The edge an arc belongs to (inverse of [`Graph::arcs_of`]).
+    #[inline]
+    pub fn edge_of(arc: ArcId) -> EdgeId {
+        arc / 2
     }
 
     /// Decompose an arc id into `(edge, from, to)`.
@@ -309,6 +417,37 @@ mod tests {
         assert_eq!(g.arc_count(), 6);
         assert_eq!(g.arc_between(1, 2), Some(g.arc(1, 1, 2)));
         assert_eq!(g.arc_between(0, 2), None);
+    }
+
+    #[test]
+    fn csr_matches_adjacency_and_arcs() {
+        let g = Graph::from_edges(5, &[(0, 1), (1, 2), (2, 0), (3, 1), (4, 0)]);
+        let csr = g.csr();
+        assert_eq!(csr.node_count(), 5);
+        assert_eq!(csr.entries().len(), 2 * g.edge_count());
+        for v in g.nodes() {
+            let entries = csr.neighbors(v);
+            assert_eq!(entries.len(), g.degree(v));
+            assert_eq!(csr.degree(v), g.degree(v));
+            for (entry, &(u, e)) in entries.iter().zip(g.neighbors(v)) {
+                assert_eq!(entry.neighbor, u);
+                assert_eq!(entry.edge, e);
+                assert_eq!(entry.arc_out, g.arc(e, v, u));
+                assert_eq!(entry.arc_in, g.arc(e, u, v));
+            }
+        }
+    }
+
+    #[test]
+    fn csr_is_invalidated_by_mutation() {
+        let mut g = Graph::from_edges(3, &[(0, 1)]);
+        assert_eq!(g.csr().degree(2), 0);
+        g.add_edge(1, 2);
+        assert_eq!(g.csr().degree(2), 1);
+        assert_eq!(g.csr().neighbors(2)[0].neighbor, 1);
+        // A clone keeps its own (consistent) index.
+        let h = g.clone();
+        assert_eq!(h.csr().entries().len(), 4);
     }
 
     #[test]

@@ -165,7 +165,7 @@ impl L0Sampler {
 
     /// Serialise the sketch state into words (for sending over the simulator).
     ///
-    /// The encoding is only consumed by [`L0Sampler::merge_encoded`] in tests /
+    /// The encoding is only consumed by [`L0Sampler::merge`]-style plumbing in tests /
     /// protocol plumbing; it is not a stable format.
     pub fn encoded_size_words(&self) -> usize {
         // 4 words per cell (count, weighted (2 words), fingerprint) — a rough

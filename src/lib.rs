@@ -29,8 +29,12 @@
 //!
 //! The workspace members behind the scenes:
 //!
-//! * [`sim`] — the round-synchronous CONGEST simulator and adversaries,
-//! * [`graphs`] — graph generators, tree packings, cycle covers,
+//! * [`sim`] — the round-synchronous CONGEST simulator and adversaries
+//!   (a zero-allocation round engine: flat traffic arenas, adversary
+//!   bitsets, in-place corruption — see `docs/ARCHITECTURE.md`),
+//! * [`graphs`] — graph generators (incl. the torus / small-world /
+//!   expander / ring-of-cliques zoo), CSR-indexed graphs, tree packings,
+//!   cycle covers,
 //! * [`codes`] — finite fields, Reed–Solomon, Vandermonde extraction, hashing,
 //! * [`sketch`] — ℓ0-sampling and sparse-recovery sketches,
 //! * [`icoding`] — the RS-compiler oracle and the Lemma 3.3 scheduler,
@@ -45,6 +49,12 @@
 //!
 //! See `README.md` for a guided tour; `benches/experiments.rs` is the
 //! experiment index (E1–E16, one table per theorem).
+
+/// Compiles every `rust` code block of `README.md` as a doctest, so the
+/// README's quickstart and harness snippets cannot drift from the real API.
+#[cfg(doctest)]
+#[doc = include_str!("../README.md")]
+pub struct ReadmeDoctests;
 
 pub use coding as codes;
 pub use congest_algorithms as payloads;

@@ -190,6 +190,100 @@ fn full_grid_campaign_with_repetitions_through_the_parallel_engine() {
     assert!(jsonl.contains("\"status\":\"skipped\""));
 }
 
+/// The expanded topology × adversary zoo runs through the full campaign grid
+/// with thread-count determinism preserved: every new generator (torus,
+/// seeded expander, Watts–Strogatz small world, ring of cliques) and every
+/// new adversary (adaptive-heaviest, eclipse) produces executed cells, and
+/// the whole report is byte-identical at 1 and 4 workers.
+#[test]
+fn zoo_campaign_covers_new_generators_and_adversaries_deterministically() {
+    use mobile_congest::scenario::matrix::{adversary_zoo, graph_zoo};
+
+    let run_with = |threads: usize| {
+        Campaign::new(31337)
+            .graphs(graph_zoo(7))
+            .adversaries(adversary_zoo(1))
+            .compilers(vec![
+                CompilerSpec::of(Uncompiled),
+                CompilerSpec::of(TreePackingAdapter::new(1, 5)),
+                CompilerSpec::of(CycleCoverAdapter::new(1)),
+                CompilerSpec::of(StaticToMobileAdapter::new(4, 2, 5)),
+            ])
+            .payload(flood_payload)
+            .repetitions(2)
+            .threads(threads)
+            .run()
+    };
+    let single = run_with(1);
+    let parallel = run_with(4);
+    assert_eq!(single.cells.len(), 8 * 7 * 4 * 2, "full zoo grid");
+    assert_eq!(
+        single.fingerprint(),
+        parallel.fingerprint(),
+        "zoo grid must be thread-count deterministic"
+    );
+    // One genuine experimental finding of the widened grid: the greedy tree
+    // packing is too weak on the sparse, irregular small-world topology to
+    // survive *targeted* heaviest-edge attacks (random attacks it handles).
+    // Pin that exact frontier — anything else diverging is a regression.
+    let rogue: Vec<(String, String, String)> = single
+        .executed()
+        .filter_map(|c| match &c.outcome {
+            Ok(r)
+                if r.compiler_kind != mobile_congest::scenario::CompilerKind::Baseline
+                    && r.agrees_with_fault_free() == Some(false) =>
+            {
+                Some((c.graph.clone(), c.adversary.clone(), c.compiler.clone()))
+            }
+            _ => None,
+        })
+        .collect();
+    assert!(
+        !rogue.is_empty(),
+        "the small-world/tree-packing frontier disappeared — update this test and ROADMAP.md"
+    );
+    assert!(
+        rogue.iter().all(|(g, a, c)| {
+            g == "small-world(24,6)" && a.contains("heaviest") && c.starts_with("tree-packing")
+        }),
+        "unexpected protected-cell divergences: {rogue:?}"
+    );
+
+    // Every new generator and every new adversary must actually execute
+    // cells (not be skipped out of the grid entirely).
+    for name in [
+        "torus4x5",
+        "expander(24,8)",
+        "small-world(24,6)",
+        "ring-of-cliques(4,5)",
+    ] {
+        assert!(
+            single
+                .executed()
+                .any(|c| c.graph == name && c.outcome.is_ok()),
+            "no executed cell for generator {name}"
+        );
+    }
+    for name in ["adaptive-heaviest", "eclipse(v=0)"] {
+        assert!(
+            single
+                .executed()
+                .any(|c| c.adversary == name && c.outcome.is_ok()),
+            "no executed cell for adversary {name}"
+        );
+    }
+    // The uncompiled baseline is demonstrably breakable by the new
+    // adversaries somewhere in the grid (that's what makes them adversaries).
+    assert!(
+        single.cells.iter().any(|c| {
+            (c.adversary == "adaptive-heaviest" || c.adversary == "eclipse(v=0)")
+                && c.compiler == "uncompiled"
+                && matches!(&c.outcome, Ok(r) if r.agrees_with_fault_free() == Some(false))
+        }),
+        "new adversaries should corrupt at least one uncompiled cell"
+    );
+}
+
 /// The rate compiler's rewind counter flows through the typed notes channel:
 /// a bursty adversary forces rewinds, and the campaign can assert on them.
 #[test]

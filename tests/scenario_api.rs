@@ -424,3 +424,86 @@ fn matrix_sweep_graphs_by_adversaries_by_compilers() {
         assert!(table.contains(&gspec.name));
     }
 }
+
+/// The flat-buffer round engine produces **byte-identical** `RunReport`
+/// fingerprints to the seed-era reference engine on the `Uncompiled` and
+/// `FaultFree` paths: same outputs, same metrics, same corruption history,
+/// same eavesdropper view.  The rewrite changed the cost of a round, not its
+/// semantics.
+#[test]
+fn flat_engine_matches_the_seed_reference_engine_on_uncompiled_and_fault_free() {
+    use mobile_congest::sim::reference::{run_on_reference_network, ReferenceNetwork};
+
+    for (role, seed) in [
+        (AdversaryRole::Byzantine, 41u64),
+        (AdversaryRole::Eavesdropper, 42),
+    ] {
+        for g in [
+            generators::complete(10),
+            generators::torus(3, 4),
+            generators::ring_of_cliques(3, 4),
+        ] {
+            // Uncompiled through the Scenario pipeline (flat engine).
+            let gg = g.clone();
+            let report = Scenario::on(g.clone())
+                .payload(move || FloodBroadcast::new(gg.clone(), 0, 777))
+                .adversary(
+                    role,
+                    RandomMobile::new(2, seed).with_mode(CorruptionMode::FlipLowBit),
+                    CorruptionBudget::Mobile { f: 2 },
+                )
+                .seed(seed)
+                .compiled_with(Uncompiled)
+                .run()
+                .unwrap();
+
+            // The same cell through the retained seed engine.
+            let mut ref_net = ReferenceNetwork::new(
+                g.clone(),
+                role,
+                Box::new(RandomMobile::new(2, seed).with_mode(CorruptionMode::FlipLowBit)),
+                CorruptionBudget::Mobile { f: 2 },
+                seed,
+            );
+            let ref_out =
+                run_on_reference_network(&mut FloodBroadcast::new(g.clone(), 0, 777), &mut ref_net);
+
+            // Byte-identical fingerprints across every report facet the
+            // engine touches.
+            let flat_fp = format!(
+                "{:?}|{:?}|{:?}|{:?}",
+                report.outputs,
+                report.metrics,
+                report.view.canonical(),
+                report.metrics.max_edge_congestion(),
+            );
+            let ref_fp = format!(
+                "{:?}|{:?}|{:?}|{:?}",
+                ref_out,
+                ref_net.metrics,
+                ref_net.view_log.canonical(),
+                ref_net.metrics.max_edge_congestion(),
+            );
+            assert_eq!(flat_fp, ref_fp, "engine divergence under {role:?}");
+            assert_eq!(report.network_rounds, ref_net.round());
+
+            // FaultFree ignores the network entirely; both engines must agree
+            // with it on a clean network.
+            let gg = g.clone();
+            let clean = Scenario::on(g.clone())
+                .payload(move || FloodBroadcast::new(gg.clone(), 0, 777))
+                .compiled_with(FaultFree)
+                .run()
+                .unwrap();
+            assert_eq!(
+                clean.outputs,
+                run_fault_free(&mut FloodBroadcast::new(g, 0, 777))
+            );
+            if role == AdversaryRole::Eavesdropper {
+                // Eavesdroppers never alter traffic, so even the uncompiled
+                // outputs match the fault-free reference.
+                assert_eq!(report.agrees_with_fault_free(), Some(true));
+            }
+        }
+    }
+}
