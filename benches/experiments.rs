@@ -612,7 +612,7 @@ fn e16a_round_engine_ab() {
 /// eavesdropping) × compilers, with seed repetitions, fanned across every
 /// core, aggregated (mean/min/max/p50/p99, including the typed
 /// `CompilerNotes` facets) and exported as a JSONL trajectory.
-fn e16_campaign() {
+fn e16_campaign() -> (String, f64) {
     use mobile_congest::scenario::matrix::{adversary_zoo, graph_zoo, CompilerSpec};
     header(
         "E16",
@@ -661,6 +661,71 @@ fn e16_campaign() {
         ),
         Err(e) => println!("could not write {}: {e}", path.display()),
     }
+    (report.fingerprint(), wall)
+}
+
+/// E16b — scenario-as-data overhead: the identical E16 grid, but described
+/// as a serializable `CampaignSpec` and resolved through the registries
+/// (`Campaign::from_spec`).  The report must be byte-identical to the
+/// hand-built run, and the spec path's wall-clock overhead is the tracked
+/// quantity (target: ≤1% delta — the def resolution is a few dozen
+/// allocations against a multi-second grid).
+fn e16b_spec_campaign(hand_fingerprint: &str, hand_secs: f64) {
+    use mobile_congest::harness::{CampaignSpec, GridSpec, PayloadDef};
+    use mobile_congest::scenario::matrix::{adversary_zoo_defs, graph_zoo_defs};
+    use mobile_congest::scenario::CompilerDef;
+
+    header("E16b", "spec-driven campaign vs hand-built (same grid)");
+    let spec = CampaignSpec {
+        seed: 2024,
+        repetitions: 4,
+        grid: GridSpec {
+            graphs: graph_zoo_defs(2024),
+            adversaries: adversary_zoo_defs(1),
+            compilers: vec![
+                CompilerDef::Uncompiled,
+                CompilerDef::Clique { f: 1, seed: 5 },
+                CompilerDef::TreePacking {
+                    f: 1,
+                    trees: None,
+                    seed: 5,
+                },
+                CompilerDef::CycleCover { f: 1 },
+                CompilerDef::StaticToMobile {
+                    t: 4,
+                    words: 2,
+                    seed: 5,
+                },
+            ],
+            payload: PayloadDef::FloodBroadcast {
+                source: 0,
+                value: 4242,
+            },
+        },
+    };
+    let t0 = Instant::now();
+    let report = Campaign::from_spec(&spec)
+        .expect("the E16 grid spec resolves")
+        .run();
+    let spec_secs = t0.elapsed().as_secs_f64();
+    assert_eq!(
+        report.fingerprint(),
+        hand_fingerprint,
+        "the spec-built campaign must be byte-identical to the hand-built one"
+    );
+    let delta_pct = (spec_secs - hand_secs) / hand_secs * 100.0;
+    println!(
+        "hand-built {:.2}s, spec-driven {:.2}s, delta {:+.2}% (target <= 1%); \
+         fingerprints byte-identical over {} cells",
+        hand_secs,
+        spec_secs,
+        delta_pct,
+        report.cells.len()
+    );
+    println!(
+        "BENCH {{\"bench\":\"e16b-spec-overhead\",\"hand_s\":{hand_secs:.4},\"spec_s\":{spec_secs:.4},\"delta_pct\":{delta_pct:.3},\"spec_fingerprint\":\"{}\"}}",
+        spec.fingerprint()
+    );
 }
 
 fn main() {
@@ -681,7 +746,8 @@ fn main() {
     e14_scheduler();
     e15_baselines();
     e16a_round_engine_ab();
-    e16_campaign();
+    let (e16_fingerprint, e16_secs) = e16_campaign();
+    e16b_spec_campaign(&e16_fingerprint, e16_secs);
     println!(
         "\ntotal experiment time: {:.1}s",
         t0.elapsed().as_secs_f64()

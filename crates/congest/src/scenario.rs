@@ -1015,7 +1015,6 @@ pub mod matrix {
     use super::{BoxedAlgorithm, Compiler, RunReport, Scenario, ScenarioError};
     use crate::adversary::{AdversaryRole, AdversaryStrategy, CorruptionBudget};
     use netgraph::Graph;
-    use rand::SeedableRng;
 
     /// A named graph in the sweep.
     pub struct GraphSpec {
@@ -1177,29 +1176,212 @@ pub mod matrix {
         }
     }
 
+    /// A serializable description of one adversary configuration: the
+    /// strategy family as *data* (kind + parameters), resolvable into a
+    /// runtime [`AdversarySpec`] via [`AdversaryDef::to_spec`].
+    ///
+    /// The [`adversary_zoo`] is defined in terms of these defs
+    /// ([`adversary_zoo_defs`]), so the data form and the hand-built zoo
+    /// cannot drift; the `harness` spec layer serializes them to JSON.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub enum AdversaryDef {
+        /// [`RandomMobile`](crate::adversary::RandomMobile): `f` uniformly
+        /// random edges per round, byzantine.
+        RandomMobile {
+            /// Per-round edge budget.
+            f: usize,
+        },
+        /// [`SweepMobile`](crate::adversary::SweepMobile): a deterministic
+        /// window sweeping the edge list.
+        SweepMobile {
+            /// Per-round edge budget.
+            f: usize,
+        },
+        /// [`GreedyHeaviest`](crate::adversary::GreedyHeaviest): the `f`
+        /// heaviest-loaded edges of the current round.
+        GreedyHeaviest {
+            /// Per-round edge budget.
+            f: usize,
+            /// How controlled messages are rewritten.
+            mode: crate::adversary::CorruptionMode,
+        },
+        /// [`AdaptiveHeaviest`](crate::adversary::AdaptiveHeaviest): targets
+        /// the previous round's observed loads.
+        AdaptiveHeaviest {
+            /// Per-round edge budget.
+            f: usize,
+        },
+        /// [`EclipseNode`](crate::adversary::EclipseNode): rotates over one
+        /// node's incident edges.
+        Eclipse {
+            /// The eclipsed node.
+            node: usize,
+            /// Per-round edge budget.
+            f: usize,
+            /// How controlled messages are rewritten.
+            mode: crate::adversary::CorruptionMode,
+        },
+        /// [`BurstAdversary`](crate::adversary::BurstAdversary) under a
+        /// whole-execution round-error-rate budget.
+        Burst {
+            /// Quiet rounds between bursts.
+            quiet: usize,
+            /// Burst length in rounds.
+            burst: usize,
+            /// Edges corrupted per burst round.
+            per_round: usize,
+            /// Whole-execution edge-round budget.
+            total: usize,
+        },
+        /// An eavesdropping [`RandomMobile`](crate::adversary::RandomMobile):
+        /// reads (never rewrites) `f` random edges per round.
+        Eavesdropper {
+            /// Per-round edge budget.
+            f: usize,
+        },
+    }
+
+    impl AdversaryDef {
+        /// The display name campaign grids use, matching the historical
+        /// hand-built zoo names (`random-mobile`, `greedy-heaviest`,
+        /// `eclipse(v=0)`, …).
+        pub fn display_name(&self) -> String {
+            match self {
+                AdversaryDef::RandomMobile { .. } => "random-mobile".into(),
+                AdversaryDef::SweepMobile { .. } => "sweep-mobile".into(),
+                AdversaryDef::GreedyHeaviest { .. } => "greedy-heaviest".into(),
+                AdversaryDef::AdaptiveHeaviest { .. } => "adaptive-heaviest".into(),
+                AdversaryDef::Eclipse { node, .. } => format!("eclipse(v={node})"),
+                AdversaryDef::Burst { .. } => "burst".into(),
+                AdversaryDef::Eavesdropper { .. } => "eavesdropper".into(),
+            }
+        }
+
+        /// The adversary's role (byzantine for everything except the
+        /// eavesdropper).
+        pub fn role(&self) -> AdversaryRole {
+            match self {
+                AdversaryDef::Eavesdropper { .. } => AdversaryRole::Eavesdropper,
+                _ => AdversaryRole::Byzantine,
+            }
+        }
+
+        /// The corruption budget the def implies.
+        pub fn budget(&self) -> CorruptionBudget {
+            match *self {
+                AdversaryDef::RandomMobile { f }
+                | AdversaryDef::SweepMobile { f }
+                | AdversaryDef::GreedyHeaviest { f, .. }
+                | AdversaryDef::AdaptiveHeaviest { f }
+                | AdversaryDef::Eclipse { f, .. }
+                | AdversaryDef::Eavesdropper { f } => CorruptionBudget::Mobile { f },
+                AdversaryDef::Burst { total, .. } => CorruptionBudget::RoundErrorRate { total },
+            }
+        }
+
+        /// Resolve the def into a runtime [`AdversarySpec`] (name, role,
+        /// budget and a seed-taking strategy factory).
+        pub fn to_spec(&self) -> AdversarySpec {
+            use crate::adversary::{
+                AdaptiveHeaviest, BurstAdversary, EclipseNode, GreedyHeaviest, RandomMobile,
+                SweepMobile,
+            };
+            let def = self.clone();
+            AdversarySpec::new(
+                self.display_name(),
+                self.role(),
+                self.budget(),
+                move |seed| match def {
+                    AdversaryDef::RandomMobile { f } => Box::new(RandomMobile::new(f, seed)),
+                    AdversaryDef::SweepMobile { f } => Box::new(SweepMobile::new(f)),
+                    AdversaryDef::GreedyHeaviest { f, mode } => {
+                        Box::new(GreedyHeaviest::new(f).with_mode(mode))
+                    }
+                    AdversaryDef::AdaptiveHeaviest { f } => Box::new(AdaptiveHeaviest::new(f)),
+                    AdversaryDef::Eclipse { node, f, mode } => {
+                        Box::new(EclipseNode::new(node, f).with_mode(mode))
+                    }
+                    AdversaryDef::Burst {
+                        quiet,
+                        burst,
+                        per_round,
+                        ..
+                    } => Box::new(BurstAdversary::new(quiet, burst, per_round, seed)),
+                    AdversaryDef::Eavesdropper { f } => Box::new(RandomMobile::new(f, seed)),
+                },
+            )
+        }
+    }
+
+    /// A named graph spec resolved from a serializable [`netgraph::GraphDef`]: the
+    /// display name is the def's canonical one, so spec-built and hand-built
+    /// grids agree.
+    impl GraphSpec {
+        /// Resolve a [`netgraph::GraphDef`] into a named spec.
+        pub fn from_def(def: &netgraph::GraphDef) -> Result<GraphSpec, netgraph::GraphDefError> {
+            Ok(GraphSpec::new(def.display_name(), def.build()?))
+        }
+    }
+
+    /// The standard topology zoo as *data*: the defs behind [`graph_zoo`].
+    /// `seed` drives the randomized generators, so two zoos with the same
+    /// seed are identical.
+    pub fn graph_zoo_defs(seed: u64) -> Vec<netgraph::GraphDef> {
+        use netgraph::GraphDef;
+        vec![
+            GraphDef::complete(12),
+            GraphDef::circulant(18, 4),
+            GraphDef::grid(4, 4),
+            GraphDef::torus(4, 5),
+            GraphDef::expander(24, 8, seed),
+            GraphDef::watts_strogatz(24, 6, 0.2, seed ^ 0x5A11),
+            GraphDef::ring_of_cliques(4, 5),
+            GraphDef::barbell(5, 2),
+        ]
+    }
+
     /// The standard topology zoo for campaign grids: the classic families the
     /// compilers target (clique, circulant, grid) plus the expanded set —
     /// 2-D torus, seeded random-regular expander, Watts–Strogatz small
     /// world, ring of cliques and barbell.  `seed` drives the randomized
     /// generators, so two zoos with the same seed are identical.
     ///
-    /// Sizes are chosen so a full zoo × [`adversary_zoo`] × compiler grid
-    /// stays fast enough for tests while still exercising every generator.
+    /// Delegates to [`graph_zoo_defs`] — the zoo *is* its data form — so
+    /// serialized campaign specs and hand-built grids cannot drift.  Sizes
+    /// are chosen so a full zoo × [`adversary_zoo`] × compiler grid stays
+    /// fast enough for tests while still exercising every generator.
     pub fn graph_zoo(seed: u64) -> Vec<GraphSpec> {
-        use netgraph::generators as gen;
-        let mut ws_rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed ^ 0x5A11);
+        graph_zoo_defs(seed)
+            .iter()
+            .map(|def| GraphSpec::from_def(def).expect("zoo defs are always valid"))
+            .collect()
+    }
+
+    /// The standard adversary zoo as *data*: the defs behind
+    /// [`adversary_zoo`].  `f` is the per-round edge budget.
+    pub fn adversary_zoo_defs(f: usize) -> Vec<AdversaryDef> {
+        use crate::adversary::CorruptionMode;
+        let f = f.max(1);
         vec![
-            GraphSpec::new("K12", gen::complete(12)),
-            GraphSpec::new("circ(18,4)", gen::circulant(18, 4)),
-            GraphSpec::new("grid4x4", gen::grid(4, 4)),
-            GraphSpec::new("torus4x5", gen::torus(4, 5)),
-            GraphSpec::new("expander(24,8)", gen::expander_d_regular(24, 8, seed)),
-            GraphSpec::new(
-                "small-world(24,6)",
-                gen::watts_strogatz(&mut ws_rng, 24, 6, 0.2),
-            ),
-            GraphSpec::new("ring-of-cliques(4,5)", gen::ring_of_cliques(4, 5)),
-            GraphSpec::new("barbell(5,2)", gen::barbell(5, 2)),
+            AdversaryDef::RandomMobile { f },
+            AdversaryDef::SweepMobile { f },
+            AdversaryDef::GreedyHeaviest {
+                f,
+                mode: CorruptionMode::FlipLowBit,
+            },
+            AdversaryDef::AdaptiveHeaviest { f },
+            AdversaryDef::Eclipse {
+                node: 0,
+                f,
+                mode: CorruptionMode::Drop,
+            },
+            AdversaryDef::Burst {
+                quiet: 6,
+                burst: 2,
+                per_round: 4 * f,
+                total: 12 * f,
+            },
+            AdversaryDef::Eavesdropper { f: f + 1 },
         ]
     }
 
@@ -1207,56 +1389,13 @@ pub mod matrix {
     /// (random / sweeping / greedy / adaptive / eclipse / bursty) under the
     /// budgets that make them meaningful, plus an eavesdropper so secrecy
     /// compilers run too.  `f` is the per-round edge budget.
+    ///
+    /// Delegates to [`adversary_zoo_defs`] — the zoo *is* its data form.
     pub fn adversary_zoo(f: usize) -> Vec<AdversarySpec> {
-        use crate::adversary::{
-            AdaptiveHeaviest, BurstAdversary, CorruptionMode, EclipseNode, GreedyHeaviest,
-            RandomMobile, SweepMobile,
-        };
-        let f = f.max(1);
-        vec![
-            AdversarySpec::new(
-                "random-mobile",
-                AdversaryRole::Byzantine,
-                CorruptionBudget::Mobile { f },
-                move |seed| Box::new(RandomMobile::new(f, seed)),
-            ),
-            AdversarySpec::new(
-                "sweep-mobile",
-                AdversaryRole::Byzantine,
-                CorruptionBudget::Mobile { f },
-                move |_| Box::new(SweepMobile::new(f)),
-            ),
-            AdversarySpec::new(
-                "greedy-heaviest",
-                AdversaryRole::Byzantine,
-                CorruptionBudget::Mobile { f },
-                move |_| Box::new(GreedyHeaviest::new(f).with_mode(CorruptionMode::FlipLowBit)),
-            ),
-            AdversarySpec::new(
-                "adaptive-heaviest",
-                AdversaryRole::Byzantine,
-                CorruptionBudget::Mobile { f },
-                move |_| Box::new(AdaptiveHeaviest::new(f)),
-            ),
-            AdversarySpec::new(
-                "eclipse(v=0)",
-                AdversaryRole::Byzantine,
-                CorruptionBudget::Mobile { f },
-                move |_| Box::new(EclipseNode::new(0, f).with_mode(CorruptionMode::Drop)),
-            ),
-            AdversarySpec::new(
-                "burst",
-                AdversaryRole::Byzantine,
-                CorruptionBudget::RoundErrorRate { total: 12 * f },
-                move |seed| Box::new(BurstAdversary::new(6, 2, 4 * f, seed)),
-            ),
-            AdversarySpec::new(
-                "eavesdropper",
-                AdversaryRole::Eavesdropper,
-                CorruptionBudget::Mobile { f: f + 1 },
-                move |seed| Box::new(RandomMobile::new(f + 1, seed)),
-            ),
-        ]
+        adversary_zoo_defs(f)
+            .iter()
+            .map(AdversaryDef::to_spec)
+            .collect()
     }
 
     /// Mix a stable per-cell seed out of the base seed and cell coordinates.

@@ -25,6 +25,7 @@ use crate::resilient::{
 };
 use crate::secure::{CongestionSensitiveCompiler, StaticToMobileCompiler};
 use congest_sim::network::Network;
+use congest_sim::scenario::matrix::CompilerSpec;
 use congest_sim::scenario::{
     validate_role, BoxedAlgorithm, Compiler, CompilerKind, CompilerNotes, ScenarioError,
 };
@@ -591,6 +592,161 @@ impl Compiler for CongestionSensitiveAdapter {
     }
 }
 
+/// A serializable description of one compiler configuration — the adapter
+/// registry as *data*.  Each variant names one adapter (or the built-in
+/// baseline/reference compilers) together with its parameters; resolve it
+/// with [`CompilerDef::build`] (one boxed instance) or
+/// [`CompilerDef::to_spec`] (a grid-ready factory).
+///
+/// | Def | Adapter | Kind |
+/// |---|---|---|
+/// | `Uncompiled` | [`congest_sim::scenario::Uncompiled`] | `Baseline` |
+/// | `FaultFree` | [`congest_sim::scenario::FaultFree`] | `Reference` |
+/// | `Clique` | [`CliqueAdapter`] | `Resilient` |
+/// | `TreePacking` | [`TreePackingAdapter`] | `Resilient` |
+/// | `CycleCover` | [`CycleCoverAdapter`] | `Resilient` |
+/// | `Expander` | [`ExpanderAdapter`] | `Resilient` |
+/// | `Rewind` | [`RewindAdapter`] | `RateResilient` |
+/// | `StaticToMobile` | [`StaticToMobileAdapter`] | `Secure` |
+/// | `CongestionSensitive` | [`CongestionSensitiveAdapter`] | `Secure` |
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CompilerDef {
+    /// The no-defence baseline.
+    Uncompiled,
+    /// The network-less reference run.
+    FaultFree,
+    /// Theorem 1.6 ([`CliqueAdapter`]).
+    Clique {
+        /// Mobile fault bound.
+        f: usize,
+        /// Compiler randomness seed.
+        seed: u64,
+    },
+    /// Theorem 3.5 ([`TreePackingAdapter`]).
+    TreePacking {
+        /// Mobile fault bound.
+        f: usize,
+        /// Packed tree count; `None` uses the majority-argument default.
+        trees: Option<usize>,
+        /// Compiler randomness seed.
+        seed: u64,
+    },
+    /// Theorems 1.4 / 5.5 ([`CycleCoverAdapter`]).
+    CycleCover {
+        /// Mobile fault bound.
+        f: usize,
+    },
+    /// Theorem 1.7 ([`ExpanderAdapter`]).
+    Expander {
+        /// Mobile fault bound.
+        f: usize,
+        /// Colour classes / candidate trees.
+        k: usize,
+        /// BFS propagation rounds.
+        bfs_rounds: usize,
+        /// Compiler randomness seed.
+        seed: u64,
+    },
+    /// Theorem 4.1 ([`RewindAdapter`]).
+    Rewind {
+        /// Average per-round corruption bound.
+        f: usize,
+        /// Compiler randomness seed.
+        seed: u64,
+    },
+    /// Theorem 1.2 ([`StaticToMobileAdapter`]).
+    StaticToMobile {
+        /// Slack parameter (more key rounds, more tolerated mobility).
+        t: usize,
+        /// Maximum payload width in words.
+        words: usize,
+        /// Node-randomness seed.
+        seed: u64,
+    },
+    /// Theorem 1.3 ([`CongestionSensitiveAdapter`]).
+    CongestionSensitive {
+        /// Mobile eavesdropping bound.
+        f: usize,
+        /// Maximum payload width in words.
+        words: usize,
+        /// Node-randomness seed.
+        seed: u64,
+    },
+}
+
+impl CompilerDef {
+    /// The stable lowercase label used by serialized specs (the registry
+    /// key, together with the per-variant parameters).
+    pub fn label(&self) -> &'static str {
+        match self {
+            CompilerDef::Uncompiled => "uncompiled",
+            CompilerDef::FaultFree => "fault-free",
+            CompilerDef::Clique { .. } => "clique",
+            CompilerDef::TreePacking { .. } => "tree-packing",
+            CompilerDef::CycleCover { .. } => "cycle-cover",
+            CompilerDef::Expander { .. } => "expander",
+            CompilerDef::Rewind { .. } => "rewind",
+            CompilerDef::StaticToMobile { .. } => "static-to-mobile",
+            CompilerDef::CongestionSensitive { .. } => "congestion-sensitive",
+        }
+    }
+
+    /// What the described compiler defends against.
+    pub fn kind(&self) -> CompilerKind {
+        match self {
+            CompilerDef::Uncompiled => CompilerKind::Baseline,
+            CompilerDef::FaultFree => CompilerKind::Reference,
+            CompilerDef::Clique { .. }
+            | CompilerDef::TreePacking { .. }
+            | CompilerDef::CycleCover { .. }
+            | CompilerDef::Expander { .. } => CompilerKind::Resilient,
+            CompilerDef::Rewind { .. } => CompilerKind::RateResilient,
+            CompilerDef::StaticToMobile { .. } | CompilerDef::CongestionSensitive { .. } => {
+                CompilerKind::Secure
+            }
+        }
+    }
+
+    /// Resolve the def into one boxed compiler instance.
+    pub fn build(&self) -> Box<dyn Compiler> {
+        use congest_sim::scenario::{FaultFree, Uncompiled};
+        match *self {
+            CompilerDef::Uncompiled => Box::new(Uncompiled),
+            CompilerDef::FaultFree => Box::new(FaultFree),
+            CompilerDef::Clique { f, seed } => Box::new(CliqueAdapter::new(f, seed)),
+            CompilerDef::TreePacking { f, trees, seed } => {
+                let adapter = TreePackingAdapter::new(f, seed);
+                Box::new(match trees {
+                    Some(k) => adapter.with_trees(k),
+                    None => adapter,
+                })
+            }
+            CompilerDef::CycleCover { f } => Box::new(CycleCoverAdapter::new(f)),
+            CompilerDef::Expander {
+                f,
+                k,
+                bfs_rounds,
+                seed,
+            } => Box::new(ExpanderAdapter::new(f, k, bfs_rounds, seed)),
+            CompilerDef::Rewind { f, seed } => Box::new(RewindAdapter::new(f, seed)),
+            CompilerDef::StaticToMobile { t, words, seed } => {
+                Box::new(StaticToMobileAdapter::new(t, words, seed))
+            }
+            CompilerDef::CongestionSensitive { f, words, seed } => {
+                Box::new(CongestionSensitiveAdapter::new(f, words, seed))
+            }
+        }
+    }
+
+    /// Resolve the def into a grid-ready [`CompilerSpec`] whose display name
+    /// matches the adapter's own (`clique(f=1)`, `tree-packing(f=1,k=41)`,
+    /// …), so spec-built and hand-built campaigns agree byte-for-byte.
+    pub fn to_spec(&self) -> CompilerSpec {
+        let def = self.clone();
+        CompilerSpec::new(self.build().name(), move || def.build())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -721,6 +877,80 @@ mod tests {
             .run()
             .unwrap();
         assert_ne!(report.network_rounds, default_report.network_rounds);
+    }
+
+    #[test]
+    fn compiler_defs_resolve_to_the_same_names_kinds_and_parameters() {
+        let defs: Vec<(CompilerDef, Box<dyn Compiler>)> = vec![
+            (
+                CompilerDef::Uncompiled,
+                Box::new(congest_sim::scenario::Uncompiled),
+            ),
+            (
+                CompilerDef::FaultFree,
+                Box::new(congest_sim::scenario::FaultFree),
+            ),
+            (
+                CompilerDef::Clique { f: 2, seed: 7 },
+                Box::new(CliqueAdapter::new(2, 7)),
+            ),
+            (
+                CompilerDef::TreePacking {
+                    f: 1,
+                    trees: None,
+                    seed: 5,
+                },
+                Box::new(TreePackingAdapter::new(1, 5)),
+            ),
+            (
+                CompilerDef::TreePacking {
+                    f: 1,
+                    trees: Some(9),
+                    seed: 5,
+                },
+                Box::new(TreePackingAdapter::new(1, 5).with_trees(9)),
+            ),
+            (
+                CompilerDef::CycleCover { f: 1 },
+                Box::new(CycleCoverAdapter::new(1)),
+            ),
+            (
+                CompilerDef::Expander {
+                    f: 1,
+                    k: 5,
+                    bfs_rounds: 6,
+                    seed: 13,
+                },
+                Box::new(ExpanderAdapter::new(1, 5, 6, 13)),
+            ),
+            (
+                CompilerDef::Rewind { f: 1, seed: 3 },
+                Box::new(RewindAdapter::new(1, 3)),
+            ),
+            (
+                CompilerDef::StaticToMobile {
+                    t: 4,
+                    words: 2,
+                    seed: 5,
+                },
+                Box::new(StaticToMobileAdapter::new(4, 2, 5)),
+            ),
+            (
+                CompilerDef::CongestionSensitive {
+                    f: 1,
+                    words: 2,
+                    seed: 17,
+                },
+                Box::new(CongestionSensitiveAdapter::new(1, 2, 17)),
+            ),
+        ];
+        for (def, adapter) in defs {
+            let built = def.build();
+            assert_eq!(built.name(), adapter.name(), "registry name drift");
+            assert_eq!(built.kind(), adapter.kind(), "registry kind drift");
+            assert_eq!(def.kind(), adapter.kind());
+            assert_eq!(def.to_spec().name, adapter.name());
+        }
     }
 
     #[test]

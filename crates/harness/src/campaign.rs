@@ -3,6 +3,8 @@
 //! campaign-level summaries with a JSONL export.
 
 use crate::engine;
+use crate::json::{json_num, json_str};
+use crate::spec::{CampaignSpec, SpecError};
 use crate::stats::StatSummary;
 use congest_sim::scenario::matrix::{run_cell, AdversarySpec, CompilerSpec, GraphSpec};
 use congest_sim::scenario::{BoxedAlgorithm, RunReport, ScenarioError};
@@ -43,6 +45,7 @@ pub struct Campaign {
     repetitions: usize,
     seed: u64,
     threads: usize,
+    shard: Option<(usize, usize)>,
 }
 
 impl Campaign {
@@ -56,7 +59,40 @@ impl Campaign {
             repetitions: 1,
             seed,
             threads: 0,
+            shard: None,
         }
+    }
+
+    /// Reconstruct a campaign from its serializable data form: every
+    /// [`GraphDef`](netgraph::GraphDef) is resolved through
+    /// `netgraph::generators`, every
+    /// [`AdversaryDef`](congest_sim::scenario::matrix::AdversaryDef) and
+    /// [`CompilerDef`](mobile_congest_core::adapters::CompilerDef) through
+    /// its registry, and the payload through
+    /// [`PayloadDef`](crate::spec::PayloadDef) — the same entry points the
+    /// hand-built zoos use, so the resulting report is **byte-identical** to
+    /// the equivalent hand-built campaign at any thread count.
+    pub fn from_spec(spec: &CampaignSpec) -> Result<Campaign, SpecError> {
+        spec.validate()?;
+        let graphs = spec
+            .grid
+            .graphs
+            .iter()
+            .map(GraphSpec::from_def)
+            .collect::<Result<Vec<_>, _>>()?;
+        // Front-load payload × graph validation too: a flood source beyond
+        // some grid graph's node count must be a typed error here, not a
+        // panic inside a worker thread.
+        for gspec in &graphs {
+            spec.grid.payload.validate(&gspec.name, &gspec.graph)?;
+        }
+        let payload = spec.grid.payload.clone();
+        Ok(Campaign::new(spec.seed)
+            .graphs(graphs)
+            .adversaries(spec.grid.adversaries.iter().map(|d| d.to_spec()).collect())
+            .compilers(spec.grid.compilers.iter().map(|d| d.to_spec()).collect())
+            .payload(move |g: &Graph| payload.build(g))
+            .repetitions(spec.repetitions))
     }
 
     /// The graph axis of the grid.
@@ -103,9 +139,38 @@ impl Campaign {
         self
     }
 
-    /// Total number of cells the campaign will run.
+    /// Restrict the campaign to shard `index` of `of`: cell `i` belongs to
+    /// shard `i % of`.  Cells keep their **global** index and therefore their
+    /// seed, so the union of all `of` shard runs (see
+    /// [`CampaignReport::merged`]) is byte-identical to the unsharded run —
+    /// the partition is safe for multi-machine fan-out.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `of` is zero or `index >= of`.
+    pub fn shard(mut self, index: usize, of: usize) -> Self {
+        assert!(of > 0, "shard count must be at least 1");
+        assert!(
+            index < of,
+            "shard index {index} out of range for {of} shards"
+        );
+        self.shard = Some((index, of));
+        self
+    }
+
+    /// Total number of cells in the full (unsharded) grid.
     pub fn cell_count(&self) -> usize {
         self.graphs.len() * self.adversaries.len() * self.compilers.len() * self.repetitions
+    }
+
+    /// The global cell indices this campaign will run: the full enumeration,
+    /// filtered down to the configured [`Campaign::shard`] if any.
+    pub fn cell_indices(&self) -> Vec<usize> {
+        let all = 0..self.cell_count();
+        match self.shard {
+            None => all.collect(),
+            Some((index, of)) => all.filter(|i| i % of == index).collect(),
+        }
     }
 
     /// Execute every cell of the campaign across the worker pool and collect
@@ -121,6 +186,18 @@ impl Campaign {
     ///
     /// Panics if no payload factory was configured.
     pub fn run(&self) -> CampaignReport {
+        self.run_cells(&self.cell_indices())
+    }
+
+    /// Execute exactly the given **global** cell indices (out-of-range ones
+    /// are ignored) — the entry point [`Campaign::run`], sharded runs and
+    /// cell-level resume share.  Each cell's seed depends only on its global
+    /// index, so any subset reproduces the same cells the full run would.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no payload factory was configured.
+    pub fn run_cells(&self, indices: &[usize]) -> CampaignReport {
         let payload = Arc::clone(
             self.payload
                 .as_ref()
@@ -128,14 +205,19 @@ impl Campaign {
         );
         let reps = self.repetitions;
         let (n_a, n_c) = (self.adversaries.len(), self.compilers.len());
-        let count = self.cell_count();
+        let indices: Vec<usize> = indices
+            .iter()
+            .copied()
+            .filter(|&i| i < self.cell_count())
+            .collect();
         let threads = if self.threads == 0 {
             engine::default_threads()
         } else {
             self.threads
         };
 
-        let cells = engine::run_indexed(threads, count, |index| {
+        let cells = engine::run_indexed(threads, indices.len(), |slot| {
+            let index = indices[slot];
             // Invert the enumeration order: repetition innermost.
             let rep = index % reps;
             let ci = (index / reps) % n_c;
@@ -241,6 +323,15 @@ pub struct CampaignReport {
 }
 
 impl CampaignReport {
+    /// Merge shard (or resume) reports back into one, re-establishing the
+    /// global enumeration order.  The union of all [`Campaign::shard`] runs
+    /// merged this way is byte-identical to the unsharded run.
+    pub fn merged(reports: impl IntoIterator<Item = CampaignReport>) -> CampaignReport {
+        let mut cells: Vec<CampaignCell> = reports.into_iter().flat_map(|r| r.cells).collect();
+        cells.sort_by_key(|c| c.index);
+        CampaignReport { cells }
+    }
+
     /// Cells that executed rather than being skipped by validation.
     pub fn executed(&self) -> impl Iterator<Item = &CampaignCell> {
         self.cells.iter().filter(|c| !c.skipped())
@@ -261,19 +352,23 @@ impl CampaignReport {
         })
     }
 
-    /// Aggregate the repetitions of every grid cell into mean/min/max/p50/p99
-    /// summaries, in enumeration order.
+    /// Aggregate the repetitions of every grid cell into summaries
+    /// (mean/stddev plus the order statistics), in enumeration order.
     pub fn summaries(&self) -> Vec<GroupSummary> {
-        // Group on the repetition boundary (repetitions are enumerated
-        // innermost, restarting at 0 for every grid cell), not on display
-        // names — two specs may render to the same name (e.g. two
-        // `clique(f=1)` adapters with different compiler seeds) and must
-        // still be summarised separately.
-        let mut groups: Vec<(String, String, String, Vec<&CampaignCell>)> = Vec::new();
+        // Group on the grid-cell key `index - repetition` (the global index
+        // of the cell's repetition 0), not on display names — two specs may
+        // render to the same name (e.g. two `clique(f=1)` adapters with
+        // different compiler seeds) and must still be summarised separately.
+        // The key also survives non-contiguous reports (shards, resumed
+        // subsets), where a bare repetition-boundary scan would glue
+        // repetitions onto the wrong grid cell.
+        let mut groups: Vec<(usize, String, String, String, Vec<&CampaignCell>)> = Vec::new();
         for cell in &self.cells {
+            let key = cell.index - cell.repetition;
             match groups.last_mut() {
-                Some((_, _, _, members)) if cell.repetition > 0 => members.push(cell),
+                Some((k, _, _, _, members)) if *k == key => members.push(cell),
                 _ => groups.push((
+                    key,
                     cell.graph.clone(),
                     cell.adversary.clone(),
                     cell.compiler.clone(),
@@ -281,6 +376,10 @@ impl CampaignReport {
                 )),
             }
         }
+        let groups: Vec<(String, String, String, Vec<&CampaignCell>)> = groups
+            .into_iter()
+            .map(|(_, g, a, c, members)| (g, a, c, members))
+            .collect();
         groups
             .into_iter()
             .map(|(graph, adversary, compiler, members)| {
@@ -372,8 +471,16 @@ impl CampaignReport {
     /// [`summaries`]: CampaignReport::summaries
     pub fn to_table_with(&self, summaries: &[GroupSummary]) -> String {
         let mut out = format!(
-            "{:<12} {:<22} {:<22} {:>5} {:>9} {:>9} {:>9} {:>8}\n",
-            "graph", "adversary", "compiler", "reps", "net p50", "net p99", "overhead", "agree"
+            "{:<12} {:<22} {:<22} {:>5} {:>9} {:>9} {:>8} {:>9} {:>8}\n",
+            "graph",
+            "adversary",
+            "compiler",
+            "reps",
+            "net p50",
+            "net p99",
+            "net sd",
+            "overhead",
+            "agree"
         );
         for s in summaries {
             if s.executed == 0 {
@@ -385,13 +492,14 @@ impl CampaignReport {
             }
             let net = s.stat("network_rounds");
             out.push_str(&format!(
-                "{:<12} {:<22} {:<22} {:>5} {:>9} {:>9} {:>9.1} {:>8}{}\n",
+                "{:<12} {:<22} {:<22} {:>5} {:>9} {:>9} {:>8.1} {:>9.1} {:>8}{}\n",
                 s.graph,
                 s.adversary,
                 s.compiler,
                 s.executed,
                 net.map(|v| v.p50).unwrap_or(0.0),
                 net.map(|v| v.p99).unwrap_or(0.0),
+                net.map(|v| v.stddev).unwrap_or(0.0),
                 s.stat("overhead").map(|v| v.mean).unwrap_or(0.0),
                 if s.disagreements == 0 { "yes" } else { "NO" },
                 // A group can agree on its executed repetitions and still
@@ -407,35 +515,10 @@ impl CampaignReport {
     }
 }
 
-/// Minimal JSON string escaping (quotes, backslashes, control characters).
-fn json_str(s: &str) -> String {
-    let mut out = String::with_capacity(s.len() + 2);
-    out.push('"');
-    for ch in s.chars() {
-        match ch {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\t' => out.push_str("\\t"),
-            '\r' => out.push_str("\\r"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out.push('"');
-    out
-}
-
-/// Format an f64 the way JSON expects (no NaN/inf ever reaches this point).
-fn json_num(v: f64) -> String {
-    if v == v.trunc() && v.abs() < 1e15 {
-        format!("{}", v as i64)
-    } else {
-        format!("{v}")
-    }
-}
-
-fn cell_json(cell: &CampaignCell) -> String {
+/// One `kind:"cell"` JSONL line (shared by [`CampaignReport::to_jsonl`] and
+/// the campaign CLI's resumable trajectory files — a cell's line depends
+/// only on the cell, never on which run produced it).
+pub fn cell_json(cell: &CampaignCell) -> String {
     let mut line = format!(
         "{{\"kind\":\"cell\",\"index\":{},\"graph\":{},\"adversary\":{},\"compiler\":{},\"repetition\":{},\"seed\":{},\"status\":{}",
         cell.index,
@@ -492,12 +575,15 @@ fn summary_json(s: &GroupSummary) -> String {
             line.push(',');
         }
         line.push_str(&format!(
-            "{}:{{\"mean\":{},\"min\":{},\"max\":{},\"p50\":{},\"p99\":{}}}",
+            "{}:{{\"mean\":{},\"stddev\":{},\"min\":{},\"max\":{},\"p10\":{},\"p50\":{},\"p90\":{},\"p99\":{}}}",
             json_str(name),
             json_num(stat.mean),
+            json_num(stat.stddev),
             json_num(stat.min),
             json_num(stat.max),
+            json_num(stat.p10),
             json_num(stat.p50),
+            json_num(stat.p90),
             json_num(stat.p99),
         ));
     }
@@ -517,14 +603,33 @@ mod tests {
     }
 
     #[test]
-    fn json_strings_are_escaped() {
-        assert_eq!(json_str("a\"b\\c\n"), "\"a\\\"b\\\\c\\n\"");
-    }
+    fn shard_indices_partition_the_cell_space() {
+        use congest_sim::scenario::matrix::{CompilerSpec, GraphSpec};
+        use congest_sim::scenario::Uncompiled;
+        use netgraph::generators;
 
-    #[test]
-    fn json_numbers_render_integers_without_fraction() {
-        assert_eq!(json_num(3.0), "3");
-        assert_eq!(json_num(3.5), "3.5");
+        let make = || {
+            Campaign::new(1)
+                .graphs(vec![
+                    GraphSpec::new("K4", generators::complete(4)),
+                    GraphSpec::new("K5", generators::complete(5)),
+                ])
+                .adversaries(vec![AdversarySpec::new(
+                    "none",
+                    congest_sim::adversary::AdversaryRole::Byzantine,
+                    congest_sim::adversary::CorruptionBudget::None,
+                    |_| Box::new(congest_sim::adversary::NoAdversary),
+                )])
+                .compilers(vec![CompilerSpec::of(Uncompiled)])
+                .repetitions(3)
+        };
+        let full = make().cell_indices();
+        assert_eq!(full, (0..6).collect::<Vec<_>>());
+        let mut union: Vec<usize> = (0..3)
+            .flat_map(|i| make().shard(i, 3).cell_indices())
+            .collect();
+        union.sort_unstable();
+        assert_eq!(union, full, "shards must partition the index space");
     }
 
     #[test]

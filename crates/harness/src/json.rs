@@ -1,0 +1,509 @@
+//! One audited, hand-rolled JSON implementation shared by the campaign JSONL
+//! export and the spec serializer (the workspace is offline — no serde).
+//!
+//! The write side is the pair of helpers that used to live inside
+//! `campaign.rs` ([`json_str`], [`json_num`]); the read side is a minimal
+//! recursive-descent parser into [`JsonValue`].  Numbers keep their **raw
+//! token text** (`JsonValue::Num` holds the string), so 64-bit seeds round
+//! trip exactly instead of being squeezed through an `f64`.
+
+/// A parsed JSON value.
+///
+/// Objects preserve key order (a `Vec` of pairs, not a map): the spec layer
+/// compares and re-serializes values, and order stability keeps those
+/// operations deterministic.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number, kept as its raw token text (parse on access via
+    /// [`JsonValue::as_f64`] / [`JsonValue::as_u64`]).
+    Num(String),
+    /// A string (unescaped).
+    Str(String),
+    /// An array.
+    Arr(Vec<JsonValue>),
+    /// An object, in key order.
+    Obj(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// A number value from a `u64` (exact — no float round trip).
+    pub fn from_u64(v: u64) -> JsonValue {
+        JsonValue::Num(v.to_string())
+    }
+
+    /// A number value from an `f64` (rendered via [`json_num`]).
+    pub fn from_f64(v: f64) -> JsonValue {
+        JsonValue::Num(json_num(v))
+    }
+
+    /// Object field lookup (first match; `None` on non-objects).
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The boolean payload, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            JsonValue::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The number as an `f64`, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::Num(raw) => raw.parse().ok(),
+            _ => None,
+        }
+    }
+
+    /// The number as an exact `u64`, if this is a non-negative integer
+    /// number token (seeds and counts; no float detour).
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            JsonValue::Num(raw) => raw.parse().ok(),
+            _ => None,
+        }
+    }
+
+    /// [`JsonValue::as_u64`] narrowed to `usize`.
+    pub fn as_usize(&self) -> Option<usize> {
+        self.as_u64().map(|v| v as usize)
+    }
+
+    /// The elements, if this is an array.
+    pub fn as_array(&self) -> Option<&[JsonValue]> {
+        match self {
+            JsonValue::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The fields in key order, if this is an object.
+    pub fn as_object(&self) -> Option<&[(String, JsonValue)]> {
+        match self {
+            JsonValue::Obj(fields) => Some(fields),
+            _ => None,
+        }
+    }
+}
+
+impl core::fmt::Display for JsonValue {
+    /// Compact canonical rendering: [`json_str`] escaping, raw number
+    /// tokens, no whitespace.  `parse(format(v)) == v` for every value this
+    /// module produces.
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            JsonValue::Null => f.write_str("null"),
+            JsonValue::Bool(true) => f.write_str("true"),
+            JsonValue::Bool(false) => f.write_str("false"),
+            JsonValue::Num(raw) => f.write_str(raw),
+            JsonValue::Str(s) => f.write_str(&json_str(s)),
+            JsonValue::Arr(items) => {
+                f.write_str("[")?;
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write!(f, "{item}")?;
+                }
+                f.write_str("]")
+            }
+            JsonValue::Obj(fields) => {
+                f.write_str("{")?;
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write!(f, "{}:{v}", json_str(k))?;
+                }
+                f.write_str("}")
+            }
+        }
+    }
+}
+
+/// Where and why parsing failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError {
+    /// Byte offset of the failure.
+    pub at: usize,
+    /// What went wrong.
+    pub reason: String,
+}
+
+impl core::fmt::Display for JsonError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "invalid JSON at byte {}: {}", self.at, self.reason)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+/// Parse one JSON document (trailing whitespace allowed, trailing data not).
+pub fn parse(input: &str) -> Result<JsonValue, JsonError> {
+    let mut p = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let value = p.value(0)?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing data after the document"));
+    }
+    Ok(value)
+}
+
+/// Nesting depth cap — specs are a few levels deep; this only guards against
+/// pathological inputs blowing the stack.
+const MAX_DEPTH: usize = 64;
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, reason: impl Into<String>) -> JsonError {
+        JsonError {
+            at: self.pos,
+            reason: reason.into(),
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, ch: u8) -> Result<(), JsonError> {
+        if self.peek() == Some(ch) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(format!("expected `{}`", ch as char)))
+        }
+    }
+
+    fn literal(&mut self, text: &str, value: JsonValue) -> Result<JsonValue, JsonError> {
+        if self.bytes[self.pos..].starts_with(text.as_bytes()) {
+            self.pos += text.len();
+            Ok(value)
+        } else {
+            Err(self.err(format!("expected `{text}`")))
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<JsonValue, JsonError> {
+        if depth > MAX_DEPTH {
+            return Err(self.err("nesting too deep"));
+        }
+        match self.peek() {
+            Some(b'n') => self.literal("null", JsonValue::Null),
+            Some(b't') => self.literal("true", JsonValue::Bool(true)),
+            Some(b'f') => self.literal("false", JsonValue::Bool(false)),
+            Some(b'"') => Ok(JsonValue::Str(self.string()?)),
+            Some(b'[') => self.array(depth),
+            Some(b'{') => self.object(depth),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            Some(c) => Err(self.err(format!("unexpected `{}`", c as char))),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn array(&mut self, depth: usize) -> Result<JsonValue, JsonError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(JsonValue::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value(depth + 1)?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Arr(items));
+                }
+                _ => return Err(self.err("expected `,` or `]`")),
+            }
+        }
+    }
+
+    fn object(&mut self, depth: usize) -> Result<JsonValue, JsonError> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(JsonValue::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value(depth + 1)?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Obj(fields));
+                }
+                _ => return Err(self.err("expected `,` or `}`")),
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, JsonError> {
+        if self.pos + 4 > self.bytes.len() {
+            return Err(self.err("truncated \\u escape"));
+        }
+        let token = &self.bytes[self.pos..self.pos + 4];
+        let text = core::str::from_utf8(token).map_err(|_| self.err("non-ASCII \\u escape"))?;
+        let code = u32::from_str_radix(text, 16).map_err(|_| self.err("bad \\u escape"))?;
+        self.pos += 4;
+        Ok(code)
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let start = self.pos;
+            // Copy unescaped runs wholesale (the common case).
+            while matches!(self.peek(), Some(c) if c != b'"' && c != b'\\' && c >= 0x20) {
+                self.pos += 1;
+            }
+            if self.pos > start {
+                let run = core::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|_| self.err("invalid UTF-8 in string"))?;
+                out.push_str(run);
+            }
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            self.pos += 1;
+                            let hi = self.hex4()?;
+                            let code = if (0xD800..0xDC00).contains(&hi) {
+                                // Surrogate pair: require the low half.
+                                if self.peek() == Some(b'\\') {
+                                    self.pos += 1;
+                                    self.expect(b'u')?;
+                                    let lo = self.hex4()?;
+                                    if !(0xDC00..0xE000).contains(&lo) {
+                                        return Err(self.err("unpaired surrogate"));
+                                    }
+                                    0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00)
+                                } else {
+                                    return Err(self.err("unpaired surrogate"));
+                                }
+                            } else if (0xDC00..0xE000).contains(&hi) {
+                                return Err(self.err("unpaired surrogate"));
+                            } else {
+                                hi
+                            };
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| self.err("invalid \\u code point"))?,
+                            );
+                            continue; // hex4 advanced past the escape already
+                        }
+                        _ => return Err(self.err("invalid escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => return Err(self.err("unescaped control character in string")),
+                None => return Err(self.err("unterminated string")),
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<JsonValue, JsonError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let digits_start = self.pos;
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        if self.pos == digits_start {
+            return Err(self.err("expected digits"));
+        }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            let frac_start = self.pos;
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+            if self.pos == frac_start {
+                return Err(self.err("expected fraction digits"));
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            let exp_start = self.pos;
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+            if self.pos == exp_start {
+                return Err(self.err("expected exponent digits"));
+            }
+        }
+        let raw = core::str::from_utf8(&self.bytes[start..self.pos])
+            .expect("number tokens are ASCII")
+            .to_string();
+        Ok(JsonValue::Num(raw))
+    }
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control characters).
+pub fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Format an f64 the way JSON expects (no NaN/inf ever reaches this point).
+pub fn json_num(v: f64) -> String {
+    if v == v.trunc() && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_strings_are_escaped() {
+        assert_eq!(json_str("a\"b\\c\n"), "\"a\\\"b\\\\c\\n\"");
+    }
+
+    #[test]
+    fn json_numbers_render_integers_without_fraction() {
+        assert_eq!(json_num(3.0), "3");
+        assert_eq!(json_num(3.5), "3.5");
+    }
+
+    #[test]
+    fn parses_scalars_and_containers() {
+        assert_eq!(parse("null").unwrap(), JsonValue::Null);
+        assert_eq!(parse(" true ").unwrap(), JsonValue::Bool(true));
+        assert_eq!(parse("-12.5e2").unwrap().as_f64(), Some(-1250.0));
+        assert_eq!(parse("\"hi\"").unwrap().as_str(), Some("hi"));
+        let v = parse(r#"{"a":[1,2,{"b":null}],"c":"x"}"#).unwrap();
+        assert_eq!(v.get("c").and_then(JsonValue::as_str), Some("x"));
+        assert_eq!(v.get("a").and_then(JsonValue::as_array).unwrap().len(), 3);
+    }
+
+    #[test]
+    fn u64_seeds_round_trip_exactly() {
+        let seed = u64::MAX - 1;
+        let v = JsonValue::from_u64(seed);
+        let back = parse(&v.to_string()).unwrap();
+        assert_eq!(back.as_u64(), Some(seed));
+    }
+
+    #[test]
+    fn escapes_and_unicode_round_trip() {
+        let original = "quote\" slash\\ tab\t newline\n nul\u{1} emoji😀 high\u{10FFFF}";
+        let rendered = json_str(original);
+        let back = parse(&rendered).unwrap();
+        assert_eq!(back.as_str(), Some(original));
+        // Explicit \u escapes, including a surrogate pair.
+        assert_eq!(
+            parse(r#""\u0041\ud83d\ude00""#).unwrap().as_str(),
+            Some("A😀")
+        );
+    }
+
+    #[test]
+    fn malformed_documents_are_typed_errors() {
+        for bad in [
+            "",
+            "tru",
+            "[1,",
+            "{\"a\"}",
+            "{\"a\":}",
+            "1 2",
+            "\"abc",
+            "01x",
+            "[1]]",
+            "\"\\ud800\"",
+            "-",
+            "1.",
+            "1e",
+        ] {
+            assert!(parse(bad).is_err(), "`{bad}` should not parse");
+        }
+    }
+
+    #[test]
+    fn display_is_compact_and_reparseable() {
+        let v = parse(r#" { "k" : [ 1 , 2.5 , "s" ] , "n" : null } "#).unwrap();
+        let compact = v.to_string();
+        assert_eq!(compact, r#"{"k":[1,2.5,"s"],"n":null}"#);
+        assert_eq!(parse(&compact).unwrap(), v);
+    }
+}

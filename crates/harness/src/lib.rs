@@ -50,6 +50,16 @@
 //! assert!(report.to_jsonl().lines().count() >= 3); // 2 cells + 1 summary
 //! ```
 //!
+//! Campaigns are also first-class **data**: a serializable [`CampaignSpec`]
+//! (the [`spec`] module) describes the whole grid as
+//! `GraphDef` × `AdversaryDef` × `CompilerDef` axes plus a [`PayloadDef`],
+//! with hand-rolled JSON encode/parse in [`json`].
+//! [`Campaign::from_spec`] resolves a spec through the same registries the
+//! hand-built zoos use, so the resulting report is byte-identical to the
+//! equivalent hand-built campaign; [`Campaign::shard`] partitions the cell
+//! index space for multi-machine runs, and the `campaign` CLI binary of the
+//! umbrella crate drives spec files with cell-level resume.
+//!
 //! [`RunReport`]: congest_sim::scenario::RunReport
 //! [`CompilerNotes`]: congest_sim::scenario::CompilerNotes
 
@@ -57,10 +67,13 @@
 
 pub mod campaign;
 pub mod engine;
+pub mod json;
+pub mod spec;
 pub mod stats;
 
 pub use campaign::{
     cell_seed, Campaign, CampaignCell, CampaignReport, GroupSummary, SharedPayload,
 };
 pub use engine::{default_threads, run_indexed};
+pub use spec::{CampaignSpec, GridSpec, PayloadDef, SpecError};
 pub use stats::StatSummary;

@@ -1,0 +1,871 @@
+//! Scenario-as-data: serializable campaign specs and the registries that
+//! resolve them into runtime grids.
+//!
+//! A [`CampaignSpec`] is the plain-data form of a [`Campaign`]: a seed, a
+//! repetition count and a grid of [`GraphDef`] × [`AdversaryDef`] ×
+//! [`CompilerDef`] axes plus one [`PayloadDef`].  Specs encode to and parse
+//! from JSON through the shared [`crate::json`] implementation (hand-rolled;
+//! the workspace is offline), so a campaign can be saved, diffed, sharded
+//! across machines and resumed.  Resolution goes through the registries the
+//! zoos themselves are built on — `netgraph::generators` for graphs, the
+//! `scenario::matrix` defs for adversaries, `mobile_congest_core::adapters`
+//! for compilers — so a spec-built campaign is byte-identical to the
+//! equivalent hand-built one.
+//!
+//! ```
+//! use mobile_congest_harness::{Campaign, CampaignSpec};
+//!
+//! let spec = CampaignSpec::from_json(
+//!     r#"{
+//!         "kind": "campaign-spec",
+//!         "seed": 7,
+//!         "repetitions": 2,
+//!         "grid": {
+//!             "graphs": [{"family": "complete", "n": 6}],
+//!             "adversaries": [{"kind": "random-mobile", "f": 1}],
+//!             "compilers": [{"id": "uncompiled"}],
+//!             "payload": {"kind": "exchange-ids"}
+//!         }
+//!     }"#,
+//! )
+//! .unwrap();
+//! assert_eq!(CampaignSpec::from_json(&spec.to_json()).unwrap(), spec);
+//!
+//! let report = Campaign::from_spec(&spec).unwrap().run();
+//! assert_eq!(report.cells.len(), 2);
+//! ```
+//!
+//! [`Campaign`]: crate::Campaign
+
+use crate::json::{self, JsonValue};
+use congest_sim::adversary::CorruptionMode;
+use congest_sim::scenario::matrix::AdversaryDef;
+use congest_sim::scenario::BoxedAlgorithm;
+use mobile_congest_core::adapters::CompilerDef;
+use netgraph::{Graph, GraphDef, GraphDefError, GraphFamily};
+
+/// Everything that can go wrong encoding, parsing or resolving a spec.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SpecError {
+    /// The document is not valid JSON.
+    Json(json::JsonError),
+    /// A required field is absent (or has the wrong type).
+    Missing {
+        /// Dotted path of the field (e.g. `grid.graphs[2].family`).
+        field: String,
+    },
+    /// A registry lookup failed: no graph family / adversary kind / compiler
+    /// id / payload kind under this label.
+    UnknownLabel {
+        /// Which registry was consulted.
+        registry: &'static str,
+        /// The label that failed to resolve.
+        label: String,
+    },
+    /// A graph def failed to resolve into a graph.
+    Graph(GraphDefError),
+    /// A structurally invalid spec (empty axis, zero repetitions, …).
+    Invalid {
+        /// Human-readable explanation.
+        reason: String,
+    },
+}
+
+impl core::fmt::Display for SpecError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            SpecError::Json(e) => write!(f, "{e}"),
+            SpecError::Missing { field } => write!(f, "spec field `{field}` missing or mistyped"),
+            SpecError::UnknownLabel { registry, label } => {
+                write!(f, "no {registry} registered under `{label}`")
+            }
+            SpecError::Graph(e) => write!(f, "{e}"),
+            SpecError::Invalid { reason } => write!(f, "invalid spec: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+impl From<json::JsonError> for SpecError {
+    fn from(e: json::JsonError) -> Self {
+        SpecError::Json(e)
+    }
+}
+
+impl From<GraphDefError> for SpecError {
+    fn from(e: GraphDefError) -> Self {
+        SpecError::Graph(e)
+    }
+}
+
+fn missing(field: impl Into<String>) -> SpecError {
+    SpecError::Missing {
+        field: field.into(),
+    }
+}
+
+/// A serializable description of the payload algorithm every cell runs —
+/// the payload registry as data.  Resolve per-graph with
+/// [`PayloadDef::build`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PayloadDef {
+    /// The 1-round id-exchange demo payload
+    /// ([`congest_sim::scenario::doctest_payload`]).
+    ExchangeIds,
+    /// [`congest_algorithms::FloodBroadcast`]: flood `value` from `source`.
+    FloodBroadcast {
+        /// Originating node.
+        source: usize,
+        /// The broadcast word.
+        value: u64,
+    },
+    /// [`congest_algorithms::LeaderElection`]: max-id flooding.
+    LeaderElection,
+    /// [`congest_algorithms::TokenDissemination`]: all-to-all gossip of one
+    /// token per node (node `v` starts with token `v`, matching the E8
+    /// usage), forwarding at most `batch` tokens per edge per round.  The
+    /// token set is derived per graph — the algorithm requires exactly
+    /// `node_count` tokens, so a fixed count could never span a multi-size
+    /// grid.
+    TokenDissemination {
+        /// Tokens forwarded per edge per round (clamped to at least 1).
+        batch: usize,
+    },
+}
+
+impl PayloadDef {
+    /// The stable lowercase label used by serialized specs.
+    pub fn label(&self) -> &'static str {
+        match self {
+            PayloadDef::ExchangeIds => "exchange-ids",
+            PayloadDef::FloodBroadcast { .. } => "flood-broadcast",
+            PayloadDef::LeaderElection => "leader-election",
+            PayloadDef::TokenDissemination { .. } => "token-dissemination",
+        }
+    }
+
+    /// Check the payload against one concrete grid graph — the front-loaded
+    /// half of the contract: [`Campaign::from_spec`](crate::Campaign::from_spec)
+    /// validates the payload against **every** graph of the grid, so a spec
+    /// that would panic inside a worker (a flood source beyond the smallest
+    /// graph's node count) is a typed [`SpecError`] before anything runs.
+    pub fn validate(&self, graph_name: &str, graph: &Graph) -> Result<(), SpecError> {
+        match *self {
+            PayloadDef::FloodBroadcast { source, .. } if source >= graph.node_count() => {
+                Err(SpecError::Invalid {
+                    reason: format!(
+                        "payload flood-broadcast source {source} is not a node of `{graph_name}` \
+                         ({} nodes)",
+                        graph.node_count()
+                    ),
+                })
+            }
+            _ => Ok(()),
+        }
+    }
+
+    /// Build a fresh payload instance for one cell's graph.
+    pub fn build(&self, graph: &Graph) -> BoxedAlgorithm {
+        use congest_algorithms::{FloodBroadcast, LeaderElection, TokenDissemination};
+        match *self {
+            PayloadDef::ExchangeIds => {
+                Box::new(congest_sim::scenario::doctest_payload(graph.clone()))
+            }
+            PayloadDef::FloodBroadcast { source, value } => {
+                Box::new(FloodBroadcast::new(graph.clone(), source, value))
+            }
+            PayloadDef::LeaderElection => Box::new(LeaderElection::new(graph.clone())),
+            PayloadDef::TokenDissemination { batch } => Box::new(TokenDissemination::new(
+                graph.clone(),
+                (0..graph.node_count() as u64).collect(),
+                batch,
+            )),
+        }
+    }
+}
+
+/// The grid axes of a campaign: what runs against what.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GridSpec {
+    /// The graph axis.
+    pub graphs: Vec<GraphDef>,
+    /// The adversary axis.
+    pub adversaries: Vec<AdversaryDef>,
+    /// The compiler axis.
+    pub compilers: Vec<CompilerDef>,
+    /// The payload every cell runs.
+    pub payload: PayloadDef,
+}
+
+/// The plain-data form of a whole campaign: everything `Campaign::from_spec`
+/// needs to reconstruct the grid, and nothing it doesn't (thread count is an
+/// execution knob, not part of the experiment's identity).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignSpec {
+    /// The campaign base seed (drives every per-cell seed).
+    pub seed: u64,
+    /// Seed repetitions per grid cell.
+    pub repetitions: usize,
+    /// The grid axes.
+    pub grid: GridSpec,
+}
+
+impl CampaignSpec {
+    /// Total number of cells the described campaign will run.
+    pub fn cell_count(&self) -> usize {
+        self.grid.graphs.len()
+            * self.grid.adversaries.len()
+            * self.grid.compilers.len()
+            * self.repetitions.max(1)
+    }
+
+    /// Encode the spec as multi-line JSON (one grid entry per line — stable,
+    /// diffable, and the canonical input to [`CampaignSpec::fingerprint`]).
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str("  \"kind\": \"campaign-spec\",\n");
+        out.push_str(&format!("  \"seed\": {},\n", self.seed));
+        out.push_str(&format!("  \"repetitions\": {},\n", self.repetitions));
+        out.push_str("  \"grid\": {\n");
+        out.push_str("    \"graphs\": [\n");
+        for (i, def) in self.grid.graphs.iter().enumerate() {
+            let sep = if i + 1 < self.grid.graphs.len() {
+                ","
+            } else {
+                ""
+            };
+            out.push_str(&format!("      {}{sep}\n", graph_to_json(def)));
+        }
+        out.push_str("    ],\n");
+        out.push_str("    \"adversaries\": [\n");
+        for (i, def) in self.grid.adversaries.iter().enumerate() {
+            let sep = if i + 1 < self.grid.adversaries.len() {
+                ","
+            } else {
+                ""
+            };
+            out.push_str(&format!("      {}{sep}\n", adversary_to_json(def)));
+        }
+        out.push_str("    ],\n");
+        out.push_str("    \"compilers\": [\n");
+        for (i, def) in self.grid.compilers.iter().enumerate() {
+            let sep = if i + 1 < self.grid.compilers.len() {
+                ","
+            } else {
+                ""
+            };
+            out.push_str(&format!("      {}{sep}\n", compiler_to_json(def)));
+        }
+        out.push_str("    ],\n");
+        out.push_str(&format!(
+            "    \"payload\": {}\n",
+            payload_to_json(&self.grid.payload)
+        ));
+        out.push_str("  }\n}\n");
+        out
+    }
+
+    /// Parse a spec from JSON (the inverse of [`CampaignSpec::to_json`];
+    /// whitespace and field order inside each def are free).
+    pub fn from_json(input: &str) -> Result<CampaignSpec, SpecError> {
+        let doc = json::parse(input)?;
+        if let Some(kind) = doc.get("kind").and_then(JsonValue::as_str) {
+            if kind != "campaign-spec" {
+                return Err(SpecError::Invalid {
+                    reason: format!("document kind is `{kind}`, expected `campaign-spec`"),
+                });
+            }
+        }
+        let seed = doc
+            .get("seed")
+            .and_then(JsonValue::as_u64)
+            .ok_or_else(|| missing("seed"))?;
+        let repetitions = doc
+            .get("repetitions")
+            .and_then(JsonValue::as_usize)
+            .ok_or_else(|| missing("repetitions"))?;
+        let grid = doc.get("grid").ok_or_else(|| missing("grid"))?;
+        let graphs = grid
+            .get("graphs")
+            .and_then(JsonValue::as_array)
+            .ok_or_else(|| missing("grid.graphs"))?
+            .iter()
+            .map(graph_from_json)
+            .collect::<Result<Vec<_>, _>>()?;
+        let adversaries = grid
+            .get("adversaries")
+            .and_then(JsonValue::as_array)
+            .ok_or_else(|| missing("grid.adversaries"))?
+            .iter()
+            .map(adversary_from_json)
+            .collect::<Result<Vec<_>, _>>()?;
+        let compilers = grid
+            .get("compilers")
+            .and_then(JsonValue::as_array)
+            .ok_or_else(|| missing("grid.compilers"))?
+            .iter()
+            .map(compiler_from_json)
+            .collect::<Result<Vec<_>, _>>()?;
+        let payload =
+            payload_from_json(grid.get("payload").ok_or_else(|| missing("grid.payload"))?)?;
+        let spec = CampaignSpec {
+            seed,
+            repetitions,
+            grid: GridSpec {
+                graphs,
+                adversaries,
+                compilers,
+                payload,
+            },
+        };
+        spec.validate()?;
+        Ok(spec)
+    }
+
+    /// Structural validation: every axis non-empty, at least one repetition.
+    pub fn validate(&self) -> Result<(), SpecError> {
+        for (axis, len) in [
+            ("graphs", self.grid.graphs.len()),
+            ("adversaries", self.grid.adversaries.len()),
+            ("compilers", self.grid.compilers.len()),
+        ] {
+            if len == 0 {
+                return Err(SpecError::Invalid {
+                    reason: format!("grid.{axis} is empty"),
+                });
+            }
+        }
+        if self.repetitions == 0 {
+            return Err(SpecError::Invalid {
+                reason: "repetitions must be at least 1".into(),
+            });
+        }
+        Ok(())
+    }
+
+    /// A stable 64-bit fingerprint of the spec (FNV-1a over the canonical
+    /// [`CampaignSpec::to_json`] form), rendered as 16 hex digits.  Two specs
+    /// fingerprint equal iff they describe the same campaign; trajectory
+    /// files are keyed by it so `--resume` never mixes campaigns.
+    pub fn fingerprint(&self) -> String {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in self.to_json().bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        format!("{h:016x}")
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Per-def JSON encoding: one object per def, compact, field order stable.
+// ---------------------------------------------------------------------------
+
+fn graph_to_json(def: &GraphDef) -> String {
+    let mut fields = vec![
+        (
+            "family".to_string(),
+            JsonValue::Str(def.family.label().into()),
+        ),
+        ("n".to_string(), JsonValue::from_u64(def.n as u64)),
+    ];
+    for (name, value) in &def.params {
+        fields.push((name.clone(), JsonValue::from_f64(*value)));
+    }
+    if def.seed != 0 {
+        fields.push(("seed".to_string(), JsonValue::from_u64(def.seed)));
+    }
+    JsonValue::Obj(fields).to_string()
+}
+
+fn graph_from_json(v: &JsonValue) -> Result<GraphDef, SpecError> {
+    let label = v
+        .get("family")
+        .and_then(JsonValue::as_str)
+        .ok_or_else(|| missing("graphs[].family"))?;
+    let family = GraphFamily::from_label(label).ok_or_else(|| SpecError::UnknownLabel {
+        registry: "graph family",
+        label: label.into(),
+    })?;
+    let n = v
+        .get("n")
+        .and_then(JsonValue::as_usize)
+        .ok_or_else(|| missing("graphs[].n"))?;
+    let mut def = GraphDef::new(family, n);
+    for (key, value) in v.as_object().into_iter().flatten() {
+        match key.as_str() {
+            "family" | "n" => {}
+            "seed" => {
+                def.seed = value.as_u64().ok_or_else(|| missing("graphs[].seed"))?;
+            }
+            param => {
+                let value = value
+                    .as_f64()
+                    .ok_or_else(|| missing(format!("graphs[].{param}")))?;
+                def.params.push((param.to_string(), value));
+            }
+        }
+    }
+    Ok(def)
+}
+
+fn mode_to_json(mode: CorruptionMode) -> JsonValue {
+    match mode {
+        CorruptionMode::ReplaceRandom => JsonValue::Str("replace-random".into()),
+        CorruptionMode::FlipLowBit => JsonValue::Str("flip-low-bit".into()),
+        CorruptionMode::Drop => JsonValue::Str("drop".into()),
+        CorruptionMode::Constant(w) => {
+            JsonValue::Obj(vec![("constant".to_string(), JsonValue::from_u64(w))])
+        }
+    }
+}
+
+fn mode_from_json(v: &JsonValue) -> Result<CorruptionMode, SpecError> {
+    if let Some(w) = v.get("constant").and_then(JsonValue::as_u64) {
+        return Ok(CorruptionMode::Constant(w));
+    }
+    match v.as_str() {
+        Some("replace-random") => Ok(CorruptionMode::ReplaceRandom),
+        Some("flip-low-bit") => Ok(CorruptionMode::FlipLowBit),
+        Some("drop") => Ok(CorruptionMode::Drop),
+        Some(other) => Err(SpecError::UnknownLabel {
+            registry: "corruption mode",
+            label: other.into(),
+        }),
+        None => Err(missing("adversaries[].mode")),
+    }
+}
+
+fn adversary_to_json(def: &AdversaryDef) -> String {
+    let mut fields = vec![(
+        "kind".to_string(),
+        JsonValue::Str(
+            match def {
+                AdversaryDef::RandomMobile { .. } => "random-mobile",
+                AdversaryDef::SweepMobile { .. } => "sweep-mobile",
+                AdversaryDef::GreedyHeaviest { .. } => "greedy-heaviest",
+                AdversaryDef::AdaptiveHeaviest { .. } => "adaptive-heaviest",
+                AdversaryDef::Eclipse { .. } => "eclipse",
+                AdversaryDef::Burst { .. } => "burst",
+                AdversaryDef::Eavesdropper { .. } => "eavesdropper",
+            }
+            .into(),
+        ),
+    )];
+    let mut num = |name: &str, v: u64| fields.push((name.to_string(), JsonValue::from_u64(v)));
+    match def {
+        AdversaryDef::RandomMobile { f }
+        | AdversaryDef::SweepMobile { f }
+        | AdversaryDef::AdaptiveHeaviest { f }
+        | AdversaryDef::Eavesdropper { f } => num("f", *f as u64),
+        AdversaryDef::GreedyHeaviest { f, mode } => {
+            num("f", *f as u64);
+            fields.push(("mode".to_string(), mode_to_json(*mode)));
+        }
+        AdversaryDef::Eclipse { node, f, mode } => {
+            num("node", *node as u64);
+            num("f", *f as u64);
+            fields.push(("mode".to_string(), mode_to_json(*mode)));
+        }
+        AdversaryDef::Burst {
+            quiet,
+            burst,
+            per_round,
+            total,
+        } => {
+            num("quiet", *quiet as u64);
+            num("burst", *burst as u64);
+            num("per_round", *per_round as u64);
+            num("total", *total as u64);
+        }
+    }
+    JsonValue::Obj(fields).to_string()
+}
+
+fn adversary_from_json(v: &JsonValue) -> Result<AdversaryDef, SpecError> {
+    let kind = v
+        .get("kind")
+        .and_then(JsonValue::as_str)
+        .ok_or_else(|| missing("adversaries[].kind"))?;
+    let req = |name: &str| {
+        v.get(name)
+            .and_then(JsonValue::as_usize)
+            .ok_or_else(|| missing(format!("adversaries[].{name}")))
+    };
+    let mode = |default: CorruptionMode| match v.get("mode") {
+        Some(m) => mode_from_json(m),
+        None => Ok(default),
+    };
+    match kind {
+        "random-mobile" => Ok(AdversaryDef::RandomMobile { f: req("f")? }),
+        "sweep-mobile" => Ok(AdversaryDef::SweepMobile { f: req("f")? }),
+        // When `mode` is omitted, default to what the identically-named zoo
+        // adversary uses (`adversary_zoo_defs`) — the display name in every
+        // report is the same either way, so a silent behavioural divergence
+        // from the hand-built zoo would be invisible.
+        "greedy-heaviest" => Ok(AdversaryDef::GreedyHeaviest {
+            f: req("f")?,
+            mode: mode(CorruptionMode::FlipLowBit)?,
+        }),
+        "adaptive-heaviest" => Ok(AdversaryDef::AdaptiveHeaviest { f: req("f")? }),
+        "eclipse" => Ok(AdversaryDef::Eclipse {
+            node: req("node")?,
+            f: req("f")?,
+            mode: mode(CorruptionMode::Drop)?,
+        }),
+        "burst" => Ok(AdversaryDef::Burst {
+            quiet: req("quiet")?,
+            burst: req("burst")?,
+            per_round: req("per_round")?,
+            total: req("total")?,
+        }),
+        "eavesdropper" => Ok(AdversaryDef::Eavesdropper { f: req("f")? }),
+        other => Err(SpecError::UnknownLabel {
+            registry: "adversary kind",
+            label: other.into(),
+        }),
+    }
+}
+
+fn compiler_to_json(def: &CompilerDef) -> String {
+    let mut fields = vec![("id".to_string(), JsonValue::Str(def.label().into()))];
+    let mut num = |name: &str, v: u64| fields.push((name.to_string(), JsonValue::from_u64(v)));
+    match *def {
+        CompilerDef::Uncompiled | CompilerDef::FaultFree => {}
+        CompilerDef::Clique { f, seed } | CompilerDef::Rewind { f, seed } => {
+            num("f", f as u64);
+            num("seed", seed);
+        }
+        CompilerDef::TreePacking { f, trees, seed } => {
+            num("f", f as u64);
+            if let Some(k) = trees {
+                num("trees", k as u64);
+            }
+            num("seed", seed);
+        }
+        CompilerDef::CycleCover { f } => num("f", f as u64),
+        CompilerDef::Expander {
+            f,
+            k,
+            bfs_rounds,
+            seed,
+        } => {
+            num("f", f as u64);
+            num("k", k as u64);
+            num("bfs_rounds", bfs_rounds as u64);
+            num("seed", seed);
+        }
+        CompilerDef::StaticToMobile { t, words, seed } => {
+            num("t", t as u64);
+            num("words", words as u64);
+            num("seed", seed);
+        }
+        CompilerDef::CongestionSensitive { f, words, seed } => {
+            num("f", f as u64);
+            num("words", words as u64);
+            num("seed", seed);
+        }
+    }
+    JsonValue::Obj(fields).to_string()
+}
+
+fn compiler_from_json(v: &JsonValue) -> Result<CompilerDef, SpecError> {
+    let id = v
+        .get("id")
+        .and_then(JsonValue::as_str)
+        .ok_or_else(|| missing("compilers[].id"))?;
+    let req = |name: &str| {
+        v.get(name)
+            .and_then(JsonValue::as_usize)
+            .ok_or_else(|| missing(format!("compilers[].{name}")))
+    };
+    let seed = || {
+        v.get("seed")
+            .and_then(JsonValue::as_u64)
+            .ok_or_else(|| missing("compilers[].seed"))
+    };
+    match id {
+        "uncompiled" => Ok(CompilerDef::Uncompiled),
+        "fault-free" => Ok(CompilerDef::FaultFree),
+        "clique" => Ok(CompilerDef::Clique {
+            f: req("f")?,
+            seed: seed()?,
+        }),
+        "tree-packing" => Ok(CompilerDef::TreePacking {
+            f: req("f")?,
+            trees: match v.get("trees") {
+                Some(t) => Some(t.as_usize().ok_or_else(|| missing("compilers[].trees"))?),
+                None => None,
+            },
+            seed: seed()?,
+        }),
+        "cycle-cover" => Ok(CompilerDef::CycleCover { f: req("f")? }),
+        "expander" => Ok(CompilerDef::Expander {
+            f: req("f")?,
+            k: req("k")?,
+            bfs_rounds: req("bfs_rounds")?,
+            seed: seed()?,
+        }),
+        "rewind" => Ok(CompilerDef::Rewind {
+            f: req("f")?,
+            seed: seed()?,
+        }),
+        "static-to-mobile" => Ok(CompilerDef::StaticToMobile {
+            t: req("t")?,
+            words: req("words")?,
+            seed: seed()?,
+        }),
+        "congestion-sensitive" => Ok(CompilerDef::CongestionSensitive {
+            f: req("f")?,
+            words: req("words")?,
+            seed: seed()?,
+        }),
+        other => Err(SpecError::UnknownLabel {
+            registry: "compiler id",
+            label: other.into(),
+        }),
+    }
+}
+
+fn payload_to_json(def: &PayloadDef) -> String {
+    let mut fields = vec![("kind".to_string(), JsonValue::Str(def.label().into()))];
+    match *def {
+        PayloadDef::ExchangeIds | PayloadDef::LeaderElection => {}
+        PayloadDef::FloodBroadcast { source, value } => {
+            fields.push(("source".to_string(), JsonValue::from_u64(source as u64)));
+            fields.push(("value".to_string(), JsonValue::from_u64(value)));
+        }
+        PayloadDef::TokenDissemination { batch } => {
+            fields.push(("batch".to_string(), JsonValue::from_u64(batch as u64)));
+        }
+    }
+    JsonValue::Obj(fields).to_string()
+}
+
+fn payload_from_json(v: &JsonValue) -> Result<PayloadDef, SpecError> {
+    let kind = v
+        .get("kind")
+        .and_then(JsonValue::as_str)
+        .ok_or_else(|| missing("grid.payload.kind"))?;
+    match kind {
+        "exchange-ids" => Ok(PayloadDef::ExchangeIds),
+        "flood-broadcast" => Ok(PayloadDef::FloodBroadcast {
+            source: v
+                .get("source")
+                .and_then(JsonValue::as_usize)
+                .ok_or_else(|| missing("grid.payload.source"))?,
+            value: v
+                .get("value")
+                .and_then(JsonValue::as_u64)
+                .ok_or_else(|| missing("grid.payload.value"))?,
+        }),
+        "leader-election" => Ok(PayloadDef::LeaderElection),
+        "token-dissemination" => Ok(PayloadDef::TokenDissemination {
+            batch: v
+                .get("batch")
+                .and_then(JsonValue::as_usize)
+                .ok_or_else(|| missing("grid.payload.batch"))?,
+        }),
+        other => Err(SpecError::UnknownLabel {
+            registry: "payload kind",
+            label: other.into(),
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_spec() -> CampaignSpec {
+        CampaignSpec {
+            seed: 2024,
+            repetitions: 2,
+            grid: GridSpec {
+                graphs: vec![
+                    GraphDef::complete(8),
+                    GraphDef::circulant(10, 2),
+                    GraphDef::watts_strogatz(20, 4, 0.25, 99),
+                ],
+                adversaries: vec![
+                    AdversaryDef::RandomMobile { f: 1 },
+                    AdversaryDef::GreedyHeaviest {
+                        f: 1,
+                        mode: CorruptionMode::Constant(424242),
+                    },
+                    AdversaryDef::Eclipse {
+                        node: 3,
+                        f: 2,
+                        mode: CorruptionMode::Drop,
+                    },
+                    AdversaryDef::Burst {
+                        quiet: 6,
+                        burst: 2,
+                        per_round: 4,
+                        total: 12,
+                    },
+                    AdversaryDef::Eavesdropper { f: 2 },
+                ],
+                compilers: vec![
+                    CompilerDef::Uncompiled,
+                    CompilerDef::Clique { f: 1, seed: 5 },
+                    CompilerDef::TreePacking {
+                        f: 1,
+                        trees: Some(9),
+                        seed: 5,
+                    },
+                    CompilerDef::Expander {
+                        f: 1,
+                        k: 5,
+                        bfs_rounds: 6,
+                        seed: 13,
+                    },
+                    CompilerDef::StaticToMobile {
+                        t: 4,
+                        words: 2,
+                        seed: 5,
+                    },
+                ],
+                payload: PayloadDef::FloodBroadcast {
+                    source: 0,
+                    value: 4242,
+                },
+            },
+        }
+    }
+
+    #[test]
+    fn spec_json_round_trips_exactly() {
+        let spec = sample_spec();
+        let parsed = CampaignSpec::from_json(&spec.to_json()).unwrap();
+        assert_eq!(parsed, spec);
+        // Idempotent: format(parse(format(spec))) == format(spec).
+        assert_eq!(parsed.to_json(), spec.to_json());
+    }
+
+    #[test]
+    fn fingerprint_is_stable_and_distinguishes_specs() {
+        let spec = sample_spec();
+        assert_eq!(spec.fingerprint(), spec.fingerprint());
+        assert_eq!(spec.fingerprint().len(), 16);
+        let mut other = spec.clone();
+        other.seed += 1;
+        assert_ne!(spec.fingerprint(), other.fingerprint());
+    }
+
+    #[test]
+    fn unknown_labels_are_typed_errors() {
+        let bad_family = r#"{"kind":"campaign-spec","seed":1,"repetitions":1,"grid":{
+            "graphs":[{"family":"moebius","n":8}],
+            "adversaries":[{"kind":"random-mobile","f":1}],
+            "compilers":[{"id":"uncompiled"}],
+            "payload":{"kind":"exchange-ids"}}}"#;
+        assert!(matches!(
+            CampaignSpec::from_json(bad_family),
+            Err(SpecError::UnknownLabel {
+                registry: "graph family",
+                ..
+            })
+        ));
+        let bad_compiler = bad_family
+            .replace("moebius", "complete")
+            .replace("uncompiled", "quantum");
+        assert!(matches!(
+            CampaignSpec::from_json(&bad_compiler),
+            Err(SpecError::UnknownLabel {
+                registry: "compiler id",
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn missing_fields_and_empty_axes_are_typed_errors() {
+        assert!(matches!(
+            CampaignSpec::from_json(r#"{"repetitions":1,"grid":{}}"#),
+            Err(SpecError::Missing { .. })
+        ));
+        let empty_axis = r#"{"kind":"campaign-spec","seed":1,"repetitions":1,"grid":{
+            "graphs":[],
+            "adversaries":[{"kind":"random-mobile","f":1}],
+            "compilers":[{"id":"uncompiled"}],
+            "payload":{"kind":"exchange-ids"}}}"#;
+        assert!(matches!(
+            CampaignSpec::from_json(empty_axis),
+            Err(SpecError::Invalid { .. })
+        ));
+        assert!(matches!(
+            CampaignSpec::from_json("not json"),
+            Err(SpecError::Json(_))
+        ));
+    }
+
+    #[test]
+    fn payload_defs_build_runnable_instances() {
+        let g = netgraph::generators::complete(5);
+        for def in [
+            PayloadDef::ExchangeIds,
+            PayloadDef::FloodBroadcast {
+                source: 0,
+                value: 7,
+            },
+            PayloadDef::LeaderElection,
+            PayloadDef::TokenDissemination { batch: 5 },
+        ] {
+            let payload = def.build(&g);
+            assert!(payload.rounds() > 0, "{} has rounds", def.label());
+        }
+    }
+
+    #[test]
+    fn payload_validation_catches_out_of_range_sources() {
+        let g = netgraph::generators::complete(8);
+        let def = PayloadDef::FloodBroadcast {
+            source: 50,
+            value: 1,
+        };
+        assert!(matches!(
+            def.validate("K8", &g),
+            Err(SpecError::Invalid { .. })
+        ));
+        assert!(PayloadDef::FloodBroadcast {
+            source: 7,
+            value: 1
+        }
+        .validate("K8", &g)
+        .is_ok());
+    }
+
+    #[test]
+    fn omitted_adversary_mode_defaults_to_the_zoo_mode() {
+        // `{"kind":"greedy-heaviest","f":1}` must mean the SAME adversary as
+        // the zoo's greedy-heaviest — the display names are identical, so a
+        // different default mode would diverge invisibly.
+        let spec = CampaignSpec::from_json(
+            r#"{"kind":"campaign-spec","seed":1,"repetitions":1,"grid":{
+                "graphs":[{"family":"complete","n":6}],
+                "adversaries":[{"kind":"greedy-heaviest","f":1},
+                               {"kind":"eclipse","node":0,"f":1}],
+                "compilers":[{"id":"uncompiled"}],
+                "payload":{"kind":"exchange-ids"}}}"#,
+        )
+        .unwrap();
+        assert_eq!(
+            spec.grid.adversaries[0],
+            AdversaryDef::GreedyHeaviest {
+                f: 1,
+                mode: CorruptionMode::FlipLowBit,
+            }
+        );
+        assert_eq!(
+            spec.grid.adversaries[1],
+            AdversaryDef::Eclipse {
+                node: 0,
+                f: 1,
+                mode: CorruptionMode::Drop,
+            }
+        );
+    }
+}

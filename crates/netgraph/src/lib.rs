@@ -32,6 +32,7 @@ pub mod spanning;
 pub mod traversal;
 pub mod tree_packing;
 
+pub use generators::{GraphDef, GraphDefError, GraphFamily};
 pub use graph::{ArcId, CsrEntry, CsrIndex, Edge, EdgeId, Graph, NodeId};
 pub use spanning::RootedTree;
 pub use tree_packing::TreePacking;

@@ -1,0 +1,279 @@
+//! The `campaign` CLI: run a declarative campaign spec end to end.
+//!
+//! ```text
+//! campaign --spec specs/e16-small.json [--out FILE] [--threads N]
+//!          [--shard I/OF] [--resume]
+//! ```
+//!
+//! Reads a JSON [`CampaignSpec`], resolves it through the graph / adversary /
+//! compiler registries (`Campaign::from_spec`), runs the grid on the
+//! deterministic parallel engine, prints the summary table and writes a
+//! trajectory JSONL file: one `kind:"campaign"` header line (keyed by the
+//! spec's stable fingerprint) followed by one `kind:"cell"` line per cell in
+//! global enumeration order.
+//!
+//! `--resume` makes the run **cell-level incremental**: cells whose lines are
+//! already present in the trajectory file are skipped, only missing cells
+//! execute, and the file is rewritten with the union in index order.  A
+//! trajectory written for a different spec (fingerprint mismatch) is refused
+//! rather than silently mixed.  `--shard I/OF` restricts the run to the
+//! cells with `index % OF == I`; shard outputs merge cleanly because every
+//! cell line depends only on the cell's global index.
+
+use mobile_congest::harness::campaign::cell_json;
+use mobile_congest::harness::json::{self, JsonValue};
+use mobile_congest::harness::{Campaign, CampaignSpec};
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+use std::time::Instant;
+
+const USAGE: &str =
+    "usage: campaign --spec FILE [--out FILE] [--threads N] [--shard I/OF] [--resume]
+
+  --spec FILE    campaign spec JSON (see specs/e16-small.json)
+  --out FILE     trajectory JSONL (default: target/<spec-stem>-trajectory.jsonl)
+  --threads N    worker threads (default: all cores; never changes results)
+  --shard I/OF   run only cells with index % OF == I (multi-machine fan-out)
+  --resume       skip cells already present in the trajectory file";
+
+struct Args {
+    spec: PathBuf,
+    out: Option<PathBuf>,
+    threads: usize,
+    shard: Option<(usize, usize)>,
+    resume: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        spec: PathBuf::new(),
+        out: None,
+        threads: 0,
+        shard: None,
+        resume: false,
+    };
+    let mut it = std::env::args().skip(1);
+    let need = |it: &mut dyn Iterator<Item = String>, flag: &str| {
+        it.next().ok_or_else(|| format!("{flag} needs a value"))
+    };
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--spec" => args.spec = PathBuf::from(need(&mut it, "--spec")?),
+            "--out" => args.out = Some(PathBuf::from(need(&mut it, "--out")?)),
+            "--threads" => {
+                args.threads = need(&mut it, "--threads")?
+                    .parse()
+                    .map_err(|_| "--threads needs a number".to_string())?;
+            }
+            "--shard" => {
+                let v = need(&mut it, "--shard")?;
+                let (i, of) = v
+                    .split_once('/')
+                    .ok_or_else(|| "--shard needs the form I/OF".to_string())?;
+                let (i, of) = (
+                    i.parse::<usize>()
+                        .map_err(|_| "--shard index must be a number".to_string())?,
+                    of.parse::<usize>()
+                        .map_err(|_| "--shard count must be a number".to_string())?,
+                );
+                if of == 0 || i >= of {
+                    return Err(format!("shard {i}/{of} is out of range"));
+                }
+                args.shard = Some((i, of));
+            }
+            "--resume" => args.resume = true,
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    if args.spec.as_os_str().is_empty() {
+        return Err("--spec is required".to_string());
+    }
+    Ok(args)
+}
+
+/// Default trajectory path: `target/<spec-stem>-trajectory.jsonl`.
+fn default_out(spec_path: &Path) -> PathBuf {
+    let stem = spec_path
+        .file_stem()
+        .map(|s| s.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "campaign".to_string());
+    Path::new("target").join(format!("{stem}-trajectory.jsonl"))
+}
+
+/// The `kind:"campaign"` header line keying a trajectory file to its spec.
+fn header_line(spec: &CampaignSpec) -> String {
+    format!(
+        "{{\"kind\":\"campaign\",\"fingerprint\":\"{}\",\"seed\":{},\"repetitions\":{},\"cells\":{}}}",
+        spec.fingerprint(),
+        spec.seed,
+        spec.repetitions,
+        spec.cell_count(),
+    )
+}
+
+/// Read an existing trajectory: verify the header belongs to `spec`, return
+/// the kept `(index, line)` pairs of well-formed cell lines.
+fn read_trajectory(path: &Path, spec: &CampaignSpec) -> Result<Vec<(usize, String)>, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read trajectory {}: {e}", path.display()))?;
+    let mut lines = text.lines();
+    let header = lines
+        .next()
+        .ok_or_else(|| format!("trajectory {} is empty", path.display()))?;
+    let header = json::parse(header)
+        .map_err(|e| format!("trajectory {} has a malformed header: {e}", path.display()))?;
+    if header.get("kind").and_then(JsonValue::as_str) != Some("campaign") {
+        return Err(format!(
+            "trajectory {} does not start with a campaign header",
+            path.display()
+        ));
+    }
+    let found = header
+        .get("fingerprint")
+        .and_then(JsonValue::as_str)
+        .unwrap_or("");
+    let expected = spec.fingerprint();
+    if found != expected {
+        return Err(format!(
+            "trajectory {} belongs to a different campaign (fingerprint {found}, spec is {expected}); \
+             delete it or pick another --out",
+            path.display()
+        ));
+    }
+    let mut cells = Vec::new();
+    for line in lines {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let Ok(value) = json::parse(line) else {
+            continue; // a torn partial write — the cell will simply re-run
+        };
+        if value.get("kind").and_then(JsonValue::as_str) != Some("cell") {
+            continue;
+        }
+        if let Some(index) = value.get("index").and_then(JsonValue::as_usize) {
+            cells.push((index, line.to_string()));
+        }
+    }
+    Ok(cells)
+}
+
+fn run() -> Result<(), String> {
+    let args = parse_args()?;
+    let spec_text = std::fs::read_to_string(&args.spec)
+        .map_err(|e| format!("cannot read spec {}: {e}", args.spec.display()))?;
+    let spec = CampaignSpec::from_json(&spec_text)
+        .map_err(|e| format!("spec {}: {e}", args.spec.display()))?;
+    let out = args.out.clone().unwrap_or_else(|| default_out(&args.spec));
+
+    let mut campaign = Campaign::from_spec(&spec)
+        .map_err(|e| format!("spec {}: {e}", args.spec.display()))?
+        .threads(args.threads);
+    if let Some((i, of)) = args.shard {
+        campaign = campaign.shard(i, of);
+    }
+    let wanted = campaign.cell_indices();
+
+    // Cell-level resume: keep the lines already on disk, run only the rest.
+    let kept: Vec<(usize, String)> = if args.resume && out.exists() {
+        read_trajectory(&out, &spec)?
+    } else {
+        Vec::new()
+    };
+    let present: std::collections::HashSet<usize> = kept.iter().map(|(i, _)| *i).collect();
+    let missing: Vec<usize> = wanted
+        .iter()
+        .copied()
+        .filter(|i| !present.contains(i))
+        .collect();
+
+    println!(
+        "campaign {} (fingerprint {}): {} cells{}{}",
+        args.spec.display(),
+        spec.fingerprint(),
+        spec.cell_count(),
+        match args.shard {
+            Some((i, of)) => format!(", shard {i}/{of} -> {} cells", wanted.len()),
+            None => String::new(),
+        },
+        if args.resume {
+            format!(
+                ", resume: {} cells to run ({} already present)",
+                missing.len(),
+                present.len()
+            )
+        } else {
+            String::new()
+        },
+    );
+
+    if missing.is_empty() {
+        println!(
+            "nothing to do: trajectory {} already covers every cell",
+            out.display()
+        );
+        return Ok(());
+    }
+
+    let t0 = Instant::now();
+    let report = campaign.run_cells(&missing);
+    let wall = t0.elapsed().as_secs_f64();
+    let summaries = report.summaries();
+    print!("{}", report.to_table_with(&summaries));
+    println!(
+        "{} cells executed ({} skipped by validation) in {wall:.2}s; protected cells agree: {}",
+        report.cells.len(),
+        report.skipped_count(),
+        report.all_protected_cells_agree(),
+    );
+
+    // Rewrite the trajectory: header + the union of kept and fresh cell
+    // lines, in global index order (cell lines are pure functions of their
+    // cell, so a resumed file is byte-identical to a from-scratch one).
+    let mut lines: Vec<(usize, String)> = kept;
+    lines.extend(report.cells.iter().map(|c| (c.index, cell_json(c))));
+    lines.sort_by_key(|(i, _)| *i);
+    let mut text = header_line(&spec);
+    text.push('\n');
+    for (_, line) in &lines {
+        text.push_str(line);
+        text.push('\n');
+    }
+    if let Some(parent) = out.parent() {
+        let _ = std::fs::create_dir_all(parent);
+    }
+    // Crash-safe rewrite: never truncate the file --resume depends on.  A
+    // kill mid-write leaves either the old trajectory or the new one, so the
+    // completed cells survive and the worst case is re-running this batch.
+    let tmp = out.with_extension("jsonl.tmp");
+    std::fs::write(&tmp, &text)
+        .map_err(|e| format!("cannot write trajectory {}: {e}", tmp.display()))?;
+    std::fs::rename(&tmp, &out).map_err(|e| {
+        format!(
+            "cannot move trajectory into place at {}: {e}",
+            out.display()
+        )
+    })?;
+    println!(
+        "wrote {} trajectory lines ({} cells) to {}",
+        lines.len() + 1,
+        lines.len(),
+        out.display()
+    );
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("error: {message}");
+            eprintln!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -44,8 +44,13 @@
 //! * [`harness`] — the deterministic parallel campaign engine: grids of
 //!   graph × adversary × compiler × seed-repetition cells fanned across
 //!   worker threads with byte-identical results at any thread count, typed
-//!   [`scenario::CompilerNotes`] aggregation (mean/min/max/p50/p99) and a
-//!   JSONL export.
+//!   [`scenario::CompilerNotes`] aggregation (mean/stddev and the
+//!   min/p10/p50/p90/p99/max order statistics), a JSONL export — and the
+//!   **scenario-as-data** layer: serializable
+//!   [`CampaignSpec`](harness::CampaignSpec)s resolved through the
+//!   graph/adversary/compiler registries (`Campaign::from_spec`), sharding,
+//!   and the `campaign` CLI binary (`cargo run --bin campaign`) with
+//!   cell-level resume.
 //!
 //! See `README.md` for a guided tour; `benches/experiments.rs` is the
 //! experiment index (E1–E16, one table per theorem).
@@ -79,7 +84,7 @@ pub mod scenario {
         ScenarioBuilder, ScenarioError, Uncompiled,
     };
     pub use mobile_congest_core::adapters::{
-        CliqueAdapter, CongestionSensitiveAdapter, CycleCoverAdapter, ExpanderAdapter,
+        CliqueAdapter, CompilerDef, CongestionSensitiveAdapter, CycleCoverAdapter, ExpanderAdapter,
         RewindAdapter, StaticToMobileAdapter, TreePackingAdapter,
     };
 }

@@ -188,6 +188,15 @@ fn full_grid_campaign_with_repetitions_through_the_parallel_engine() {
     assert!(jsonl.contains("\"notes\":{\"type\":\"resilient\",\"fully_corrected\":1"));
     assert!(jsonl.contains("\"kind\":\"summary\""));
     assert!(jsonl.contains("\"status\":\"skipped\""));
+    // Dispersion made it into both exports: the summary JSONL carries
+    // stddev/p10/p90 and the table has the `net sd` column.
+    assert!(jsonl.contains("\"stddev\":"));
+    assert!(jsonl.contains("\"p10\":"));
+    assert!(jsonl.contains("\"p90\":"));
+    assert!(report.to_table_with(&summaries).contains("net sd"));
+    let net = clique.stat("network_rounds").unwrap();
+    assert!(net.stddev >= 0.0);
+    assert!(net.p10 <= net.p50 && net.p50 <= net.p90 && net.p90 <= net.p99);
 }
 
 /// The expanded topology × adversary zoo runs through the full campaign grid

@@ -1,0 +1,174 @@
+//! Scenario-as-data acceptance tests: the checked-in spec round-trips
+//! through the hand-rolled JSON layer, a spec-built campaign is
+//! byte-identical to the equivalent hand-built one at any thread count, and
+//! the union of all shards equals the unsharded run.
+
+use mobile_congest::graphs::generators;
+use mobile_congest::harness::{Campaign, CampaignReport, CampaignSpec};
+use mobile_congest::payloads::FloodBroadcast;
+use mobile_congest::scenario::matrix::{AdversarySpec, CompilerSpec, GraphSpec};
+use mobile_congest::scenario::{BoxedAlgorithm, CliqueAdapter, StaticToMobileAdapter, Uncompiled};
+use mobile_congest::sim::adversary::{
+    AdversaryRole, CorruptionBudget, CorruptionMode, GreedyHeaviest, RandomMobile,
+};
+
+fn checked_in_spec_text() -> String {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/specs/e16-small.json");
+    std::fs::read_to_string(path).expect("specs/e16-small.json is checked in")
+}
+
+/// The hand-built twin of `specs/e16-small.json`: the same grid constructed
+/// through the pre-spec API (direct generators, adapter values, zoo-style
+/// adversary closures).
+fn hand_built() -> Campaign {
+    Campaign::new(2024)
+        .graphs(vec![
+            GraphSpec::new("K8", generators::complete(8)),
+            GraphSpec::new("circ(10,2)", generators::circulant(10, 2)),
+            GraphSpec::new("torus3x4", generators::torus(3, 4)),
+        ])
+        .adversaries(vec![
+            AdversarySpec::new(
+                "random-mobile",
+                AdversaryRole::Byzantine,
+                CorruptionBudget::Mobile { f: 1 },
+                |seed| Box::new(RandomMobile::new(1, seed)),
+            ),
+            AdversarySpec::new(
+                "greedy-heaviest",
+                AdversaryRole::Byzantine,
+                CorruptionBudget::Mobile { f: 1 },
+                |_| Box::new(GreedyHeaviest::new(1).with_mode(CorruptionMode::FlipLowBit)),
+            ),
+            AdversarySpec::new(
+                "eavesdropper",
+                AdversaryRole::Eavesdropper,
+                CorruptionBudget::Mobile { f: 2 },
+                |seed| Box::new(RandomMobile::new(2, seed)),
+            ),
+        ])
+        .compilers(vec![
+            CompilerSpec::of(Uncompiled),
+            CompilerSpec::of(CliqueAdapter::new(1, 5)),
+            CompilerSpec::of(StaticToMobileAdapter::new(4, 2, 5)),
+        ])
+        .payload(|g| Box::new(FloodBroadcast::new(g.clone(), 0, 4242)) as BoxedAlgorithm)
+        .repetitions(2)
+}
+
+#[test]
+fn checked_in_spec_is_golden() {
+    let text = checked_in_spec_text();
+    let spec = CampaignSpec::from_json(&text).expect("checked-in spec parses");
+    // parse(format(spec)) == spec …
+    assert_eq!(CampaignSpec::from_json(&spec.to_json()).unwrap(), spec);
+    // … and the checked-in file IS the canonical format, byte for byte, so
+    // the fingerprint of the file and of the parsed spec can never drift.
+    assert_eq!(
+        spec.to_json(),
+        text,
+        "specs/e16-small.json must stay in canonical to_json form"
+    );
+    assert_eq!(spec.cell_count(), 3 * 3 * 3 * 2);
+}
+
+#[test]
+fn spec_built_campaign_matches_hand_built_at_any_thread_count() {
+    let spec = CampaignSpec::from_json(&checked_in_spec_text()).unwrap();
+    let reference = hand_built().threads(1).run();
+
+    for threads in [1, 8] {
+        let from_spec = Campaign::from_spec(&spec)
+            .expect("checked-in spec resolves")
+            .threads(threads)
+            .run();
+        assert_eq!(
+            from_spec.fingerprint(),
+            reference.fingerprint(),
+            "spec path diverged from the hand-built campaign at {threads} threads"
+        );
+        assert_eq!(from_spec.to_jsonl(), reference.to_jsonl());
+    }
+
+    // The grid actually exercises all three outcomes.
+    assert!(reference.skipped_count() > 0, "expected typed skips");
+    assert!(reference.executed().count() > 0);
+    assert!(reference.all_protected_cells_agree());
+}
+
+#[test]
+fn shard_union_equals_the_unsharded_run() {
+    let spec = CampaignSpec::from_json(&checked_in_spec_text()).unwrap();
+    let full = Campaign::from_spec(&spec).unwrap().threads(2).run();
+
+    const SHARDS: usize = 3;
+    let shard_reports: Vec<CampaignReport> = (0..SHARDS)
+        .map(|i| {
+            Campaign::from_spec(&spec)
+                .unwrap()
+                .threads(2)
+                .shard(i, SHARDS)
+                .run()
+        })
+        .collect();
+    // Shards are disjoint and collectively exhaustive …
+    let per_shard: Vec<usize> = shard_reports.iter().map(|r| r.cells.len()).collect();
+    assert_eq!(per_shard.iter().sum::<usize>(), full.cells.len());
+    assert!(per_shard.iter().all(|&n| n > 0), "every shard runs cells");
+    // Summaries of a non-contiguous subset must group by grid cell, never
+    // glue a repetition onto the preceding (different) cell's group.
+    for report in &shard_reports {
+        let summaries = report.summaries();
+        let mut keys: Vec<usize> = report
+            .cells
+            .iter()
+            .map(|c| c.index - c.repetition)
+            .collect();
+        keys.dedup();
+        assert_eq!(summaries.len(), keys.len(), "one summary per grid cell");
+        let (mut si, mut current) = (0usize, None);
+        for cell in &report.cells {
+            let key = cell.index - cell.repetition;
+            if current != Some(key) {
+                if current.is_some() {
+                    si += 1;
+                }
+                current = Some(key);
+            }
+            let s = &summaries[si];
+            assert_eq!(
+                (s.graph.as_str(), s.adversary.as_str(), s.compiler.as_str()),
+                (
+                    cell.graph.as_str(),
+                    cell.adversary.as_str(),
+                    cell.compiler.as_str()
+                ),
+                "summary group mixed cells from different grid coordinates"
+            );
+        }
+    }
+
+    // … and merging them reproduces the unsharded run byte for byte.
+    let merged = CampaignReport::merged(shard_reports);
+    assert_eq!(merged.fingerprint(), full.fingerprint());
+    assert_eq!(merged.to_jsonl(), full.to_jsonl());
+}
+
+#[test]
+fn run_cells_reproduces_exactly_the_requested_subset() {
+    let spec = CampaignSpec::from_json(&checked_in_spec_text()).unwrap();
+    let campaign = Campaign::from_spec(&spec).unwrap().threads(2);
+    let full = campaign.run();
+
+    // An arbitrary subset (every fourth cell): same cells, same bytes.
+    let subset: Vec<usize> = (0..spec.cell_count()).step_by(4).collect();
+    let partial = campaign.run_cells(&subset);
+    assert_eq!(partial.cells.len(), subset.len());
+    for cell in &partial.cells {
+        let twin = &full.cells[cell.index];
+        assert_eq!(format!("{cell:?}"), format!("{twin:?}"));
+    }
+    // Out-of-range indices are ignored, not run.
+    let clipped = campaign.run_cells(&[0, spec.cell_count() + 100]);
+    assert_eq!(clipped.cells.len(), 1);
+}
