@@ -624,6 +624,12 @@ fn e16_campaign() -> (String, f64) {
         .compilers(vec![
             CompilerSpec::of(Uncompiled),
             CompilerSpec::of(CliqueAdapter::new(1, 5)),
+            // Both packings on identical cells: v1 keeps the known frontier
+            // pinned, v2 must close it.
+            CompilerSpec::of(
+                TreePackingAdapter::new(1, 5)
+                    .with_packing(mobile_congest::graphs::PackingVersion::V1Greedy),
+            ),
             CompilerSpec::of(TreePackingAdapter::new(1, 5)),
             CompilerSpec::of(CycleCoverAdapter::new(1)),
             CompilerSpec::of(StaticToMobileAdapter::new(4, 2, 5)),
@@ -642,8 +648,8 @@ fn e16_campaign() -> (String, f64) {
         .count();
     println!(
         "{} cells ({} skipped) on {} workers in {wall:.2}s; diverging protected cells: {} \
-         (the tree-packing compiler on the sparse small-world topology under targeted attacks \
-         — the known frontier pinned by tests/harness_campaign.rs)",
+         (tree-packing v1 on the sparse small-world topology under targeted attacks — the \
+         baseline frontier pinned by tests/harness_campaign.rs; v2 corrects every cell)",
         report.cells.len(),
         report.skipped_count(),
         mobile_congest::harness::default_threads(),
@@ -689,6 +695,13 @@ fn e16b_spec_campaign(hand_fingerprint: &str, hand_secs: f64) {
                     f: 1,
                     trees: None,
                     seed: 5,
+                    packing: mobile_congest::graphs::PackingVersion::V1Greedy,
+                },
+                CompilerDef::TreePacking {
+                    f: 1,
+                    trees: None,
+                    seed: 5,
+                    packing: mobile_congest::graphs::PackingVersion::V2Augmented,
                 },
                 CompilerDef::CycleCover { f: 1 },
                 CompilerDef::StaticToMobile {
@@ -728,6 +741,118 @@ fn e16b_spec_campaign(hand_fingerprint: &str, hand_secs: f64) {
     );
 }
 
+/// E16c — tree-packing v1 vs v2: construction cost and correction strength.
+/// v2 is the greedy packing plus the augmenting-path repair pass, so its
+/// extra wall time is the price of closing the small-world frontier; the
+/// correction half replays the frontier cell (sparse small world × targeted
+/// heaviest-edge adversaries) under both packings.  Emits the `BENCH_5` perf
+/// line (also written to `target/BENCH_5.json`) that starts the packing
+/// bench trajectory.
+fn e16c_packing_ab() {
+    use mobile_congest::graphs::tree_packing::{
+        augmented_low_depth_packing, greedy_low_depth_packing, load_floor,
+    };
+    use mobile_congest::graphs::{GraphDef, PackingVersion};
+    use mobile_congest::sim::adversary::AdaptiveHeaviest;
+
+    header(
+        "E16c",
+        "tree packing v1 vs v2 (construction cost + correction)",
+    );
+    let k = 9;
+    const REPS: usize = 25;
+    println!(
+        "{:>18} {:>6} {:>10} {:>10} {:>8} {:>8}",
+        "graph", "floor", "v1 ms/it", "v2 ms/it", "v1 load", "v2 load"
+    );
+    let (mut v1_ms_total, mut v2_ms_total) = (0.0f64, 0.0f64);
+    let (mut v1_load_frontier, mut v2_load_frontier) = (0usize, 0usize);
+    for def in [
+        GraphDef::watts_strogatz(24, 6, 0.2, 2024 ^ 0x5A11),
+        GraphDef::circulant(18, 4),
+        GraphDef::expander(24, 8, 2024),
+    ] {
+        let g = def.build().expect("bench graphs resolve");
+        let t0 = Instant::now();
+        for _ in 0..REPS {
+            std::hint::black_box(greedy_low_depth_packing(&g, 0, k, 2));
+        }
+        let v1_ms = t0.elapsed().as_secs_f64() * 1e3 / REPS as f64;
+        let t0 = Instant::now();
+        for _ in 0..REPS {
+            std::hint::black_box(augmented_low_depth_packing(&g, 0, k, 2));
+        }
+        let v2_ms = t0.elapsed().as_secs_f64() * 1e3 / REPS as f64;
+        let v1 = greedy_low_depth_packing(&g, 0, k, 2);
+        let v2 = augmented_low_depth_packing(&g, 0, k, 2);
+        if def.display_name().starts_with("small-world") {
+            v1_load_frontier = v1.load(&g);
+            v2_load_frontier = v2.load(&g);
+        }
+        v1_ms_total += v1_ms;
+        v2_ms_total += v2_ms;
+        println!(
+            "{:>18} {:>6} {:>10.3} {:>10.3} {:>8} {:>8}",
+            def.display_name(),
+            load_floor(&g, k),
+            v1_ms,
+            v2_ms,
+            v1.load(&g),
+            v2.load(&g)
+        );
+    }
+
+    // Correction strength on the frontier cell, A/B over seeds.
+    let frontier = GraphDef::watts_strogatz(24, 6, 0.2, 2024 ^ 0x5A11)
+        .build()
+        .unwrap();
+    let mut corrected = [0usize; 2];
+    const CELLS: usize = 6;
+    for (vi, version) in [PackingVersion::V1Greedy, PackingVersion::V2Augmented]
+        .into_iter()
+        .enumerate()
+    {
+        for seed in 0..CELLS as u64 {
+            let pg = frontier.clone();
+            let report = Scenario::on(frontier.clone())
+                .payload(move || FloodBroadcast::new(pg.clone(), 0, 4242))
+                .adversary(
+                    AdversaryRole::Byzantine,
+                    AdaptiveHeaviest::new(1),
+                    CorruptionBudget::Mobile { f: 1 },
+                )
+                .seed(1000 + seed)
+                .compiled_with(TreePackingAdapter::new(1, 5).with_packing(version))
+                .run()
+                .expect("frontier cell validates");
+            if report.notes.fully_corrected() == Some(true)
+                && report.agrees_with_fault_free() == Some(true)
+            {
+                corrected[vi] += 1;
+            }
+        }
+    }
+    let (v1_rate, v2_rate) = (
+        corrected[0] as f64 / CELLS as f64,
+        corrected[1] as f64 / CELLS as f64,
+    );
+    println!(
+        "frontier correction under adaptive-heaviest: v1 {}/{CELLS}, v2 {}/{CELLS}",
+        corrected[0], corrected[1]
+    );
+    let bench_line = format!(
+        "{{\"bench\":\"e16c-packing-v2\",\"v1_pack_ms\":{v1_ms_total:.4},\"v2_pack_ms\":{v2_ms_total:.4},\
+         \"v1_frontier_load\":{v1_load_frontier},\"v2_frontier_load\":{v2_load_frontier},\
+         \"v1_corrected_rate\":{v1_rate:.3},\"v2_corrected_rate\":{v2_rate:.3}}}"
+    );
+    println!("BENCH {bench_line}");
+    let path = std::path::Path::new("target").join("BENCH_5.json");
+    match std::fs::write(&path, format!("{bench_line}\n")) {
+        Ok(()) => println!("wrote perf line to {}", path.display()),
+        Err(e) => println!("could not write {}: {e}", path.display()),
+    }
+}
+
 fn main() {
     let t0 = Instant::now();
     e1_bit_extraction();
@@ -748,6 +873,7 @@ fn main() {
     e16a_round_engine_ab();
     let (e16_fingerprint, e16_secs) = e16_campaign();
     e16b_spec_campaign(&e16_fingerprint, e16_secs);
+    e16c_packing_ab();
     println!(
         "\ntotal experiment time: {:.1}s",
         t0.elapsed().as_secs_f64()

@@ -221,7 +221,9 @@ pub enum CompilerNotes {
     /// The compiler has nothing to report (baseline / reference runs).
     None,
     /// Tree-packing resilient compilers (Theorems 1.6 / 3.5): the correction
-    /// trace, summed over the simulated payload rounds.
+    /// trace, summed over the simulated payload rounds, plus the quality of
+    /// the packing the run was compiled over (the structural quantities that
+    /// predict whether the correction majority can hold).
     Resilient {
         /// Whether every simulated round ended with zero residual mismatches.
         fully_corrected: bool,
@@ -231,6 +233,19 @@ pub enum CompilerNotes {
         mismatches_after: usize,
         /// Tree instances that failed during sketch aggregation, summed.
         failed_trees: usize,
+        /// Trees in the packing.
+        packing_trees: usize,
+        /// Spanning, root-anchored trees the correction majority can use.
+        packing_good_trees: usize,
+        /// Maximum number of trees sharing one host edge — a heaviest-edge
+        /// adversary fails all of them at once, so this must stay at or
+        /// below the correction code's error capacity.
+        packing_max_load: usize,
+        /// The smallest max edge load any packing of this size can achieve
+        /// on this graph (`⌈k(n−1)/m⌉`).
+        packing_load_floor: usize,
+        /// Tree-edge slots crossing one minimum edge cut of the graph.
+        packing_min_cut_usage: usize,
     },
     /// The expander compiler (Theorem 1.7): quality of the packing built
     /// while under attack, plus the correction verdict.
@@ -321,6 +336,20 @@ impl CompilerNotes {
         }
     }
 
+    /// `(good_trees, trees, max_edge_load)` of the packing the run was
+    /// compiled over (tree-packing resilient compilers only).
+    pub fn packing_quality(&self) -> Option<(usize, usize, usize)> {
+        match self {
+            CompilerNotes::Resilient {
+                packing_good_trees,
+                packing_trees,
+                packing_max_load,
+                ..
+            } => Some((*packing_good_trees, *packing_trees, *packing_max_load)),
+            _ => None,
+        }
+    }
+
     /// Number of rewinds (rewind compiler only).
     pub fn rewinds(&self) -> Option<usize> {
         match self {
@@ -350,12 +379,17 @@ impl CompilerNotes {
             CompilerNotes::Resilient {
                 fully_corrected,
                 mismatches_after,
+                packing_good_trees,
+                packing_trees,
+                packing_max_load,
                 ..
             } => {
+                let packing =
+                    format!("good:{packing_good_trees}/{packing_trees},load:{packing_max_load}");
                 if *fully_corrected {
-                    "corrected:yes".into()
+                    format!("corrected:yes,{packing}")
                 } else {
-                    format!("corrected:NO({mismatches_after} left)")
+                    format!("corrected:NO({mismatches_after} left),{packing}")
                 }
             }
             CompilerNotes::Expander {
@@ -394,11 +428,21 @@ impl CompilerNotes {
                 mismatches_before,
                 mismatches_after,
                 failed_trees,
+                packing_trees,
+                packing_good_trees,
+                packing_max_load,
+                packing_load_floor,
+                packing_min_cut_usage,
             } => vec![
                 ("fully_corrected", b(*fully_corrected)),
                 ("mismatches_before", *mismatches_before as f64),
                 ("mismatches_after", *mismatches_after as f64),
                 ("failed_trees", *failed_trees as f64),
+                ("packing_trees", *packing_trees as f64),
+                ("packing_good_trees", *packing_good_trees as f64),
+                ("packing_max_load", *packing_max_load as f64),
+                ("packing_load_floor", *packing_load_floor as f64),
+                ("packing_min_cut_usage", *packing_min_cut_usage as f64),
             ],
             CompilerNotes::Expander {
                 trees,

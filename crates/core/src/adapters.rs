@@ -20,8 +20,8 @@
 
 use crate::rate::RewindCompiler;
 use crate::resilient::{
-    run_expander_compiled, CliqueCompiler, CorrectionVariant, CycleCoverCompiler,
-    MobileByzantineCompiler,
+    rs_error_capacity, run_expander_compiled, CliqueCompiler, CorrectionVariant,
+    CycleCoverCompiler, MobileByzantineCompiler,
 };
 use crate::secure::{CongestionSensitiveCompiler, StaticToMobileCompiler};
 use congest_sim::network::Network;
@@ -32,8 +32,10 @@ use congest_sim::scenario::{
 use congest_sim::traffic::Output;
 use congest_sim::AdversaryRole;
 use netgraph::connectivity::edge_connectivity;
-use netgraph::tree_packing::{greedy_low_depth_packing, star_packing, TreePacking};
-use netgraph::{Graph, NodeId};
+use netgraph::tree_packing::{
+    augmented_low_depth_packing, greedy_low_depth_packing, load_floor, star_packing, TreePacking,
+};
+use netgraph::{Graph, NodeId, PackingVersion};
 
 /// Whether `g` is the complete graph on its node set.
 fn is_complete(g: &Graph) -> bool {
@@ -41,9 +43,15 @@ fn is_complete(g: &Graph) -> bool {
     g.edge_count() == n * n.saturating_sub(1) / 2
 }
 
-/// Shared sizing for greedy packings: `k` trees of target load `eta` need
-/// roughly `k (n-1) <= 2 eta m` edge capacity; reject clearly infeasible
-/// graphs with a typed error instead of silently producing broken trees.
+/// Shared sizing for greedy packings.  Validation certifies exactly what the
+/// v2 packing delivers, so passing it *predicts* correction strength:
+///
+/// * edge connectivity `λ ≥ 2f + 1` (the information-theoretic floor),
+/// * `k (n-1) <= 2 eta m` edge capacity (enough room for the trees at all),
+/// * the graph's [`load_floor`] — the best max-edge-load any `k`-tree packing
+///   can achieve — stays within the correction code's [`rs_error_capacity`],
+///   since a heaviest-edge mobile adversary fails every tree scheduled over
+///   one edge at once.
 fn validate_packing_feasible(
     compiler: &str,
     g: &Graph,
@@ -70,6 +78,17 @@ fn validate_packing_feasible(
             ),
         });
     }
+    let floor = load_floor(g, k);
+    let capacity = rs_error_capacity(k);
+    if floor > capacity {
+        return Err(ScenarioError::UnsupportedGraph {
+            compiler: compiler.to_string(),
+            reason: format!(
+                "every {k}-tree packing has an edge of load >= {floor}, beyond the \
+                 correction code's error capacity {capacity}"
+            ),
+        });
+    }
     Ok(())
 }
 
@@ -88,12 +107,17 @@ fn validate_clique_floor(compiler: &str, g: &Graph, f: usize) -> Result<(), Scen
 }
 
 /// Build the packing the byzantine-resilient adapters share: the `(n, 2, 2)`
-/// star packing on cliques, the Appendix-C greedy packing elsewhere.
-fn resilient_packing(g: &Graph, k: usize) -> TreePacking {
+/// star packing on cliques; elsewhere the Appendix-C greedy packing (v1) or
+/// its augmenting-path repaired successor (v2) per the selected
+/// [`PackingVersion`].
+fn resilient_packing(g: &Graph, k: usize, version: PackingVersion) -> TreePacking {
     if is_complete(g) {
         star_packing(g, 0)
     } else {
-        greedy_low_depth_packing(g, 0, k, 2)
+        match version {
+            PackingVersion::V1Greedy => greedy_low_depth_packing(g, 0, k, 2),
+            PackingVersion::V2Augmented => augmented_low_depth_packing(g, 0, k, 2),
+        }
     }
 }
 
@@ -106,11 +130,17 @@ fn default_tree_count(f: usize) -> usize {
 /// Fold a [`ByzantineCompilerReport`] correction trace into the typed notes
 /// channel (shared by the clique, tree-packing and expander adapters).
 fn resilient_notes(report: &crate::resilient::ByzantineCompilerReport) -> CompilerNotes {
+    let q = &report.packing_quality;
     CompilerNotes::Resilient {
         fully_corrected: report.fully_corrected,
         mismatches_before: report.per_round.iter().map(|r| r.mismatches_before).sum(),
         mismatches_after: report.per_round.iter().map(|r| r.mismatches_after).sum(),
         failed_trees: report.per_round.iter().map(|r| r.failed_trees).sum(),
+        packing_trees: q.trees,
+        packing_good_trees: q.good_trees,
+        packing_max_load: q.max_edge_load,
+        packing_load_floor: q.load_floor,
+        packing_min_cut_usage: q.min_cut_usage,
     }
 }
 
@@ -176,8 +206,9 @@ impl Compiler for CliqueAdapter {
     }
 }
 
-/// Theorem 3.5: the general-graph compiler over a greedy low-depth tree
-/// packing.
+/// Theorem 3.5: the general-graph compiler over a low-depth tree packing —
+/// the greedy construction (v1) or its augmenting-path repaired successor
+/// (v2, the default; see `netgraph::tree_packing::improve_packing`).
 #[derive(Debug, Clone, Copy)]
 pub struct TreePackingAdapter {
     /// The mobile fault bound to withstand.
@@ -188,17 +219,20 @@ pub struct TreePackingAdapter {
     pub seed: u64,
     /// Correction procedure.
     pub variant: CorrectionVariant,
+    /// Which packing construction to use (default: v2).
+    pub packing: PackingVersion,
 }
 
 impl TreePackingAdapter {
     /// Adapter for an `f`-mobile byzantine adversary with the default tree
-    /// count `k = 2·t_RS·c_RS·f·η + 1`.
+    /// count `k = 2·t_RS·c_RS·f·η + 1` and the v2 augmented packing.
     pub fn new(f: usize, seed: u64) -> Self {
         TreePackingAdapter {
             f,
             k: default_tree_count(f),
             seed,
             variant: CorrectionVariant::SparseMajority,
+            packing: PackingVersion::default(),
         }
     }
 
@@ -214,11 +248,23 @@ impl TreePackingAdapter {
         self.variant = variant;
         self
     }
+
+    /// Select the packing construction (default: v2 augmented) — the knob
+    /// campaign grids use to A/B the two packings on identical cells.
+    pub fn with_packing(mut self, packing: PackingVersion) -> Self {
+        self.packing = packing;
+        self
+    }
 }
 
 impl Compiler for TreePackingAdapter {
     fn name(&self) -> String {
-        format!("tree-packing(f={},k={})", self.f, self.k)
+        format!(
+            "tree-packing(f={},k={},{})",
+            self.f,
+            self.k,
+            self.packing.label()
+        )
     }
     fn kind(&self) -> CompilerKind {
         CompilerKind::Resilient
@@ -239,7 +285,7 @@ impl Compiler for TreePackingAdapter {
         // Full graph validation runs once at `ScenarioBuilder::build`; here
         // only the cheap role check guards direct trait callers.
         validate_role(self, net.role())?;
-        let packing = resilient_packing(net.graph(), self.k);
+        let packing = resilient_packing(net.graph(), self.k, self.packing);
         let compiler =
             MobileByzantineCompiler::new(packing, self.f, self.seed).with_variant(self.variant);
         let (out, report) = compiler.run(&mut *payload, net);
@@ -435,7 +481,11 @@ impl Compiler for RewindAdapter {
         // Full graph validation runs once at `ScenarioBuilder::build`; here
         // only the cheap role check guards direct trait callers.
         validate_role(self, net.role())?;
-        let packing = resilient_packing(net.graph(), default_tree_count(self.f));
+        let packing = resilient_packing(
+            net.graph(),
+            default_tree_count(self.f),
+            PackingVersion::default(),
+        );
         let compiler = RewindCompiler::new(packing, self.f, self.seed);
         let (out, report) = compiler.run(make, net);
         if !report.completed {
@@ -630,6 +680,8 @@ pub enum CompilerDef {
         trees: Option<usize>,
         /// Compiler randomness seed.
         seed: u64,
+        /// Packing construction (v1 greedy / v2 augmented).
+        packing: PackingVersion,
     },
     /// Theorems 1.4 / 5.5 ([`CycleCoverAdapter`]).
     CycleCover {
@@ -714,8 +766,13 @@ impl CompilerDef {
             CompilerDef::Uncompiled => Box::new(Uncompiled),
             CompilerDef::FaultFree => Box::new(FaultFree),
             CompilerDef::Clique { f, seed } => Box::new(CliqueAdapter::new(f, seed)),
-            CompilerDef::TreePacking { f, trees, seed } => {
-                let adapter = TreePackingAdapter::new(f, seed);
+            CompilerDef::TreePacking {
+                f,
+                trees,
+                seed,
+                packing,
+            } => {
+                let adapter = TreePackingAdapter::new(f, seed).with_packing(packing);
                 Box::new(match trees {
                     Some(k) => adapter.with_trees(k),
                     None => adapter,
@@ -899,6 +956,7 @@ mod tests {
                     f: 1,
                     trees: None,
                     seed: 5,
+                    packing: PackingVersion::V2Augmented,
                 },
                 Box::new(TreePackingAdapter::new(1, 5)),
             ),
@@ -907,8 +965,13 @@ mod tests {
                     f: 1,
                     trees: Some(9),
                     seed: 5,
+                    packing: PackingVersion::V1Greedy,
                 },
-                Box::new(TreePackingAdapter::new(1, 5).with_trees(9)),
+                Box::new(
+                    TreePackingAdapter::new(1, 5)
+                        .with_trees(9)
+                        .with_packing(PackingVersion::V1Greedy),
+                ),
             ),
             (
                 CompilerDef::CycleCover { f: 1 },

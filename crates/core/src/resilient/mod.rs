@@ -14,7 +14,9 @@ pub use cycle_cover::{CycleCoverCompiler, CycleCoverReport};
 pub use expander::{
     run_expander_compiled, weak_packing_under_attack, ExpanderCompilerReport, WeakPackingReport,
 };
-pub use safe_broadcast::{ecc_safe_broadcast, SafeBroadcastReport};
+pub use safe_broadcast::{
+    ecc_safe_broadcast, rs_data_symbols, rs_error_capacity, SafeBroadcastReport,
+};
 pub use tree_compiler::{
     ByzantineCompilerReport, CliqueCompiler, CorrectionVariant, MobileByzantineCompiler,
 };

@@ -33,6 +33,24 @@ pub struct SafeBroadcastReport {
 /// Number of 16-bit Reed–Solomon symbols per 64-bit message word.
 const SYMBOLS_PER_WORD: usize = 4;
 
+/// Data symbols per Reed–Solomon chunk over a `k`-tree packing (relative
+/// distance ≥ 3/4 by construction).
+pub fn rs_data_symbols(k: usize) -> usize {
+    (k / 4).max(1)
+}
+
+/// How many failed (or non-spanning) tree instances the safe broadcast over a
+/// `k`-tree packing tolerates per chunk: the error capacity
+/// `⌊(k − ℓ)/2⌋` of the `RS(ℓ, k)` code with `ℓ =` [`rs_data_symbols`].
+///
+/// This is the number that turns packing quality into a correction
+/// *prediction*: a heaviest-edge mobile adversary can fail every tree
+/// scheduled over one edge, so correction survives focused attacks exactly
+/// when the packing's maximum edge load stays at or below this capacity.
+pub fn rs_error_capacity(k: usize) -> usize {
+    k.saturating_sub(rs_data_symbols(k)) / 2
+}
+
 /// Broadcast `message` from the packing's common root to all nodes, resiliently
 /// against the byzantine adversary configured on `net`.
 ///
@@ -59,7 +77,7 @@ pub fn ecc_safe_broadcast(
     // Chunking: each chunk carries at most ℓ = max(1, k/4) symbols so the code
     // has relative distance ≥ 3/4 and error capacity ≥ 3k/8 — enough slack for
     // the Lemma 3.3 failure bound plus non-spanning trees of a weak packing.
-    let ell = (k / 4).max(1);
+    let ell = rs_data_symbols(k);
     let symbols: Vec<Gf2_16> = message
         .iter()
         .flat_map(|w| (0..SYMBOLS_PER_WORD).map(move |i| Gf2_16::from_u64(w >> (16 * i))))

@@ -21,7 +21,7 @@ use crate::resilient::correction::{
 use congest_sim::network::Network;
 use congest_sim::traffic::Output;
 use congest_sim::CongestAlgorithm;
-use netgraph::tree_packing::{star_packing, TreePacking};
+use netgraph::tree_packing::{star_packing, PackingQuality, TreePacking};
 use netgraph::Graph;
 
 /// Which message-correction procedure the compiler uses per simulated round.
@@ -44,6 +44,10 @@ pub struct ByzantineCompilerReport {
     pub per_round: Vec<CorrectionReport>,
     /// Whether every simulated round ended with zero residual mismatches.
     pub fully_corrected: bool,
+    /// Quality of the packing the run was compiled over (good trees, max
+    /// edge load vs the graph's load floor, minimum-cut usage) — the
+    /// structural quantities that predict whether correction can hold.
+    pub packing_quality: PackingQuality,
 }
 
 impl ByzantineCompilerReport {
@@ -98,6 +102,14 @@ impl MobileByzantineCompiler {
     ) -> (Vec<Output>, ByzantineCompilerReport) {
         let start = net.round();
         let r = alg.rounds();
+        // Measured at the packing's own height: `good_trees` counts the
+        // spanning, root-anchored trees the correction majority can use.
+        let packing_quality = PackingQuality::measure(
+            net.graph(),
+            &self.packing,
+            self.packing.trees.first().map_or(0, |t| t.root),
+            self.packing.max_height(),
+        );
         let mut per_round = Vec::with_capacity(r);
         // Round buffers, reused across all simulated rounds.
         let mut sent = congest_sim::traffic::Traffic::new(net.graph());
@@ -140,6 +152,7 @@ impl MobileByzantineCompiler {
                 network_rounds: net.round() - start,
                 per_round,
                 fully_corrected,
+                packing_quality,
             },
         )
     }

@@ -538,12 +538,21 @@ fn compiler_to_json(def: &CompilerDef) -> String {
             num("f", f as u64);
             num("seed", seed);
         }
-        CompilerDef::TreePacking { f, trees, seed } => {
+        CompilerDef::TreePacking {
+            f,
+            trees,
+            seed,
+            packing,
+        } => {
             num("f", f as u64);
             if let Some(k) = trees {
                 num("trees", k as u64);
             }
             num("seed", seed);
+            fields.push((
+                "packing".to_string(),
+                JsonValue::Str(packing.label().into()),
+            ));
         }
         CompilerDef::CycleCover { f } => num("f", f as u64),
         CompilerDef::Expander {
@@ -600,6 +609,20 @@ fn compiler_from_json(v: &JsonValue) -> Result<CompilerDef, SpecError> {
                 None => None,
             },
             seed: seed()?,
+            // Omitted means the adapter default (v2), matching
+            // `TreePackingAdapter::new`.
+            packing: match v.get("packing") {
+                None => netgraph::PackingVersion::default(),
+                Some(p) => {
+                    let label = p.as_str().ok_or_else(|| missing("compilers[].packing"))?;
+                    netgraph::PackingVersion::from_label(label).ok_or_else(|| {
+                        SpecError::UnknownLabel {
+                            registry: "packing version",
+                            label: label.into(),
+                        }
+                    })?
+                }
+            },
         }),
         "cycle-cover" => Ok(CompilerDef::CycleCover { f: req("f")? }),
         "expander" => Ok(CompilerDef::Expander {
@@ -715,6 +738,7 @@ mod tests {
                         f: 1,
                         trees: Some(9),
                         seed: 5,
+                        packing: netgraph::PackingVersion::V2Augmented,
                     },
                     CompilerDef::Expander {
                         f: 1,

@@ -143,6 +143,85 @@ pub fn edge_connectivity(g: &Graph) -> usize {
         .unwrap_or(0)
 }
 
+/// The edge set of one global minimum edge cut (a witness for
+/// [`edge_connectivity`]): one unit-capacity max flow per candidate sink,
+/// keeping the residual source side of the smallest; the cut is the set of
+/// edges leaving that side.  A sink's flow computation aborts as soon as it
+/// reaches the best cut found so far (it cannot yield a smaller one), so the
+/// sweep costs about as much as [`edge_connectivity`] itself.  Returns edge
+/// ids in increasing order; empty for disconnected or single-node graphs
+/// (where the cut is trivial).
+///
+/// Tree packings are bounded by such cuts — every spanning tree crosses every
+/// cut at least once, so `k` trees at per-edge load `η` need `η·|cut| ≥ k` —
+/// which makes the *usage* of a minimum cut the tightest structural measure of
+/// packing quality ([`crate::tree_packing::PackingQuality`]).
+pub fn min_edge_cut(g: &Graph) -> Vec<EdgeId> {
+    let n = g.node_count();
+    if n <= 1 {
+        return Vec::new();
+    }
+    let m = g.edge_count();
+    let mut best_flow = usize::MAX;
+    let mut best_side: Vec<bool> = Vec::new();
+    for sink in 1..n {
+        let mut used = vec![false; 2 * m];
+        let mut flow = 0usize;
+        let side = loop {
+            if flow >= best_flow {
+                break None; // cannot beat the best cut found so far
+            }
+            let mut pred: Vec<Option<(NodeId, EdgeId, bool)>> = vec![None; n];
+            let mut seen = vec![false; n];
+            seen[0] = true;
+            let mut q = VecDeque::new();
+            q.push_back(0);
+            'bfs: while let Some(u) = q.pop_front() {
+                for &(v, e) in g.neighbors(u) {
+                    let arc = g.arc(e, u, v);
+                    let rev = g.arc(e, v, u);
+                    if (!used[arc] || used[rev]) && !seen[v] {
+                        seen[v] = true;
+                        pred[v] = Some((u, e, !used[arc]));
+                        if v == sink {
+                            break 'bfs;
+                        }
+                        q.push_back(v);
+                    }
+                }
+            }
+            if !seen[sink] {
+                // Max flow reached: `seen` is the source side of a minimum
+                // 0–sink cut.
+                break Some(seen);
+            }
+            let mut cur = sink;
+            while cur != 0 {
+                let (p, e, forward) = pred[cur].unwrap();
+                let arc = g.arc(e, p, cur);
+                let rev = g.arc(e, cur, p);
+                if forward {
+                    used[arc] = true;
+                } else {
+                    used[rev] = false;
+                }
+                cur = p;
+            }
+            flow += 1;
+        };
+        if let Some(seen) = side {
+            best_flow = flow;
+            best_side = seen;
+        }
+    }
+    g.edges()
+        .iter()
+        .enumerate()
+        .filter(|(_, e)| best_side[e.u] != best_side[e.v])
+        .map(|(id, _)| id)
+        .collect()
+}
+
 /// Check `(k, d)`-connectivity between a specific pair: are there `k`
 /// edge-disjoint `s`–`t` paths each of length at most `d`?
 ///
@@ -353,6 +432,37 @@ mod tests {
         let cyc = generators::cycle(9);
         assert_eq!(estimate_dtp(&cyc, 2), Some(8));
         assert_eq!(estimate_dtp(&cyc, 3), None);
+    }
+
+    #[test]
+    fn min_edge_cut_witnesses_edge_connectivity() {
+        for g in [
+            generators::cycle(7),
+            generators::circulant(12, 2),
+            generators::barbell(4, 1),
+            generators::complete(6),
+            generators::grid(3, 4),
+        ] {
+            let lambda = edge_connectivity(&g);
+            let cut = min_edge_cut(&g);
+            assert_eq!(cut.len(), lambda, "cut size must equal λ");
+            // Removing the cut edges disconnects the graph.
+            let keep: Vec<(usize, usize)> = g
+                .edges()
+                .iter()
+                .enumerate()
+                .filter(|(id, _)| !cut.contains(id))
+                .map(|(_, e)| (e.u, e.v))
+                .collect();
+            let cut_graph = Graph::from_edges(g.node_count(), &keep);
+            assert!(
+                !crate::traversal::is_connected(&cut_graph),
+                "removing the cut must disconnect the graph"
+            );
+            // Edge ids come back sorted and unique.
+            assert!(cut.windows(2).all(|w| w[0] < w[1]));
+        }
+        assert!(min_edge_cut(&Graph::new(1)).is_empty());
     }
 
     #[test]

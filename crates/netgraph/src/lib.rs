@@ -35,4 +35,4 @@ pub mod tree_packing;
 pub use generators::{GraphDef, GraphDefError, GraphFamily};
 pub use graph::{ArcId, CsrEntry, CsrIndex, Edge, EdgeId, Graph, NodeId};
 pub use spanning::RootedTree;
-pub use tree_packing::TreePacking;
+pub use tree_packing::{PackingQuality, PackingVersion, TreePacking};

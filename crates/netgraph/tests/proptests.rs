@@ -6,7 +6,9 @@ use netgraph::generators;
 use netgraph::graph::Graph;
 use netgraph::spanning::bfs_tree;
 use netgraph::traversal::{bfs, diameter, is_connected};
-use netgraph::tree_packing::{greedy_low_depth_packing, star_packing};
+use netgraph::tree_packing::{
+    augmented_low_depth_packing, greedy_low_depth_packing, load_floor, star_packing, PackingQuality,
+};
 use proptest::prelude::*;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -83,6 +85,31 @@ proptest! {
             prop_assert!(t.height() <= g.node_count().max(diam));
         }
         prop_assert!(p.load(&g) <= k);
+    }
+
+    #[test]
+    fn augmented_packing_never_worse_than_greedy(g in arb_connected_graph(), k in 2usize..10) {
+        // The v2 contract: relative to the v1 greedy packing it starts from,
+        // the repair pass never raises the maximum edge load, never lowers
+        // the good-tree count, keeps every tree spanning, and never drops
+        // below the information-theoretic load floor.
+        let v1 = greedy_low_depth_packing(&g, 0, k, 2);
+        let v2 = augmented_low_depth_packing(&g, 0, k, 2);
+        prop_assert_eq!(v2.len(), v1.len());
+        prop_assert!(v2.load(&g) <= v1.load(&g), "v2 raised the load");
+        prop_assert!(v2.load(&g) >= load_floor(&g, k), "load floor is a true floor");
+        for t in &v2.trees {
+            prop_assert!(t.is_spanning(&g), "v2 lost a spanning tree");
+            prop_assert_eq!(t.root, 0);
+        }
+        let diam = diameter(&g).unwrap();
+        let budget = 3 * diam + 2; // the v2 construction budget incl. slack
+        let q1 = PackingQuality::measure(&g, &v1, 0, budget);
+        let q2 = PackingQuality::measure(&g, &v2, 0, budget);
+        prop_assert!(q2.good_trees >= q1.good_trees, "v2 lowered the good-tree count");
+        prop_assert!(q2.max_edge_load <= q1.max_edge_load);
+        prop_assert!(q2.min_cut_usage >= q2.good_trees, "every good tree crosses the min cut");
+        prop_assert_eq!(q2.load_floor, load_floor(&g, k));
     }
 
     #[test]

@@ -113,6 +113,7 @@ fn main() {
                     f: 1,
                     trees: None,
                     seed: 5,
+                    packing: Default::default(),
                 },
                 CompilerDef::StaticToMobile {
                     t: 4,

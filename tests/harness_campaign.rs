@@ -200,12 +200,14 @@ fn full_grid_campaign_with_repetitions_through_the_parallel_engine() {
 }
 
 /// The expanded topology × adversary zoo runs through the full campaign grid
-/// with thread-count determinism preserved: every new generator (torus,
-/// seeded expander, Watts–Strogatz small world, ring of cliques) and every
-/// new adversary (adaptive-heaviest, eclipse) produces executed cells, and
-/// the whole report is byte-identical at 1 and 4 workers.
+/// with thread-count determinism preserved, A/B-ing the two tree packings on
+/// identical cells: every new generator (torus, seeded expander,
+/// Watts–Strogatz small world, ring of cliques) and every new adversary
+/// (adaptive-heaviest, eclipse) produces executed cells, and the whole
+/// report is byte-identical at 1 and 4 workers.
 #[test]
 fn zoo_campaign_covers_new_generators_and_adversaries_deterministically() {
+    use mobile_congest::graphs::PackingVersion;
     use mobile_congest::scenario::matrix::{adversary_zoo, graph_zoo};
 
     let run_with = |threads: usize| {
@@ -214,7 +216,10 @@ fn zoo_campaign_covers_new_generators_and_adversaries_deterministically() {
             .adversaries(adversary_zoo(1))
             .compilers(vec![
                 CompilerSpec::of(Uncompiled),
-                CompilerSpec::of(TreePackingAdapter::new(1, 5)),
+                CompilerSpec::of(
+                    TreePackingAdapter::new(1, 5).with_packing(PackingVersion::V1Greedy),
+                ),
+                CompilerSpec::of(TreePackingAdapter::new(1, 5)), // v2 default
                 CompilerSpec::of(CycleCoverAdapter::new(1)),
                 CompilerSpec::of(StaticToMobileAdapter::new(4, 2, 5)),
             ])
@@ -225,16 +230,17 @@ fn zoo_campaign_covers_new_generators_and_adversaries_deterministically() {
     };
     let single = run_with(1);
     let parallel = run_with(4);
-    assert_eq!(single.cells.len(), 8 * 7 * 4 * 2, "full zoo grid");
+    assert_eq!(single.cells.len(), 8 * 7 * 5 * 2, "full zoo grid");
     assert_eq!(
         single.fingerprint(),
         parallel.fingerprint(),
         "zoo grid must be thread-count deterministic"
     );
-    // One genuine experimental finding of the widened grid: the greedy tree
-    // packing is too weak on the sparse, irregular small-world topology to
-    // survive *targeted* heaviest-edge attacks (random attacks it handles).
-    // Pin that exact frontier — anything else diverging is a regression.
+    // The PR-3 frontier, kept pinned as the v1 baseline: the *greedy* tree
+    // packing leaves an edge carrying one tree more than the graph requires,
+    // and targeted heaviest-edge attacks fail every instance scheduled over
+    // that edge at once (random attacks it handles).  Anything else
+    // diverging — in particular any v2 cell — is a regression.
     let rogue: Vec<(String, String, String)> = single
         .executed()
         .filter_map(|c| match &c.outcome {
@@ -249,14 +255,69 @@ fn zoo_campaign_covers_new_generators_and_adversaries_deterministically() {
         .collect();
     assert!(
         !rogue.is_empty(),
-        "the small-world/tree-packing frontier disappeared — update this test and ROADMAP.md"
+        "the v1 small-world/tree-packing frontier disappeared — update this test and ROADMAP.md"
     );
     assert!(
         rogue.iter().all(|(g, a, c)| {
-            g == "small-world(24,6)" && a.contains("heaviest") && c.starts_with("tree-packing")
+            g == "small-world(24,6)" && a.contains("heaviest") && c.ends_with("v1)")
         }),
         "unexpected protected-cell divergences: {rogue:?}"
     );
+
+    // Tree-packing v2 closes the frontier: the very cells where v1 diverges
+    // are fully corrected, and across the whole grid no cell that passed
+    // `validate_packing_feasible` fails to correct under v2 — validation
+    // *predicts* correction strength.
+    let v2_cells: Vec<_> = single
+        .executed()
+        .filter(|c| c.compiler.ends_with("v2)"))
+        .collect();
+    assert!(!v2_cells.is_empty(), "v2 cells must execute");
+    for cell in &v2_cells {
+        let report = cell
+            .outcome
+            .as_ref()
+            .unwrap_or_else(|e| panic!("v2 cell {}/{} failed: {e}", cell.graph, cell.adversary));
+        assert_eq!(
+            report.agrees_with_fault_free(),
+            Some(true),
+            "v2 diverged on {}/{}",
+            cell.graph,
+            cell.adversary
+        );
+        assert_eq!(
+            report.notes.fully_corrected(),
+            Some(true),
+            "v2 left residual mismatches on {}/{}",
+            cell.graph,
+            cell.adversary
+        );
+    }
+    // The frontier cells specifically: v1 diverges there, v2 corrects, and
+    // the quality notes show why — v2 reaches the graph's load floor while
+    // v1 sits above it.
+    for adversary in ["adaptive-heaviest", "greedy-heaviest"] {
+        let frontier = |c: &&mobile_congest::harness::campaign::CampaignCell| {
+            c.graph == "small-world(24,6)" && c.adversary == adversary
+        };
+        assert!(
+            rogue
+                .iter()
+                .any(|(g, a, _)| g == "small-world(24,6)" && a == adversary),
+            "v1 baseline divergence under {adversary} disappeared"
+        );
+        let v2 = v2_cells
+            .iter()
+            .find(|c| frontier(c))
+            .expect("frontier v2 cell executed");
+        let report = v2.outcome.as_ref().unwrap();
+        let (good, trees, max_load) = report
+            .notes
+            .packing_quality()
+            .expect("resilient notes carry packing quality");
+        assert_eq!(good, trees, "every v2 tree is good on the frontier graph");
+        assert_eq!(max_load, 3, "v2 reaches the small-world load floor");
+    }
 
     // Every new generator and every new adversary must actually execute
     // cells (not be skipped out of the grid entirely).

@@ -96,6 +96,69 @@ fn spec_built_campaign_matches_hand_built_at_any_thread_count() {
     assert!(reference.all_protected_cells_agree());
 }
 
+/// The CI quality gate's spec, pinned as a test: `specs/frontier-small-world.json`
+/// A/Bs tree-packing v1 vs v2 on the PR-3 frontier cell (sparse small world ×
+/// targeted heaviest-edge adversaries).  v1's failure stays pinned as the
+/// baseline; v2 must fully correct every cell.  The CI pipeline runs the same
+/// spec through the campaign CLI and greps the trajectory, so this test is
+/// the local twin of the quality-gate step.
+#[test]
+fn frontier_spec_pins_v1_failure_and_v2_full_correction() {
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/specs/frontier-small-world.json"
+    );
+    let text = std::fs::read_to_string(path).expect("specs/frontier-small-world.json checked in");
+    let spec = CampaignSpec::from_json(&text).expect("frontier spec parses");
+    assert_eq!(
+        spec.to_json(),
+        text,
+        "specs/frontier-small-world.json must stay in canonical to_json form"
+    );
+
+    let report = Campaign::from_spec(&spec).unwrap().threads(2).run();
+    assert_eq!(report.cells.len(), 2 * 2 * 3);
+    assert_eq!(report.skipped_count(), 0, "every frontier cell validates");
+
+    let mut v1_divergences = 0usize;
+    for cell in &report.cells {
+        let run = cell.outcome.as_ref().expect("frontier cells execute");
+        if cell.compiler.ends_with("v1)") {
+            if run.agrees_with_fault_free() == Some(false) {
+                v1_divergences += 1;
+            }
+        } else {
+            assert!(
+                cell.compiler.ends_with("v2)"),
+                "unexpected {}",
+                cell.compiler
+            );
+            assert_eq!(
+                run.agrees_with_fault_free(),
+                Some(true),
+                "v2 must survive {} (seed {})",
+                cell.adversary,
+                cell.seed
+            );
+            assert_eq!(run.notes.fully_corrected(), Some(true));
+        }
+    }
+    assert!(
+        v1_divergences > 0,
+        "the v1 frontier baseline disappeared — update the spec and ROADMAP.md"
+    );
+
+    // The summary groups the CI gate greps: v2 groups report zero
+    // disagreements and a fully_corrected mean of 1.
+    for s in report.summaries() {
+        if s.compiler.ends_with("v2)") {
+            assert_eq!(s.disagreements, 0);
+            assert_eq!(s.stat("fully_corrected").unwrap().mean, 1.0);
+            assert_eq!(s.stat("packing_max_load").unwrap().max, 3.0);
+        }
+    }
+}
+
 #[test]
 fn shard_union_equals_the_unsharded_run() {
     let spec = CampaignSpec::from_json(&checked_in_spec_text()).unwrap();
