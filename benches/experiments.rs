@@ -41,7 +41,7 @@ fn byz_scenario<C, P, A>(g: &Graph, f: usize, seed: u64, compiler: C, payload: P
 where
     C: Compiler + 'static,
     P: Fn(&Graph) -> A + 'static,
-    A: mobile_congest::sim::CongestAlgorithm + 'static,
+    A: mobile_congest::sim::CongestAlgorithm + Send + 'static,
 {
     let pg = g.clone();
     Scenario::on(g.clone())
@@ -62,7 +62,7 @@ fn eaves_scenario<C, P, A>(g: &Graph, f: usize, seed: u64, compiler: C, payload:
 where
     C: Compiler + 'static,
     P: Fn(&Graph) -> A + 'static,
-    A: mobile_congest::sim::CongestAlgorithm + 'static,
+    A: mobile_congest::sim::CongestAlgorithm + Send + 'static,
 {
     let pg = g.clone();
     Scenario::on(g.clone())

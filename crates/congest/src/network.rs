@@ -174,6 +174,7 @@ pub struct Network {
     budget_spent: usize,
     bandwidth_words: usize,
     corruption_rng: ChaCha8Rng,
+    run_seed: u64,
     buffers: RoundBuffers,
 }
 
@@ -226,8 +227,18 @@ impl Network {
             budget_spent: 0,
             bandwidth_words: 2,
             corruption_rng: ChaCha8Rng::seed_from_u64(seed ^ 0xAD5E_55A7),
+            run_seed: seed,
             buffers: RoundBuffers::default(),
         }
+    }
+
+    /// The seed this network was constructed with.  Deterministic executors
+    /// (the async runtime's latency/jitter hashing) derive their per-message
+    /// randomness from it without touching [`Network::public_coin`]'s RNG —
+    /// drawing from that stream would perturb the adversary's corruption
+    /// randomness and break lockstep/async parity.
+    pub fn run_seed(&self) -> u64 {
+        self.run_seed
     }
 
     /// The communication graph.

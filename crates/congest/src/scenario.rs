@@ -53,7 +53,11 @@ use crate::traffic::Output;
 use netgraph::Graph;
 
 /// A payload algorithm behind a uniform pointer type.
-pub type BoxedAlgorithm = Box<dyn CongestAlgorithm>;
+///
+/// The `Send` bound lets executors move payload instances onto worker
+/// threads (the async runtime hosts one instance per node); every payload in
+/// the tree is plain data, so the bound costs nothing.
+pub type BoxedAlgorithm = Box<dyn CongestAlgorithm + Send>;
 
 /// A factory producing fresh payload instances (compilers that rewind or
 /// compare against a fault-free reference need more than one).
@@ -290,6 +294,26 @@ pub enum CompilerNotes {
         /// Rounds spent simulating the payload.
         simulation_rounds: usize,
     },
+    /// The asynchronous virtual-time executor (`async_exec`): delivery
+    /// bookkeeping of one event-loop run.
+    Async {
+        /// Virtual ticks the event loop consumed.
+        ticks: usize,
+        /// Network exchanges executed (equals the payload round count on a
+        /// synchronous schedule).
+        exchanges: usize,
+        /// Present (non-empty-slot) messages delivered to node inboxes.
+        delivered_slots: usize,
+        /// Messages whose content the drop schedule discarded in flight.
+        dropped_slots: usize,
+        /// Messages that arrived at a later tick than they were sent.
+        delayed_slots: usize,
+        /// Whether every node completed all of its payload rounds within the
+        /// scheduling horizon.
+        completed: bool,
+        /// Nodes still short of their final round when the loop ended.
+        unfinished_nodes: usize,
+    },
     /// The congestion-sensitive secrecy compiler (Theorem 1.3).
     CongestionSensitive {
         /// Rounds of local secret exchange.
@@ -318,6 +342,7 @@ impl CompilerNotes {
             CompilerNotes::CycleCover { .. } => "cycle-cover",
             CompilerNotes::Rewind { .. } => "rewind",
             CompilerNotes::Secure { .. } => "secure",
+            CompilerNotes::Async { .. } => "async",
             CompilerNotes::CongestionSensitive { .. } => "congestion-sensitive",
         }
     }
@@ -402,6 +427,22 @@ impl CompilerNotes {
             } => format!("dil:{dilation},cong:{congestion}"),
             CompilerNotes::Rewind { rewinds, .. } => format!("rewinds:{rewinds}"),
             CompilerNotes::Secure { key_rounds, .. } => format!("key-rounds:{key_rounds}"),
+            CompilerNotes::Async {
+                ticks,
+                dropped_slots,
+                completed,
+                unfinished_nodes,
+                ..
+            } => {
+                let mut s = format!("ticks:{ticks}");
+                if *dropped_slots > 0 {
+                    s.push_str(&format!(",dropped:{dropped_slots}"));
+                }
+                if !completed {
+                    s.push_str(&format!(",INCOMPLETE({unfinished_nodes} nodes)"));
+                }
+                s
+            }
             CompilerNotes::CongestionSensitive {
                 local_key_rounds,
                 global_key_rounds,
@@ -485,6 +526,23 @@ impl CompilerNotes {
             } => vec![
                 ("key_rounds", *key_rounds as f64),
                 ("simulation_rounds", *simulation_rounds as f64),
+            ],
+            CompilerNotes::Async {
+                ticks,
+                exchanges,
+                delivered_slots,
+                dropped_slots,
+                delayed_slots,
+                completed,
+                unfinished_nodes,
+            } => vec![
+                ("ticks", *ticks as f64),
+                ("exchanges", *exchanges as f64),
+                ("delivered_slots", *delivered_slots as f64),
+                ("dropped_slots", *dropped_slots as f64),
+                ("delayed_slots", *delayed_slots as f64),
+                ("completed", b(*completed)),
+                ("unfinished_nodes", *unfinished_nodes as f64),
             ],
             CompilerNotes::CongestionSensitive {
                 local_key_rounds,
@@ -678,7 +736,7 @@ impl ScenarioBuilder {
     /// The payload algorithm, supplied as a factory of fresh instances.
     pub fn payload<A, F>(mut self, make: F) -> Self
     where
-        A: CongestAlgorithm + 'static,
+        A: CongestAlgorithm + Send + 'static,
         F: Fn() -> A + 'static,
     {
         self.payload = Some(Box::new(move || Box::new(make()) as BoxedAlgorithm));

@@ -18,6 +18,8 @@
 //! | [`StaticToMobileAdapter`] | `StaticToMobileCompiler` | Theorem 1.2 |
 //! | [`CongestionSensitiveAdapter`] | `CongestionSensitiveCompiler` | Theorem 1.3 |
 
+use async_exec::{AsyncExecutor, ScheduleDef};
+
 use crate::rate::RewindCompiler;
 use crate::resilient::{
     rs_error_capacity, run_expander_compiled, CliqueCompiler, CorrectionVariant,
@@ -659,10 +661,17 @@ impl Compiler for CongestionSensitiveAdapter {
 /// | `Rewind` | [`RewindAdapter`] | `RateResilient` |
 /// | `StaticToMobile` | [`StaticToMobileAdapter`] | `Secure` |
 /// | `CongestionSensitive` | [`CongestionSensitiveAdapter`] | `Secure` |
+/// | `Async` | [`async_exec::AsyncExecutor`] | `Baseline` |
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum CompilerDef {
     /// The no-defence baseline.
     Uncompiled,
+    /// The asynchronous execution runtime ([`async_exec::AsyncExecutor`]):
+    /// the uncompiled payload run under a virtual-time delivery schedule.
+    Async {
+        /// Delivery behaviour (latency, reorder, drops, partitions, crashes).
+        schedule: ScheduleDef,
+    },
     /// The network-less reference run.
     FaultFree,
     /// Theorem 1.6 ([`CliqueAdapter`]).
@@ -732,6 +741,7 @@ impl CompilerDef {
     pub fn label(&self) -> &'static str {
         match self {
             CompilerDef::Uncompiled => "uncompiled",
+            CompilerDef::Async { .. } => "async",
             CompilerDef::FaultFree => "fault-free",
             CompilerDef::Clique { .. } => "clique",
             CompilerDef::TreePacking { .. } => "tree-packing",
@@ -746,7 +756,7 @@ impl CompilerDef {
     /// What the described compiler defends against.
     pub fn kind(&self) -> CompilerKind {
         match self {
-            CompilerDef::Uncompiled => CompilerKind::Baseline,
+            CompilerDef::Uncompiled | CompilerDef::Async { .. } => CompilerKind::Baseline,
             CompilerDef::FaultFree => CompilerKind::Reference,
             CompilerDef::Clique { .. }
             | CompilerDef::TreePacking { .. }
@@ -764,6 +774,7 @@ impl CompilerDef {
         use congest_sim::scenario::{FaultFree, Uncompiled};
         match *self {
             CompilerDef::Uncompiled => Box::new(Uncompiled),
+            CompilerDef::Async { ref schedule } => Box::new(AsyncExecutor::new(schedule.clone())),
             CompilerDef::FaultFree => Box::new(FaultFree),
             CompilerDef::Clique { f, seed } => Box::new(CliqueAdapter::new(f, seed)),
             CompilerDef::TreePacking {

@@ -38,6 +38,7 @@
 //! [`Campaign`]: crate::Campaign
 
 use crate::json::{self, JsonValue};
+use async_exec::{CrashWindow, DropModel, LatencyModel, PartitionWindow, ScheduleDef};
 use congest_sim::adversary::CorruptionMode;
 use congest_sim::scenario::matrix::AdversaryDef;
 use congest_sim::scenario::BoxedAlgorithm;
@@ -531,9 +532,13 @@ fn adversary_from_json(v: &JsonValue) -> Result<AdversaryDef, SpecError> {
 
 fn compiler_to_json(def: &CompilerDef) -> String {
     let mut fields = vec![("id".to_string(), JsonValue::Str(def.label().into()))];
+    if let CompilerDef::Async { schedule } = def {
+        schedule_to_fields(schedule, &mut fields);
+        return JsonValue::Obj(fields).to_string();
+    }
     let mut num = |name: &str, v: u64| fields.push((name.to_string(), JsonValue::from_u64(v)));
     match *def {
-        CompilerDef::Uncompiled | CompilerDef::FaultFree => {}
+        CompilerDef::Uncompiled | CompilerDef::FaultFree | CompilerDef::Async { .. } => {}
         CompilerDef::Clique { f, seed } | CompilerDef::Rewind { f, seed } => {
             num("f", f as u64);
             num("seed", seed);
@@ -580,6 +585,153 @@ fn compiler_to_json(def: &CompilerDef) -> String {
     JsonValue::Obj(fields).to_string()
 }
 
+/// Append a [`ScheduleDef`]'s non-default parts to a compiler object's
+/// fields.  The synchronous default encodes as nothing at all, so
+/// `{"id": "async"}` round-trips to `ScheduleDef::synchronous()`.
+fn schedule_to_fields(schedule: &ScheduleDef, fields: &mut Vec<(String, JsonValue)>) {
+    match schedule.latency {
+        LatencyModel::Synchronous => {}
+        LatencyModel::Fixed { ticks } => {
+            fields.push(("latency".to_string(), JsonValue::Str("fixed".into())));
+            fields.push(("ticks".to_string(), JsonValue::from_u64(ticks)));
+        }
+        LatencyModel::Uniform { min, max } => {
+            fields.push(("latency".to_string(), JsonValue::Str("uniform".into())));
+            fields.push(("min".to_string(), JsonValue::from_u64(min)));
+            fields.push(("max".to_string(), JsonValue::from_u64(max)));
+        }
+    }
+    if schedule.reorder_window > 0 {
+        fields.push((
+            "reorder".to_string(),
+            JsonValue::from_u64(schedule.reorder_window),
+        ));
+    }
+    if let DropModel::EveryKth { k } = schedule.drops {
+        fields.push(("drop_every".to_string(), JsonValue::from_u64(k)));
+    }
+    if !schedule.partitions.is_empty() {
+        let windows = schedule
+            .partitions
+            .iter()
+            .map(|p| {
+                JsonValue::Obj(vec![
+                    ("from".to_string(), JsonValue::from_u64(p.from)),
+                    ("until".to_string(), JsonValue::from_u64(p.until)),
+                    (
+                        "island".to_string(),
+                        JsonValue::Arr(
+                            p.island
+                                .iter()
+                                .map(|&v| JsonValue::from_u64(v as u64))
+                                .collect(),
+                        ),
+                    ),
+                ])
+            })
+            .collect();
+        fields.push(("partitions".to_string(), JsonValue::Arr(windows)));
+    }
+    if !schedule.crashes.is_empty() {
+        let windows = schedule
+            .crashes
+            .iter()
+            .map(|c| {
+                JsonValue::Obj(vec![
+                    ("node".to_string(), JsonValue::from_u64(c.node as u64)),
+                    ("from".to_string(), JsonValue::from_u64(c.from)),
+                    ("until".to_string(), JsonValue::from_u64(c.until)),
+                ])
+            })
+            .collect();
+        fields.push(("crashes".to_string(), JsonValue::Arr(windows)));
+    }
+}
+
+/// Parse a [`ScheduleDef`] out of an `{"id": "async", ...}` compiler object;
+/// every field is optional and defaults to the synchronous schedule's value.
+fn schedule_from_json(v: &JsonValue) -> Result<ScheduleDef, SpecError> {
+    let mut schedule = ScheduleDef::synchronous();
+    let num = |obj: &JsonValue, name: &str, path: &str| {
+        obj.get(name)
+            .and_then(JsonValue::as_u64)
+            .ok_or_else(|| missing(format!("{path}.{name}")))
+    };
+    match v.get("latency").map(|l| {
+        l.as_str()
+            .ok_or_else(|| missing("compilers[].latency"))
+            .map(str::to_string)
+    }) {
+        None => {}
+        Some(label) => match label?.as_str() {
+            "fixed" => {
+                schedule.latency = LatencyModel::Fixed {
+                    ticks: num(v, "ticks", "compilers[]")?,
+                }
+            }
+            "uniform" => {
+                schedule.latency = LatencyModel::Uniform {
+                    min: num(v, "min", "compilers[]")?,
+                    max: num(v, "max", "compilers[]")?,
+                }
+            }
+            other => {
+                return Err(SpecError::UnknownLabel {
+                    registry: "latency model",
+                    label: other.into(),
+                })
+            }
+        },
+    }
+    if let Some(w) = v.get("reorder") {
+        schedule.reorder_window = w.as_u64().ok_or_else(|| missing("compilers[].reorder"))?;
+    }
+    if let Some(k) = v.get("drop_every") {
+        schedule.drops = DropModel::EveryKth {
+            k: k.as_u64()
+                .ok_or_else(|| missing("compilers[].drop_every"))?,
+        };
+    }
+    if let Some(parts) = v.get("partitions") {
+        let arr = parts
+            .as_array()
+            .ok_or_else(|| missing("compilers[].partitions"))?;
+        for p in arr {
+            let island = p
+                .get("island")
+                .and_then(JsonValue::as_array)
+                .ok_or_else(|| missing("compilers[].partitions[].island"))?
+                .iter()
+                .map(|n| {
+                    n.as_usize()
+                        .ok_or_else(|| missing("compilers[].partitions[].island[]"))
+                })
+                .collect::<Result<Vec<_>, _>>()?;
+            schedule.partitions.push(PartitionWindow {
+                from: num(p, "from", "compilers[].partitions[]")?,
+                until: num(p, "until", "compilers[].partitions[]")?,
+                island,
+            });
+        }
+    }
+    if let Some(crashes) = v.get("crashes") {
+        let arr = crashes
+            .as_array()
+            .ok_or_else(|| missing("compilers[].crashes"))?;
+        for c in arr {
+            schedule.crashes.push(CrashWindow {
+                node: c
+                    .get("node")
+                    .and_then(JsonValue::as_usize)
+                    .ok_or_else(|| missing("compilers[].crashes[].node"))?,
+                from: num(c, "from", "compilers[].crashes[]")?,
+                until: num(c, "until", "compilers[].crashes[]")?,
+            });
+        }
+    }
+    Ok(schedule)
+}
+
 fn compiler_from_json(v: &JsonValue) -> Result<CompilerDef, SpecError> {
     let id = v
         .get("id")
@@ -597,6 +749,9 @@ fn compiler_from_json(v: &JsonValue) -> Result<CompilerDef, SpecError> {
     };
     match id {
         "uncompiled" => Ok(CompilerDef::Uncompiled),
+        "async" => Ok(CompilerDef::Async {
+            schedule: schedule_from_json(v)?,
+        }),
         "fault-free" => Ok(CompilerDef::FaultFree),
         "clique" => Ok(CompilerDef::Clique {
             f: req("f")?,

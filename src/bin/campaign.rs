@@ -28,31 +28,45 @@ use std::process::ExitCode;
 use std::time::Instant;
 
 const USAGE: &str =
-    "usage: campaign --spec FILE [--out FILE] [--threads N] [--shard I/OF] [--resume]
+    "usage: campaign --spec FILE [--out FILE] [--threads N] [--shard I/OF] [--resume] [--dry-run]
 
   --spec FILE    campaign spec JSON (see specs/e16-small.json)
   --out FILE     trajectory JSONL (default: target/<spec-stem>-trajectory.jsonl)
   --threads N    worker threads (default: all cores; never changes results)
   --shard I/OF   run only cells with index % OF == I (multi-machine fan-out)
-  --resume       skip cells already present in the trajectory file";
+  --resume       skip cells already present in the trajectory file
+  --dry-run      validate only: parse + resolve the spec, print the
+                 fingerprint and cell counts, execute nothing";
 
+#[cfg_attr(test, derive(Debug))]
 struct Args {
     spec: PathBuf,
     out: Option<PathBuf>,
     threads: usize,
     shard: Option<(usize, usize)>,
     resume: bool,
+    dry_run: bool,
 }
 
-fn parse_args() -> Result<Args, String> {
+/// What a command line parses to: a run, or an explicit help request.
+#[cfg_attr(test, derive(Debug))]
+enum Parsed {
+    Run(Args),
+    Help,
+}
+
+/// Parse the arguments after the program name.  Takes the iterator as a
+/// parameter (rather than reading `std::env::args` itself) so the unit tests
+/// below can drive it with plain vectors.
+fn parse_args(mut it: impl Iterator<Item = String>) -> Result<Parsed, String> {
     let mut args = Args {
         spec: PathBuf::new(),
         out: None,
         threads: 0,
         shard: None,
         resume: false,
+        dry_run: false,
     };
-    let mut it = std::env::args().skip(1);
     let need = |it: &mut dyn Iterator<Item = String>, flag: &str| {
         it.next().ok_or_else(|| format!("{flag} needs a value"))
     };
@@ -82,17 +96,15 @@ fn parse_args() -> Result<Args, String> {
                 args.shard = Some((i, of));
             }
             "--resume" => args.resume = true,
-            "--help" | "-h" => {
-                println!("{USAGE}");
-                std::process::exit(0);
-            }
-            other => return Err(format!("unknown argument `{other}`")),
+            "--dry-run" => args.dry_run = true,
+            "--help" | "-h" => return Ok(Parsed::Help),
+            other => return Err(format!("unknown flag `{other}`")),
         }
     }
     if args.spec.as_os_str().is_empty() {
         return Err("--spec is required".to_string());
     }
-    Ok(args)
+    Ok(Parsed::Run(args))
 }
 
 /// Default trajectory path: `target/<spec-stem>-trajectory.jsonl`.
@@ -163,7 +175,13 @@ fn read_trajectory(path: &Path, spec: &CampaignSpec) -> Result<Vec<(usize, Strin
 }
 
 fn run() -> Result<(), String> {
-    let args = parse_args()?;
+    let args = match parse_args(std::env::args().skip(1))? {
+        Parsed::Run(args) => args,
+        Parsed::Help => {
+            println!("{USAGE}");
+            return Ok(());
+        }
+    };
     let spec_text = std::fs::read_to_string(&args.spec)
         .map_err(|e| format!("cannot read spec {}: {e}", args.spec.display()))?;
     let spec = CampaignSpec::from_json(&spec_text)
@@ -177,6 +195,25 @@ fn run() -> Result<(), String> {
         campaign = campaign.shard(i, of);
     }
     let wanted = campaign.cell_indices();
+
+    // Validate-only mode: the spec parsed and resolved through every
+    // registry, so report what a real run would cover and stop here.
+    if args.dry_run {
+        println!(
+            "dry run: spec {} is valid (fingerprint {})",
+            args.spec.display(),
+            spec.fingerprint(),
+        );
+        println!(
+            "  {} cells total{}; 0 executed",
+            spec.cell_count(),
+            match args.shard {
+                Some((i, of)) => format!(", shard {i}/{of} -> {} cells", wanted.len()),
+                None => String::new(),
+            },
+        );
+        return Ok(());
+    }
 
     // Cell-level resume: keep the lines already on disk, run only the rest.
     let kept: Vec<(usize, String)> = if args.resume && out.exists() {
@@ -275,5 +312,70 @@ fn main() -> ExitCode {
             eprintln!("{USAGE}");
             ExitCode::FAILURE
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(argv: &[&str]) -> Result<Parsed, String> {
+        parse_args(argv.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn unknown_flags_are_reported_by_name() {
+        let err = parse(&["--spec", "s.json", "--frobnicate"]).unwrap_err();
+        assert!(
+            err.contains("--frobnicate"),
+            "error must name the offending flag, got: {err}"
+        );
+        let err = parse(&["-x"]).unwrap_err();
+        assert!(err.contains("`-x`"), "got: {err}");
+    }
+
+    #[test]
+    fn dry_run_and_the_other_flags_parse() {
+        let Parsed::Run(args) = parse(&[
+            "--spec",
+            "s.json",
+            "--threads",
+            "3",
+            "--shard",
+            "1/4",
+            "--resume",
+            "--dry-run",
+        ])
+        .unwrap() else {
+            panic!("expected a run");
+        };
+        assert_eq!(args.spec, PathBuf::from("s.json"));
+        assert_eq!(args.threads, 3);
+        assert_eq!(args.shard, Some((1, 4)));
+        assert!(args.resume);
+        assert!(args.dry_run);
+    }
+
+    #[test]
+    fn spec_is_required_and_help_short_circuits() {
+        assert!(parse(&[]).unwrap_err().contains("--spec"));
+        assert!(matches!(parse(&["--help"]), Ok(Parsed::Help)));
+        assert!(matches!(
+            parse(&["-h", "--definitely-not-a-flag"]),
+            Ok(Parsed::Help)
+        ));
+    }
+
+    #[test]
+    fn malformed_shards_are_rejected() {
+        assert!(parse(&["--spec", "s", "--shard", "4"])
+            .unwrap_err()
+            .contains("I/OF"));
+        assert!(parse(&["--spec", "s", "--shard", "4/4"])
+            .unwrap_err()
+            .contains("out of range"));
+        assert!(parse(&["--spec", "s", "--shard", "0/0"])
+            .unwrap_err()
+            .contains("out of range"));
     }
 }

@@ -41,6 +41,13 @@
 //! * [`payloads`] — fault-free payload algorithms,
 //! * [`compilers`] — the paper's mobile-secure and mobile-resilient compilers
 //!   (wrapped for the pipeline by the adapters re-exported from [`scenario`]),
+//! * [`scenario::AsyncExecutor`] — the deterministic asynchronous execution
+//!   runtime: per-node concurrent processes under a virtual-time
+//!   discrete-event scheduler, with delivery behaviour
+//!   ([`scenario::ScheduleDef`]: latency, reorder, drops, partitions,
+//!   crash-recovery) as data, byte-replayable at any host thread count and
+//!   pinned byte-for-byte against the lockstep engine on synchronous
+//!   schedules,
 //! * [`harness`] — the deterministic parallel campaign engine: grids of
 //!   graph × adversary × compiler × seed-repetition cells fanned across
 //!   worker threads with byte-identical results at any thread count, typed
@@ -78,6 +85,9 @@ pub use sketches as sketch;
 /// adapters live in [`mobile_congest_core::adapters`].  This module is the
 /// single import surface for both.
 pub mod scenario {
+    pub use async_exec::{
+        AsyncExecutor, CrashWindow, DropModel, LatencyModel, PartitionWindow, ScheduleDef,
+    };
     pub use congest_sim::scenario::{
         doctest_payload, matrix, validate_role, BoxedAlgorithm, BuiltScenario, Compiler,
         CompilerKind, CompilerNotes, FaultFree, PayloadFactory, RunReport, Scenario,

@@ -159,6 +159,65 @@ fn frontier_spec_pins_v1_failure_and_v2_full_correction() {
     }
 }
 
+/// The async CI gate's spec, pinned as a test: `specs/async-partial-sync.json`
+/// runs the flood-broadcast payload through the asynchronous execution
+/// runtime under delay, reorder and crash-recovery schedules on a small grid
+/// and a circulant ring.  The CI pipeline runs the same spec through the
+/// campaign CLI and greps the trajectory, so this test is the local twin of
+/// the quality-gate step: every async cell completes (no node starves under
+/// any schedule), and crash-recovery cells under the eavesdropper still
+/// reach full agreement with the fault-free reference.
+#[test]
+fn async_spec_pins_completion_and_crash_recovery() {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/specs/async-partial-sync.json");
+    let text = std::fs::read_to_string(path).expect("specs/async-partial-sync.json checked in");
+    let spec = CampaignSpec::from_json(&text).expect("async spec parses");
+    assert_eq!(
+        spec.to_json(),
+        text,
+        "specs/async-partial-sync.json must stay in canonical to_json form"
+    );
+    assert_eq!(spec.cell_count(), 2 * 2 * 5 * 2);
+
+    let report = Campaign::from_spec(&spec).unwrap().threads(2).run();
+    assert_eq!(report.skipped_count(), 0, "every async cell validates");
+
+    let mut crash_recoveries = 0usize;
+    for cell in &report.cells {
+        let run = cell.outcome.as_ref().expect("async cells execute");
+        if cell.compiler.starts_with("async") {
+            // The synchronizer must drive every node to termination under
+            // every schedule — asynchrony delays rounds, it never starves
+            // them.
+            assert_eq!(
+                run.notes.metrics().iter().find(|(k, _)| *k == "completed"),
+                Some(&("completed", 1.0)),
+                "{} on {} did not complete",
+                cell.compiler,
+                cell.graph
+            );
+        }
+        if cell.adversary == "eavesdropper" {
+            // An eavesdropper never rewrites payloads, so even the crashed
+            // cells must fully recover and agree once the queue drains.
+            assert_eq!(
+                run.agrees_with_fault_free(),
+                Some(true),
+                "{} on {} diverged under a read-only adversary",
+                cell.compiler,
+                cell.graph
+            );
+            if cell.compiler.contains("crash") {
+                crash_recoveries += 1;
+            }
+        }
+    }
+    assert!(
+        crash_recoveries > 0,
+        "the crash-recovery gate cells disappeared — update the spec and CI"
+    );
+}
+
 #[test]
 fn shard_union_equals_the_unsharded_run() {
     let spec = CampaignSpec::from_json(&checked_in_spec_text()).unwrap();
