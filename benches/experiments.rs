@@ -853,6 +853,87 @@ fn e16c_packing_ab() {
     }
 }
 
+/// E16d — trace overhead A/B/C on a compact campaign grid: tracing off (the
+/// disabled tracer's single-branch fast path — the default every other
+/// experiment runs under), ring-buffer tracing, and ring tracing plus full
+/// JSONL serialization of every cell's event stream (what `--trace-dir`
+/// writes).  The off-vs-untraced-code delta is the acceptance bound (≤1%);
+/// here "off" *is* the instrumented code with tracing disabled, so ring and
+/// JSONL overheads are measured against it.  Emits the `BENCH_7` perf line
+/// (also written to `target/BENCH_7.json`).
+fn e16d_obs_overhead() {
+    use mobile_congest::obs;
+    use mobile_congest::scenario::matrix::{adversary_zoo, graph_zoo, CompilerSpec};
+
+    header(
+        "E16d",
+        "trace overhead: off vs ring vs ring+jsonl (same grid)",
+    );
+    let build = || {
+        Campaign::new(2024)
+            .graphs(graph_zoo(2024))
+            .adversaries(adversary_zoo(1))
+            .compilers(vec![
+                CompilerSpec::of(Uncompiled),
+                CompilerSpec::of(CliqueAdapter::new(1, 5)),
+                CompilerSpec::of(TreePackingAdapter::new(1, 5)),
+                CompilerSpec::of(StaticToMobileAdapter::new(4, 2, 5)),
+            ])
+            .payload(|g| Box::new(FloodBroadcast::new(g.clone(), 0, 4242)) as BoxedAlgorithm)
+            .repetitions(2)
+    };
+
+    // Warm-up pass so the first timed run does not pay cold caches.
+    std::hint::black_box(build().run());
+
+    let t0 = Instant::now();
+    let off = build().run();
+    let off_s = t0.elapsed().as_secs_f64();
+
+    let t0 = Instant::now();
+    let ring = build().trace(obs::TraceSpec::ring()).run();
+    let ring_s = t0.elapsed().as_secs_f64();
+
+    let t0 = Instant::now();
+    let jsonl_report = build().trace(obs::TraceSpec::ring()).run();
+    let mut jsonl_bytes = 0usize;
+    for cell in jsonl_report.executed() {
+        if let Ok(r) = &cell.outcome {
+            let mut buf = Vec::new();
+            r.trace.write_jsonl(&mut buf).expect("in-memory sink");
+            jsonl_bytes += std::hint::black_box(buf).len();
+        }
+    }
+    let jsonl_s = t0.elapsed().as_secs_f64();
+
+    let events: u64 = ring
+        .executed()
+        .filter_map(|c| c.outcome.as_ref().ok())
+        .map(|r| r.trace.stats.offered)
+        .sum();
+    let ring_pct = (ring_s - off_s) / off_s * 100.0;
+    let jsonl_pct = (jsonl_s - off_s) / off_s * 100.0;
+    println!(
+        "{} cells: off {off_s:.2}s, ring {ring_s:.2}s ({ring_pct:+.2}%), \
+         ring+jsonl {jsonl_s:.2}s ({jsonl_pct:+.2}%); {events} events offered, \
+         {:.2} MiB of JSONL",
+        off.cells.len(),
+        jsonl_bytes as f64 / (1024.0 * 1024.0)
+    );
+    let bench_line = format!(
+        "{{\"bench\":\"e16d-obs\",\"off_s\":{off_s:.4},\"ring_s\":{ring_s:.4},\
+         \"jsonl_s\":{jsonl_s:.4},\"ring_overhead_pct\":{ring_pct:.3},\
+         \"jsonl_overhead_pct\":{jsonl_pct:.3},\"events\":{events},\
+         \"jsonl_bytes\":{jsonl_bytes}}}"
+    );
+    println!("BENCH {bench_line}");
+    let path = std::path::Path::new("target").join("BENCH_7.json");
+    match std::fs::write(&path, format!("{bench_line}\n")) {
+        Ok(()) => println!("wrote perf line to {}", path.display()),
+        Err(e) => println!("could not write {}: {e}", path.display()),
+    }
+}
+
 fn main() {
     let t0 = Instant::now();
     e1_bit_extraction();
@@ -874,6 +955,7 @@ fn main() {
     let (e16_fingerprint, e16_secs) = e16_campaign();
     e16b_spec_campaign(&e16_fingerprint, e16_secs);
     e16c_packing_ab();
+    e16d_obs_overhead();
     println!(
         "\ntotal experiment time: {:.1}s",
         t0.elapsed().as_secs_f64()

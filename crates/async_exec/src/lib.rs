@@ -600,6 +600,11 @@ impl Compiler for AsyncExecutor {
             let horizon = schedule.horizon(rounds);
             let mut ticks_used: u64 = 0;
             let mut t: u64 = 0;
+            // Crash/recover events fire once per window even though idle
+            // ticks are skipped; all tracing happens on this scheduler
+            // thread, so streams never depend on the host count.
+            let mut crash_emitted = vec![false; schedule.crashes.len()];
+            let mut recover_emitted = vec![false; schedule.crashes.len()];
 
             // Fan a job list out to the hosts and merge the replies (sorted
             // by node, so the result is independent of the host count).
@@ -631,6 +636,21 @@ impl Compiler for AsyncExecutor {
             };
 
             while (0..n).any(|v| next_recv[v] < rounds) && t <= horizon {
+                if net.tracer_mut().is_enabled() {
+                    net.tracer_mut().set_time(t);
+                    for (i, c) in schedule.crashes.iter().enumerate() {
+                        if !crash_emitted[i] && t >= c.from {
+                            crash_emitted[i] = true;
+                            net.tracer_mut()
+                                .point(obs::EventKind::NodeCrash { node: c.node });
+                        }
+                        if !recover_emitted[i] && t >= c.until {
+                            recover_emitted[i] = true;
+                            net.tracer_mut()
+                                .point(obs::EventKind::NodeRecover { node: c.node });
+                        }
+                    }
+                }
                 // -- send phase: every live node that has consumed its
                 // previous round fires its next one on its host process.
                 let send_jobs: Vec<(NodeId, usize)> = (0..n)
@@ -655,6 +675,7 @@ impl Compiler for AsyncExecutor {
                             if should_drop(schedule.drops, present_count[arc]) {
                                 payload = None;
                                 dropped += 1;
+                                net.tracer_mut().point(obs::EventKind::SlotDropped { arc });
                             }
                         }
                         let mut arrival = t + schedule.delay(run_seed, arc, seq);
@@ -665,6 +686,7 @@ impl Compiler for AsyncExecutor {
                         last_arrival[arc] = Some(arrival);
                         if arrival > t {
                             delayed += 1;
+                            net.tracer_mut().point(obs::EventKind::SlotDelayed { arc });
                         }
                         in_flight
                             .entry(arrival)
@@ -689,6 +711,9 @@ impl Compiler for AsyncExecutor {
                         }
                     }
                     net.exchange_in_place(&mut exchange_buf);
+                    // The exchange stamps its events with the network round;
+                    // slot events go back on the tick clock.
+                    net.tracer_mut().set_time(t);
                     for m in arriving {
                         // Re-read the post-exchange state whatever the slot
                         // carried before: a byzantine adversary can rewrite,
@@ -696,6 +721,8 @@ impl Compiler for AsyncExecutor {
                         let payload = exchange_buf.get_arc(m.arc).map(|p| p.to_vec());
                         if payload.is_some() {
                             delivered += 1;
+                            net.tracer_mut()
+                                .point(obs::EventKind::SlotDelivered { arc: m.arc });
                         }
                         arrived[m.arc].push_back((m.seq, payload));
                     }

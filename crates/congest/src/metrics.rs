@@ -42,6 +42,38 @@ impl Metrics {
         self.edge_messages.iter().copied().max().unwrap_or(0)
     }
 
+    /// Compress the dense per-edge congestion profile into percentiles plus
+    /// the `k` hottest edges.  `edge_messages` is `Θ(m)` and blows up JSONL
+    /// output on large graphs; this summary is what reports should carry.
+    pub fn congestion_summary(&self, k: usize) -> CongestionSummary {
+        let mut sorted = self.edge_messages.clone();
+        sorted.sort_unstable();
+        // Nearest-rank percentile: index ⌈p·n⌉ − 1 on the sorted counts.
+        let pct = |p: f64| -> usize {
+            if sorted.is_empty() {
+                return 0;
+            }
+            let rank = (p * sorted.len() as f64).ceil() as usize;
+            sorted[rank.clamp(1, sorted.len()) - 1]
+        };
+        let mut by_load: Vec<EdgeId> = (0..self.edge_messages.len()).collect();
+        // Deterministic: ties broken by edge id.
+        by_load.sort_by_key(|&e| (std::cmp::Reverse(self.edge_messages[e]), e));
+        let topk = by_load
+            .into_iter()
+            .take(k)
+            .map(|e| (e, self.edge_messages[e]))
+            .filter(|&(_, c)| c > 0)
+            .collect();
+        CongestionSummary {
+            p50: pct(0.50),
+            p90: pct(0.90),
+            p99: pct(0.99),
+            max: *sorted.last().unwrap_or(&0),
+            topk,
+        }
+    }
+
     pub(crate) fn record_exchange(&mut self, traffic: &Traffic, bandwidth_words: usize) {
         self.rounds += 1;
         let max_words = traffic.max_words();
@@ -56,6 +88,33 @@ impl Metrics {
     pub(crate) fn record_corruption(&mut self, edges: &[EdgeId], altered_messages: usize) {
         self.corrupted_edge_rounds += edges.len();
         self.corrupted_messages += altered_messages;
+    }
+}
+
+/// Bounded congestion digest of [`Metrics::edge_messages`]: nearest-rank
+/// percentiles over all edges plus the `k` hottest `(edge, count)` pairs.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CongestionSummary {
+    /// Median per-edge message count.
+    pub p50: usize,
+    /// 90th-percentile per-edge message count.
+    pub p90: usize,
+    /// 99th-percentile per-edge message count.
+    pub p99: usize,
+    /// Hottest edge's message count (= [`Metrics::max_edge_congestion`]).
+    pub max: usize,
+    /// The `k` hottest edges with their counts, hottest first (ties broken by
+    /// edge id; zero-load edges omitted).
+    pub topk: Vec<(EdgeId, usize)>,
+}
+
+impl CongestionSummary {
+    /// Mean load over the retained top-k edges (0.0 when none carried traffic).
+    pub fn topk_mean(&self) -> f64 {
+        if self.topk.is_empty() {
+            return 0.0;
+        }
+        self.topk.iter().map(|&(_, c)| c as f64).sum::<f64>() / self.topk.len() as f64
     }
 }
 
@@ -114,6 +173,41 @@ mod tests {
         m.record_corruption(&[1], 1);
         assert_eq!(m.corrupted_edge_rounds, 3);
         assert_eq!(m.corrupted_messages, 4);
+    }
+
+    #[test]
+    fn congestion_summary_percentiles_and_topk() {
+        let g = generators::complete(5); // 10 edges
+        let mut m = Metrics::new(&g);
+        m.edge_messages = vec![0, 1, 1, 2, 2, 3, 3, 4, 9, 20];
+        let s = m.congestion_summary(3);
+        assert_eq!(s.max, 20);
+        assert_eq!(s.p50, 2);
+        assert_eq!(s.p90, 9);
+        assert_eq!(s.p99, 20);
+        assert_eq!(s.topk, vec![(9, 20), (8, 9), (7, 4)]);
+        assert!((s.topk_mean() - 11.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn congestion_summary_ties_break_by_edge_id() {
+        let g = generators::path(4); // 3 edges
+        let mut m = Metrics::new(&g);
+        m.edge_messages = vec![5, 5, 5];
+        let s = m.congestion_summary(2);
+        assert_eq!(s.topk, vec![(0, 5), (1, 5)]);
+    }
+
+    #[test]
+    fn congestion_summary_empty_and_idle_edges() {
+        let m = Metrics::default();
+        let s = m.congestion_summary(4);
+        assert_eq!((s.p50, s.p90, s.p99, s.max), (0, 0, 0, 0));
+        assert!(s.topk.is_empty());
+        assert_eq!(s.topk_mean(), 0.0);
+        let g = generators::path(3);
+        let idle = Metrics::new(&g);
+        assert!(idle.congestion_summary(4).topk.is_empty());
     }
 
     #[test]

@@ -27,6 +27,7 @@ use crate::adversary::{AdversaryRole, AdversaryStrategy, CorruptionBudget, EdgeS
 use crate::metrics::Metrics;
 use crate::traffic::{Payload, Traffic};
 use netgraph::{EdgeId, Graph};
+use obs::{EventKind, Phase, Tracer};
 use rand::Rng;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -176,6 +177,7 @@ pub struct Network {
     corruption_rng: ChaCha8Rng,
     run_seed: u64,
     buffers: RoundBuffers,
+    tracer: Tracer,
 }
 
 impl std::fmt::Debug for Network {
@@ -229,7 +231,31 @@ impl Network {
             corruption_rng: ChaCha8Rng::seed_from_u64(seed ^ 0xAD5E_55A7),
             run_seed: seed,
             buffers: RoundBuffers::default(),
+            tracer: Tracer::disabled(),
         }
+    }
+
+    /// Install a tracer (replacing the default disabled one).  All subsequent
+    /// rounds emit `RoundExchange` spans and corruption point events into it.
+    pub fn install_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
+    }
+
+    /// The network's tracer (disabled by default — every call on it is a
+    /// single-branch no-op).
+    pub fn tracer_mut(&mut self) -> &mut Tracer {
+        &mut self.tracer
+    }
+
+    /// Remove the tracer for harvesting, leaving a disabled one behind.
+    pub fn take_tracer(&mut self) -> Tracer {
+        std::mem::take(&mut self.tracer)
+    }
+
+    /// Split borrow: the graph plus the tracer, for instrumented code that
+    /// needs to read the topology while emitting events.
+    pub fn graph_and_tracer(&mut self) -> (&Graph, &mut Tracer) {
+        (&self.graph, &mut self.tracer)
     }
 
     /// The seed this network was constructed with.  Deterministic executors
@@ -309,6 +335,8 @@ impl Network {
             self.graph.arc_count()
         );
         let round = self.metrics.rounds;
+        self.tracer.set_time(round as u64);
+        self.tracer.span_open(Phase::RoundExchange);
         self.metrics.record_exchange(traffic, self.bandwidth_words);
 
         // 1. Let the strategy mark edges, then clamp to the budget.
@@ -339,6 +367,7 @@ impl Network {
         let mode = self.strategy.corruption_mode();
         for &e in controlled.iter() {
             let (fwd_arc, bwd_arc) = Graph::arcs_of(e);
+            self.tracer.point(EventKind::CorruptionApplied { edge: e });
             match self.role {
                 AdversaryRole::Eavesdropper => {
                     self.view_log.entries.push(ViewEntry {
@@ -370,6 +399,7 @@ impl Network {
         }
         self.metrics.record_corruption(controlled, altered);
         self.corruption_history.push_round(controlled);
+        self.tracer.span_close(Phase::RoundExchange);
     }
 
     /// Run `count` empty rounds (used to model waiting / padding rounds; the

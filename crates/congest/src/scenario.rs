@@ -689,6 +689,7 @@ impl Scenario {
             compiler: None,
             bandwidth_words: None,
             check_fault_free: true,
+            trace: obs::TraceSpec::off(),
         }
     }
 }
@@ -730,6 +731,7 @@ pub struct ScenarioBuilder {
     compiler: Option<Box<dyn Compiler>>,
     bandwidth_words: Option<usize>,
     check_fault_free: bool,
+    trace: obs::TraceSpec,
 }
 
 impl ScenarioBuilder {
@@ -806,6 +808,16 @@ impl ScenarioBuilder {
         self
     }
 
+    /// How the run should trace (default: [`obs::TraceSpec::off`], the
+    /// single-branch no-op path).  With a ring spec, the compiled execution
+    /// emits phase spans and point events into a per-run tracer whose
+    /// harvested stream lands on [`RunReport::trace`] — a pure function of
+    /// `(scenario, seed)`, byte-identical at any thread or host count.
+    pub fn trace(mut self, spec: obs::TraceSpec) -> Self {
+        self.trace = spec;
+        self
+    }
+
     /// Validate the configuration into a runnable [`BuiltScenario`].
     ///
     /// All *configuration* errors surface here (missing payload, role /
@@ -830,6 +842,7 @@ impl ScenarioBuilder {
             compiler,
             bandwidth_words: self.bandwidth_words,
             check_fault_free: self.check_fault_free,
+            trace: self.trace,
         })
     }
 
@@ -871,6 +884,7 @@ pub struct BuiltScenario {
     compiler: Box<dyn Compiler>,
     bandwidth_words: Option<usize>,
     check_fault_free: bool,
+    trace: obs::TraceSpec,
 }
 
 impl BuiltScenario {
@@ -892,6 +906,8 @@ impl BuiltScenario {
         };
         drop(probe);
 
+        let mut tracer = self.trace.build_tracer();
+        tracer.span_open(obs::Phase::GraphBuild);
         let mut net = Network::new(
             self.graph,
             self.role,
@@ -899,11 +915,20 @@ impl BuiltScenario {
             self.budget.clone(),
             self.seed,
         );
+        tracer.span_close(obs::Phase::GraphBuild);
+        // Force the lazy CSR adjacency index under its own span, so compilers
+        // downstream see a warm index and the build cost is attributed here.
+        tracer.span_open(obs::Phase::CsrIndex);
+        let _ = net.graph().csr();
+        tracer.span_close(obs::Phase::CsrIndex);
+        net.install_tracer(tracer);
         if let Some(words) = self.bandwidth_words {
             net.set_bandwidth_words(words);
         }
         let adversary = net.adversary_name();
-        let (outputs, notes) = self.compiler.compile_replayable(&self.payload, &mut net)?;
+        let result = self.compiler.compile_replayable(&self.payload, &mut net);
+        let trace = net.take_tracer().finish();
+        let (outputs, notes) = result?;
         let fault_free = if self.check_fault_free && is_reference {
             Some(outputs.clone())
         } else {
@@ -925,6 +950,7 @@ impl BuiltScenario {
             notes,
             metrics: net.metrics().clone(),
             view: net.view_log().clone(),
+            trace,
         })
     }
 }
@@ -963,6 +989,13 @@ pub struct RunReport {
     pub metrics: Metrics,
     /// What the eavesdropper saw (empty for byzantine roles).
     pub view: ViewLog,
+    /// Harvested trace: retained events (virtual-time only), the out-of-band
+    /// per-phase wall profile, and the tracer's counters.  Empty and
+    /// all-zero unless the scenario was built with
+    /// [`ScenarioBuilder::trace`].  Its `Debug` form (which campaign
+    /// fingerprints include) carries only counts and an event-stream digest,
+    /// never wall durations.
+    pub trace: obs::RunTrace,
 }
 
 impl RunReport {
@@ -975,6 +1008,12 @@ impl RunReport {
     /// Network rounds per payload round.
     pub fn overhead(&self) -> f64 {
         self.network_rounds as f64 / self.payload_rounds.max(1) as f64
+    }
+
+    /// The per-phase wall-clock profile of the run (all-zero when the
+    /// scenario was not traced).
+    pub fn profile(&self) -> &obs::PhaseProfile {
+        &self.trace.profile
     }
 
     /// Whether this run counts as correct for grid verdicts: baseline-kind
@@ -1529,6 +1568,24 @@ pub mod matrix {
     where
         P: Fn(&Graph) -> BoxedAlgorithm + Clone + 'static,
     {
+        run_cell_traced(gspec, aspec, cspec, payload, seed, obs::TraceSpec::off())
+    }
+
+    /// [`run_cell`] with an explicit trace spec: the cell's event stream and
+    /// per-phase wall profile come back on [`RunReport::trace`].  Because a
+    /// cell's trace is a pure function of the specs and the seed, traced
+    /// campaigns stay byte-identical at any worker-thread count.
+    pub fn run_cell_traced<P>(
+        gspec: &GraphSpec,
+        aspec: &AdversarySpec,
+        cspec: &CompilerSpec,
+        payload: &P,
+        seed: u64,
+        trace: obs::TraceSpec,
+    ) -> Result<RunReport, ScenarioError>
+    where
+        P: Fn(&Graph) -> BoxedAlgorithm + Clone + 'static,
+    {
         let graph = gspec.graph.clone();
         let payload_graph = gspec.graph.clone();
         let make_payload = payload.clone();
@@ -1537,6 +1594,7 @@ pub mod matrix {
             .adversary_boxed(aspec.role, (aspec.make)(seed), aspec.budget.clone())
             .seed(seed)
             .compiled_with_boxed((cspec.make)())
+            .trace(trace)
             .run()
     }
 

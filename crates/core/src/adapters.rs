@@ -35,7 +35,8 @@ use congest_sim::traffic::Output;
 use congest_sim::AdversaryRole;
 use netgraph::connectivity::edge_connectivity;
 use netgraph::tree_packing::{
-    augmented_low_depth_packing, greedy_low_depth_packing, load_floor, star_packing, TreePacking,
+    augmented_low_depth_packing_traced, greedy_low_depth_packing, load_floor, star_packing,
+    TreePacking,
 };
 use netgraph::{Graph, NodeId, PackingVersion};
 
@@ -112,15 +113,21 @@ fn validate_clique_floor(compiler: &str, g: &Graph, f: usize) -> Result<(), Scen
 /// star packing on cliques; elsewhere the Appendix-C greedy packing (v1) or
 /// its augmenting-path repaired successor (v2) per the selected
 /// [`PackingVersion`].
-fn resilient_packing(g: &Graph, k: usize, version: PackingVersion) -> TreePacking {
-    if is_complete(g) {
+fn resilient_packing(net: &mut Network, k: usize, version: PackingVersion) -> TreePacking {
+    let (g, tracer) = net.graph_and_tracer();
+    tracer.span_open(obs::Phase::Packing);
+    let packing = if is_complete(g) {
         star_packing(g, 0)
     } else {
         match version {
             PackingVersion::V1Greedy => greedy_low_depth_packing(g, 0, k, 2),
-            PackingVersion::V2Augmented => augmented_low_depth_packing(g, 0, k, 2),
+            PackingVersion::V2Augmented => {
+                augmented_low_depth_packing_traced(g, 0, k, 2, None, tracer)
+            }
         }
-    }
+    };
+    tracer.span_close(obs::Phase::Packing);
+    packing
 }
 
 /// The number of trees the majority argument needs against `f` mobile faults
@@ -201,8 +208,10 @@ impl Compiler for CliqueAdapter {
         net: &mut Network,
     ) -> Result<(Vec<Output>, CompilerNotes), ScenarioError> {
         validate_role(self, net.role())?;
-        let compiler =
-            CliqueCompiler::new(net.graph(), self.f, self.seed).with_variant(self.variant);
+        let (g, tracer) = net.graph_and_tracer();
+        tracer.span_open(obs::Phase::Packing);
+        let compiler = CliqueCompiler::new(g, self.f, self.seed).with_variant(self.variant);
+        tracer.span_close(obs::Phase::Packing);
         let (out, report) = compiler.run(&mut *payload, net);
         Ok((out, resilient_notes(&report)))
     }
@@ -287,7 +296,7 @@ impl Compiler for TreePackingAdapter {
         // Full graph validation runs once at `ScenarioBuilder::build`; here
         // only the cheap role check guards direct trait callers.
         validate_role(self, net.role())?;
-        let packing = resilient_packing(net.graph(), self.k, self.packing);
+        let packing = resilient_packing(net, self.k, self.packing);
         let compiler =
             MobileByzantineCompiler::new(packing, self.f, self.seed).with_variant(self.variant);
         let (out, report) = compiler.run(&mut *payload, net);
@@ -483,11 +492,7 @@ impl Compiler for RewindAdapter {
         // Full graph validation runs once at `ScenarioBuilder::build`; here
         // only the cheap role check guards direct trait callers.
         validate_role(self, net.role())?;
-        let packing = resilient_packing(
-            net.graph(),
-            default_tree_count(self.f),
-            PackingVersion::default(),
-        );
+        let packing = resilient_packing(net, default_tree_count(self.f), PackingVersion::default());
         let compiler = RewindCompiler::new(packing, self.f, self.seed);
         let (out, report) = compiler.run(make, net);
         if !report.completed {

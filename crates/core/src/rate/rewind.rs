@@ -129,6 +129,7 @@ impl RewindCompiler {
             }
 
             // Phase B: message correction (Lemma 4.2).
+            net.tracer_mut().span_open(obs::Phase::Correction);
             let (corrected, _rep) = sparse_majority_correction(
                 net,
                 &self.packing,
@@ -137,6 +138,7 @@ impl RewindCompiler {
                 8 * self.f.max(1) * (intended.max_words().max(1) + 1),
                 self.seed ^ ((sim_round as u64) << 18),
             );
+            net.tracer_mut().span_close(obs::Phase::Correction);
 
             // Phase C: rewind-if-error — verify the whole committed prefix plus
             // the new round, with the verdict aggregated over the packing's trees.
@@ -162,6 +164,11 @@ impl RewindCompiler {
             } else {
                 // A corrupted verdict rejected a good round: retry (counts as a rewind).
                 rewinds += 1;
+            }
+            if !good_state {
+                net.tracer_mut().point(obs::EventKind::RewindTriggered {
+                    committed: committed.len(),
+                });
             }
             progress_trace.push(committed.len());
         }

@@ -226,7 +226,9 @@ pub fn sparse_majority_correction(
     for (&el, &f) in &truth {
         global.update(el, f);
     }
+    net.tracer_mut().span_open(obs::Phase::Decode);
     let true_decode: Option<Vec<(u64, i64)>> = global.decode();
+    net.tracer_mut().span_close(obs::Phase::Decode);
 
     // Aggregation cost per tree: D_TP hops, each carrying the (multi-word) sketch.
     let report = RsScheduler.run_family(net, packing, dtp + sparsity);
@@ -367,7 +369,9 @@ pub fn l0_threshold_correction(
         for (&el, &fq) in &truth {
             bank.update(el, fq);
         }
+        net.tracer_mut().span_open(obs::Phase::Decode);
         let true_samples = bank.query_all();
+        net.tracer_mut().span_close(obs::Phase::Decode);
 
         let sched = RsScheduler.run_family(net, packing, dtp + 2);
         let failed = k - sched.success_count();

@@ -47,6 +47,7 @@ pub fn weak_packing_under_attack(
     let n = g.node_count();
     let root: NodeId = n - 1;
     let start = net.round();
+    net.tracer_mut().span_open(obs::Phase::Packing);
     let mut node_rngs: Vec<_> = g.nodes().map(|v| Network::node_rng(seed, v)).collect();
 
     // Round 1: the higher-id endpoint of every edge draws a colour and sends it
@@ -117,6 +118,7 @@ pub fn weak_packing_under_attack(
         })
         .collect();
     let packing = TreePacking::new(trees);
+    net.tracer_mut().span_close(obs::Phase::Packing);
     let good = packing.count_good(&g, root, bfs_rounds);
     let report = WeakPackingReport {
         k,

@@ -122,6 +122,7 @@ impl MobileByzantineCompiler {
             // the adversary could have touched this round: O(f) messages of up to
             // `max_words` words each (plus their length records).
             let sparsity = 8 * self.f.max(1) * (sent.max_words().max(1) + 1);
+            net.tracer_mut().span_open(obs::Phase::Correction);
             let (corrected, report) = match self.variant {
                 CorrectionVariant::SparseMajority => sparse_majority_correction(
                     net,
@@ -141,6 +142,7 @@ impl MobileByzantineCompiler {
                     self.seed ^ ((round as u64) << 20),
                 ),
             };
+            net.tracer_mut().span_close(obs::Phase::Correction);
             alg.receive(round, &corrected);
             per_round.push(report);
         }

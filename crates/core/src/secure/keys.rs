@@ -62,6 +62,7 @@ impl KeyPool {
             "messages must have at least one word"
         );
         let g = net.graph().clone();
+        net.tracer_mut().span_open(obs::Phase::KeySchedule);
         let chunks_per_round = words_per_message * CHUNKS_PER_WORD;
         let exchange_rounds = rounds + t;
 
@@ -113,6 +114,7 @@ impl KeyPool {
             }
             chunks[arc] = flat;
         }
+        net.tracer_mut().span_close(obs::Phase::KeySchedule);
         KeyPool {
             chunks,
             chunks_per_round,

@@ -6,7 +6,7 @@ use crate::engine;
 use crate::json::{json_num, json_str};
 use crate::spec::{CampaignSpec, SpecError};
 use crate::stats::StatSummary;
-use congest_sim::scenario::matrix::{run_cell, AdversarySpec, CompilerSpec, GraphSpec};
+use congest_sim::scenario::matrix::{run_cell_traced, AdversarySpec, CompilerSpec, GraphSpec};
 use congest_sim::scenario::{BoxedAlgorithm, RunReport, ScenarioError};
 use netgraph::Graph;
 use std::sync::Arc;
@@ -46,6 +46,7 @@ pub struct Campaign {
     seed: u64,
     threads: usize,
     shard: Option<(usize, usize)>,
+    trace: obs::TraceSpec,
 }
 
 impl Campaign {
@@ -60,6 +61,7 @@ impl Campaign {
             seed,
             threads: 0,
             shard: None,
+            trace: obs::TraceSpec::off(),
         }
     }
 
@@ -139,6 +141,17 @@ impl Campaign {
         self
     }
 
+    /// Per-cell tracing (default [`obs::TraceSpec::off`]).  Cells record into
+    /// ring sinks inside the workers — no I/O on the worker threads — and the
+    /// harvested event streams and per-phase profiles ride back on each
+    /// cell's [`RunReport`].  Streams carry virtual time only, so they are
+    /// byte-identical at any thread count; only the out-of-band wall-clock
+    /// profile varies run to run.
+    pub fn trace(mut self, trace: obs::TraceSpec) -> Self {
+        self.trace = trace;
+        self
+    }
+
     /// Restrict the campaign to shard `index` of `of`: cell `i` belongs to
     /// shard `i % of`.  Cells keep their **global** index and therefore their
     /// seed, so the union of all `of` shard runs (see
@@ -179,7 +192,7 @@ impl Campaign {
     /// Cells are enumerated graph-major, then adversary, then compiler, with
     /// repetitions innermost; each cell's RNG seed is [`cell_seed`]`(campaign
     /// seed, cell index)` and the whole cell is built and run inside the
-    /// worker via [`run_cell`], so the report is byte-identical at any thread
+    /// worker via [`run_cell_traced`], so the report is byte-identical at any thread
     /// count.
     ///
     /// # Panics
@@ -237,7 +250,7 @@ impl Campaign {
                 compiler: cspec.name.clone(),
                 repetition: rep,
                 seed,
-                outcome: run_cell(gspec, aspec, cspec, &cell_payload, seed),
+                outcome: run_cell_traced(gspec, aspec, cspec, &cell_payload, seed, self.trace),
             }
         });
         CampaignReport { cells }
@@ -306,6 +319,12 @@ pub struct GroupSummary {
     /// (`rewinds`, `fully_corrected`, `key_rounds`,
     /// `good_trees`, …).
     pub stats: Vec<(String, StatSummary)>,
+    /// Per-phase wall-time aggregate over the group's executed repetitions:
+    /// `(phase name, closed spans, total milliseconds)`, in [`obs::Phase`]
+    /// order, phases with no spans omitted.  Empty unless the campaign ran
+    /// with tracing enabled ([`Campaign::trace`]); wall times are measurement,
+    /// not data — they never enter fingerprints or cell JSONL lines.
+    pub profile: Vec<(String, u64, f64)>,
 }
 
 impl GroupSummary {
@@ -401,9 +420,16 @@ impl CampaignReport {
                         "corrupted_edge_rounds",
                         report.metrics.corrupted_edge_rounds as f64,
                     );
+                    let cong = report.metrics.congestion_summary(3);
+                    push("cong_p99", cong.p99 as f64);
+                    push("cong_topk", cong.topk_mean());
                     for (name, value) in report.notes.metrics() {
                         push(name, value);
                     }
+                }
+                let mut profile = obs::PhaseProfile::default();
+                for report in &reports {
+                    profile.merge(&report.trace.profile);
                 }
                 GroupSummary {
                     graph,
@@ -422,6 +448,11 @@ impl CampaignReport {
                     stats: stats
                         .into_iter()
                         .filter_map(|(name, samples)| StatSummary::of(&samples).map(|s| (name, s)))
+                        .collect(),
+                    profile: profile
+                        .rows()
+                        .into_iter()
+                        .map(|(name, spans, nanos)| (name.to_string(), spans, nanos as f64 / 1.0e6))
                         .collect(),
                 }
             })
@@ -559,7 +590,10 @@ pub fn cell_json(cell: &CampaignCell) -> String {
     line
 }
 
-fn summary_json(s: &GroupSummary) -> String {
+/// One `kind:"summary"` JSONL line per grid cell (shared by
+/// [`CampaignReport::to_jsonl`] and the campaign CLI's machine-parseable
+/// stdout).  The `profile` object appears only on traced runs.
+pub fn summary_json(s: &GroupSummary) -> String {
     let mut line = format!(
         "{{\"kind\":\"summary\",\"graph\":{},\"adversary\":{},\"compiler\":{},\"executed\":{},\"skipped\":{},\"failed\":{},\"disagreements\":{},\"stats\":{{",
         json_str(&s.graph),
@@ -587,7 +621,25 @@ fn summary_json(s: &GroupSummary) -> String {
             json_num(stat.p99),
         ));
     }
-    line.push_str("}}");
+    line.push('}');
+    // Wall-clock profile: present only on traced runs, so untraced summary
+    // lines stay byte-identical to pre-tracing output.
+    if !s.profile.is_empty() {
+        line.push_str(",\"profile\":{");
+        for (i, (name, spans, ms)) in s.profile.iter().enumerate() {
+            if i > 0 {
+                line.push(',');
+            }
+            line.push_str(&format!(
+                "{}:{{\"spans\":{},\"ms\":{}}}",
+                json_str(name),
+                spans,
+                json_num(*ms),
+            ));
+        }
+        line.push('}');
+    }
+    line.push('}');
     line
 }
 

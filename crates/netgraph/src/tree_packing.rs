@@ -278,11 +278,36 @@ pub fn augmented_low_depth_packing_with_budget(
     eta_hint: usize,
     hop_budget: Option<usize>,
 ) -> TreePacking {
+    augmented_low_depth_packing_traced(
+        g,
+        root,
+        k,
+        eta_hint,
+        hop_budget,
+        &mut obs::Tracer::disabled(),
+    )
+}
+
+/// [`augmented_low_depth_packing_with_budget`] with a tracer: each successful
+/// augmenting-chain application of the v2 repair pass emits an
+/// [`obs::EventKind::AugmentingChainStep`] point event.
+///
+/// # Panics
+///
+/// Panics if the graph is disconnected or `k == 0`.
+pub fn augmented_low_depth_packing_traced(
+    g: &Graph,
+    root: NodeId,
+    k: usize,
+    eta_hint: usize,
+    hop_budget: Option<usize>,
+    tracer: &mut obs::Tracer,
+) -> TreePacking {
     let diam = crate::traversal::diameter(g).unwrap_or(g.node_count());
     let budget = hop_budget.unwrap_or(2 * diam + 2);
     let greedy = greedy_low_depth_packing_with_budget(g, root, k, eta_hint, Some(budget));
     let eta_star = load_floor(g, k).max(eta_hint);
-    improve_packing(g, root, greedy, eta_star, budget + diam)
+    improve_packing_traced(g, root, greedy, eta_star, budget + diam, tracer)
 }
 
 /// The v2 repair pass, in two phases:
@@ -314,6 +339,28 @@ pub fn improve_packing(
     eta_star: usize,
     height_budget: usize,
 ) -> TreePacking {
+    improve_packing_traced(
+        g,
+        root,
+        packing,
+        eta_star,
+        height_budget,
+        &mut obs::Tracer::disabled(),
+    )
+}
+
+/// [`improve_packing`] with a tracer: one
+/// [`obs::EventKind::AugmentingChainStep`] point event per successful
+/// augmenting-chain application (the `step` field is the load-reduction
+/// round index).
+pub fn improve_packing_traced(
+    g: &Graph,
+    root: NodeId,
+    packing: TreePacking,
+    eta_star: usize,
+    height_budget: usize,
+    tracer: &mut obs::Tracer,
+) -> TreePacking {
     let mut trees = packing.trees;
     for ti in 0..trees.len() {
         complete_spanning(g, root, &mut trees, ti);
@@ -326,7 +373,7 @@ pub fn improve_packing(
     // the first unchanged attempt is the fixpoint.  The round bound is a
     // safety net against partial-application livelock.
     let max_rounds = 8 * g.edge_count().max(1);
-    for _ in 0..max_rounds {
+    for step in 0..max_rounds {
         let load = edge_loads(g, &trees);
         if load.iter().all(|&l| l <= eta_star) {
             break;
@@ -334,6 +381,7 @@ pub fn improve_packing(
         if !augment_once(g, root, &mut trees, eta_star, height_budget) {
             break;
         }
+        tracer.point(obs::EventKind::AugmentingChainStep { step });
     }
     TreePacking::new(trees)
 }

@@ -19,24 +19,38 @@
 //! rather than silently mixed.  `--shard I/OF` restricts the run to the
 //! cells with `index % OF == I`; shard outputs merge cleanly because every
 //! cell line depends only on the cell's global index.
+//!
+//! **Stream contract**: stdout carries machine-parseable output only (the
+//! `kind:"summary"` JSONL lines of the executed batch); everything narrative
+//! — progress, tables, timings — goes to stderr, and `--quiet` silences it.
+//! `--trace-dir DIR` turns on deterministic event tracing
+//! ([`obs::TraceSpec::ring`]): each executed cell's event stream is written
+//! to `DIR/<fingerprint>-cell<index>.jsonl` and a per-phase wall-time table
+//! is printed to stderr.
 
-use mobile_congest::harness::campaign::cell_json;
+use mobile_congest::harness::campaign::{cell_json, summary_json, GroupSummary};
 use mobile_congest::harness::json::{self, JsonValue};
 use mobile_congest::harness::{Campaign, CampaignSpec};
+use mobile_congest::obs;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 use std::time::Instant;
 
 const USAGE: &str =
     "usage: campaign --spec FILE [--out FILE] [--threads N] [--shard I/OF] [--resume] [--dry-run]
+                [--trace-dir DIR] [--quiet]
 
-  --spec FILE    campaign spec JSON (see specs/e16-small.json)
-  --out FILE     trajectory JSONL (default: target/<spec-stem>-trajectory.jsonl)
-  --threads N    worker threads (default: all cores; never changes results)
-  --shard I/OF   run only cells with index % OF == I (multi-machine fan-out)
-  --resume       skip cells already present in the trajectory file
-  --dry-run      validate only: parse + resolve the spec, print the
-                 fingerprint and cell counts, execute nothing";
+  --spec FILE      campaign spec JSON (see specs/e16-small.json)
+  --out FILE       trajectory JSONL (default: target/<spec-stem>-trajectory.jsonl)
+  --threads N      worker threads (default: all cores; never changes results)
+  --shard I/OF     run only cells with index % OF == I (multi-machine fan-out)
+  --resume         skip cells already present in the trajectory file
+  --dry-run        validate only: parse + resolve the spec, print the
+                   fingerprint and cell counts, execute nothing
+  --trace-dir DIR  record deterministic event traces: one
+                   DIR/<fingerprint>-cell<index>.jsonl per executed cell,
+                   plus a per-phase wall-time profile table on stderr
+  --quiet          suppress stderr diagnostics (stdout and errors unaffected)";
 
 #[cfg_attr(test, derive(Debug))]
 struct Args {
@@ -46,6 +60,8 @@ struct Args {
     shard: Option<(usize, usize)>,
     resume: bool,
     dry_run: bool,
+    trace_dir: Option<PathBuf>,
+    quiet: bool,
 }
 
 /// What a command line parses to: a run, or an explicit help request.
@@ -66,6 +82,8 @@ fn parse_args(mut it: impl Iterator<Item = String>) -> Result<Parsed, String> {
         shard: None,
         resume: false,
         dry_run: false,
+        trace_dir: None,
+        quiet: false,
     };
     let need = |it: &mut dyn Iterator<Item = String>, flag: &str| {
         it.next().ok_or_else(|| format!("{flag} needs a value"))
@@ -97,6 +115,8 @@ fn parse_args(mut it: impl Iterator<Item = String>) -> Result<Parsed, String> {
             }
             "--resume" => args.resume = true,
             "--dry-run" => args.dry_run = true,
+            "--trace-dir" => args.trace_dir = Some(PathBuf::from(need(&mut it, "--trace-dir")?)),
+            "--quiet" => args.quiet = true,
             "--help" | "-h" => return Ok(Parsed::Help),
             other => return Err(format!("unknown flag `{other}`")),
         }
@@ -182,6 +202,13 @@ fn run() -> Result<(), String> {
             return Ok(());
         }
     };
+    // Diagnostics go to stderr so stdout stays machine-parseable; `--quiet`
+    // silences them without touching stdout or error reporting.
+    let diag = |msg: String| {
+        if !args.quiet {
+            eprintln!("{msg}");
+        }
+    };
     let spec_text = std::fs::read_to_string(&args.spec)
         .map_err(|e| format!("cannot read spec {}: {e}", args.spec.display()))?;
     let spec = CampaignSpec::from_json(&spec_text)
@@ -194,24 +221,27 @@ fn run() -> Result<(), String> {
     if let Some((i, of)) = args.shard {
         campaign = campaign.shard(i, of);
     }
+    if args.trace_dir.is_some() {
+        campaign = campaign.trace(obs::TraceSpec::ring());
+    }
     let wanted = campaign.cell_indices();
 
     // Validate-only mode: the spec parsed and resolved through every
     // registry, so report what a real run would cover and stop here.
     if args.dry_run {
-        println!(
+        diag(format!(
             "dry run: spec {} is valid (fingerprint {})",
             args.spec.display(),
             spec.fingerprint(),
-        );
-        println!(
+        ));
+        diag(format!(
             "  {} cells total{}; 0 executed",
             spec.cell_count(),
             match args.shard {
                 Some((i, of)) => format!(", shard {i}/{of} -> {} cells", wanted.len()),
                 None => String::new(),
             },
-        );
+        ));
         return Ok(());
     }
 
@@ -228,7 +258,7 @@ fn run() -> Result<(), String> {
         .filter(|i| !present.contains(i))
         .collect();
 
-    println!(
+    diag(format!(
         "campaign {} (fingerprint {}): {} cells{}{}",
         args.spec.display(),
         spec.fingerprint(),
@@ -246,13 +276,13 @@ fn run() -> Result<(), String> {
         } else {
             String::new()
         },
-    );
+    ));
 
     if missing.is_empty() {
-        println!(
+        diag(format!(
             "nothing to do: trajectory {} already covers every cell",
             out.display()
-        );
+        ));
         return Ok(());
     }
 
@@ -260,13 +290,48 @@ fn run() -> Result<(), String> {
     let report = campaign.run_cells(&missing);
     let wall = t0.elapsed().as_secs_f64();
     let summaries = report.summaries();
-    print!("{}", report.to_table_with(&summaries));
-    println!(
+    if !args.quiet {
+        eprint!("{}", report.to_table_with(&summaries));
+    }
+    diag(format!(
         "{} cells executed ({} skipped by validation) in {wall:.2}s; protected cells agree: {}",
         report.cells.len(),
         report.skipped_count(),
         report.all_protected_cells_agree(),
-    );
+    ));
+    // The machine-parseable product of this run: one summary line per grid
+    // cell, on stdout.
+    for s in &summaries {
+        println!("{}", summary_json(s));
+    }
+
+    // Event traces: one JSONL stream per executed cell, keyed by the spec
+    // fingerprint so files from different campaigns never collide.
+    if let Some(trace_dir) = &args.trace_dir {
+        std::fs::create_dir_all(trace_dir)
+            .map_err(|e| format!("cannot create trace dir {}: {e}", trace_dir.display()))?;
+        let mut written = 0usize;
+        for cell in &report.cells {
+            let Ok(cell_report) = &cell.outcome else {
+                continue;
+            };
+            let path = trace_dir.join(format!("{}-cell{}.jsonl", spec.fingerprint(), cell.index));
+            let file = std::fs::File::create(&path)
+                .map_err(|e| format!("cannot write trace {}: {e}", path.display()))?;
+            cell_report
+                .trace
+                .write_jsonl(std::io::BufWriter::new(file))
+                .map_err(|e| format!("cannot write trace {}: {e}", path.display()))?;
+            written += 1;
+        }
+        diag(format!(
+            "wrote {written} trace files to {}",
+            trace_dir.display()
+        ));
+        if !args.quiet {
+            eprint!("{}", profile_table(&summaries));
+        }
+    }
 
     // Rewrite the trajectory: header + the union of kept and fresh cell
     // lines, in global index order (cell lines are pure functions of their
@@ -295,13 +360,30 @@ fn run() -> Result<(), String> {
             out.display()
         )
     })?;
-    println!(
+    diag(format!(
         "wrote {} trajectory lines ({} cells) to {}",
         lines.len() + 1,
         lines.len(),
         out.display()
-    );
+    ));
     Ok(())
+}
+
+/// The per-grid-cell wall-time profile table (`--trace-dir` runs only).
+fn profile_table(summaries: &[GroupSummary]) -> String {
+    let mut out = format!(
+        "{:<12} {:<22} {:<22} {:<14} {:>7} {:>10}\n",
+        "graph", "adversary", "compiler", "phase", "spans", "ms"
+    );
+    for s in summaries {
+        for (phase, spans, ms) in &s.profile {
+            out.push_str(&format!(
+                "{:<12} {:<22} {:<22} {:<14} {:>7} {:>10.2}\n",
+                s.graph, s.adversary, s.compiler, phase, spans, ms
+            ));
+        }
+    }
+    out
 }
 
 fn main() -> ExitCode {
@@ -345,6 +427,9 @@ mod tests {
             "1/4",
             "--resume",
             "--dry-run",
+            "--trace-dir",
+            "target/traces",
+            "--quiet",
         ])
         .unwrap() else {
             panic!("expected a run");
@@ -354,6 +439,15 @@ mod tests {
         assert_eq!(args.shard, Some((1, 4)));
         assert!(args.resume);
         assert!(args.dry_run);
+        assert_eq!(args.trace_dir, Some(PathBuf::from("target/traces")));
+        assert!(args.quiet);
+    }
+
+    #[test]
+    fn trace_dir_needs_a_value() {
+        assert!(parse(&["--spec", "s", "--trace-dir"])
+            .unwrap_err()
+            .contains("--trace-dir"));
     }
 
     #[test]

@@ -75,6 +75,7 @@ pub use interactive_coding as icoding;
 pub use mobile_congest_core as compilers;
 pub use mobile_congest_harness as harness;
 pub use netgraph as graphs;
+pub use obs;
 pub use sketches as sketch;
 
 /// The unified execution API: `Scenario` builder, `Compiler` trait, typed

@@ -1,0 +1,256 @@
+//! Trace determinism (`crates/obs` through the whole stack): traced event
+//! streams are byte-identical at any campaign thread count and any async
+//! host count, same-seed reruns reproduce them exactly, and every span that
+//! opens closes.
+//!
+//! Wall-clock durations are out-of-band by design — these tests compare
+//! event streams, digests and span counts, never nanoseconds.
+
+use mobile_congest::graphs::generators;
+use mobile_congest::harness::campaign::CampaignReport;
+use mobile_congest::harness::Campaign;
+use mobile_congest::obs;
+use mobile_congest::payloads::FloodBroadcast;
+use mobile_congest::scenario::matrix::{AdversarySpec, CompilerSpec, GraphSpec};
+use mobile_congest::scenario::{
+    AsyncExecutor, BoxedAlgorithm, CliqueAdapter, LatencyModel, RewindAdapter, Scenario,
+    ScheduleDef, StaticToMobileAdapter, TreePackingAdapter, Uncompiled,
+};
+use mobile_congest::sim::adversary::{AdversaryRole, CorruptionBudget, RandomMobile};
+
+fn flood_payload(g: &mobile_congest::graphs::Graph) -> BoxedAlgorithm {
+    Box::new(FloodBroadcast::new(g.clone(), 0, 4242))
+}
+
+/// A small traced campaign crossing all span-emitting compiler families.
+fn traced_campaign(threads: usize) -> CampaignReport {
+    Campaign::new(99)
+        .graphs(vec![
+            GraphSpec::new("K8", generators::complete(8)),
+            GraphSpec::new("circ(10,2)", generators::circulant(10, 2)),
+        ])
+        .adversaries(vec![
+            AdversarySpec::new(
+                "random-mobile",
+                AdversaryRole::Byzantine,
+                CorruptionBudget::Mobile { f: 1 },
+                |seed| Box::new(RandomMobile::new(1, seed)),
+            ),
+            AdversarySpec::new(
+                "eavesdropper",
+                AdversaryRole::Eavesdropper,
+                CorruptionBudget::Mobile { f: 1 },
+                |seed| Box::new(RandomMobile::new(1, seed)),
+            ),
+        ])
+        .compilers(vec![
+            CompilerSpec::of(Uncompiled),
+            CompilerSpec::of(CliqueAdapter::new(1, 5)),
+            CompilerSpec::of(TreePackingAdapter::new(1, 5)),
+            CompilerSpec::of(StaticToMobileAdapter::new(4, 2, 5)),
+            CompilerSpec::of(RewindAdapter::new(1, 5)),
+        ])
+        .payload(flood_payload)
+        .repetitions(2)
+        .threads(threads)
+        .trace(obs::TraceSpec::ring())
+        .run()
+}
+
+/// The concatenated per-cell event streams — the bytes `--trace-dir` writes.
+fn event_bytes(report: &CampaignReport) -> String {
+    let mut out = String::new();
+    for cell in &report.cells {
+        if let Ok(r) = &cell.outcome {
+            out.push_str(&format!("# cell {}\n", cell.index));
+            let mut buf = Vec::new();
+            r.trace.write_jsonl(&mut buf).unwrap();
+            out.push_str(&String::from_utf8(buf).unwrap());
+        }
+    }
+    out
+}
+
+#[test]
+fn traced_campaign_is_byte_identical_across_thread_counts() {
+    let single = traced_campaign(1);
+    let double = traced_campaign(2);
+    let eight = traced_campaign(8);
+    // The fingerprint covers each cell's trace via its digest + stats.
+    assert_eq!(single.fingerprint(), double.fingerprint());
+    assert_eq!(single.fingerprint(), eight.fingerprint());
+    // And the raw streams agree byte-for-byte, not just by digest.
+    let bytes = event_bytes(&single);
+    assert!(!bytes.is_empty());
+    assert_eq!(bytes, event_bytes(&double));
+    assert_eq!(bytes, event_bytes(&eight));
+}
+
+#[test]
+fn same_seed_rerun_reproduces_the_trace_exactly() {
+    let a = traced_campaign(4);
+    let b = traced_campaign(4);
+    assert_eq!(a.fingerprint(), b.fingerprint());
+    assert_eq!(event_bytes(&a), event_bytes(&b));
+}
+
+#[test]
+fn every_opened_span_is_closed_in_every_cell() {
+    let report = traced_campaign(2);
+    let mut executed = 0;
+    for cell in &report.cells {
+        let Ok(r) = &cell.outcome else { continue };
+        executed += 1;
+        assert_eq!(
+            r.trace.stats.unclosed, 0,
+            "cell {} ({}) left spans open",
+            cell.index, cell.compiler
+        );
+        assert_eq!(
+            r.trace.stats.mismatched, 0,
+            "cell {} ({}) closed spans out of order",
+            cell.index, cell.compiler
+        );
+        // Bracketing also holds inside the retained stream itself.
+        let opens = r
+            .trace
+            .events
+            .iter()
+            .filter(|e| matches!(e.kind, obs::EventKind::SpanOpen(_)))
+            .count();
+        let closes = r
+            .trace
+            .events
+            .iter()
+            .filter(|e| matches!(e.kind, obs::EventKind::SpanClose(_)))
+            .count();
+        assert_eq!(opens, closes, "cell {} stream unbalanced", cell.index);
+    }
+    assert!(executed > 0, "the grid must execute some cells");
+}
+
+#[test]
+fn traced_profile_counts_are_deterministic_but_wall_time_is_out_of_band() {
+    let a = traced_campaign(1);
+    let b = traced_campaign(8);
+    for (ca, cb) in a.cells.iter().zip(&b.cells) {
+        let (Ok(ra), Ok(rb)) = (&ca.outcome, &cb.outcome) else {
+            continue;
+        };
+        // Span *counts* agree exactly; wall nanos are not compared (and the
+        // Debug form the fingerprint uses never prints them).
+        for phase in obs::Phase::ALL {
+            assert_eq!(
+                ra.trace.profile.count(phase),
+                rb.trace.profile.count(phase),
+                "cell {} phase {}",
+                ca.index,
+                phase.name()
+            );
+        }
+        assert_eq!(
+            format!("{:?}", ra.trace.profile),
+            format!("{:?}", rb.trace.profile)
+        );
+        assert!(!format!("{:?}", ra.trace.profile).contains("ns"));
+    }
+}
+
+/// Async executor traces: byte-identical at 1, 2 and 8 host threads, with
+/// slot events on the virtual tick clock.
+#[test]
+fn async_trace_is_byte_identical_across_host_counts() {
+    let g = generators::circulant(10, 2);
+    let schedule = ScheduleDef::synchronous()
+        .with_latency(LatencyModel::Uniform { min: 0, max: 3 })
+        .with_reorder_window(2);
+    let run_with = |hosts: usize| {
+        let payload_graph = g.clone();
+        Scenario::on(g.clone())
+            .payload(move || FloodBroadcast::new(payload_graph.clone(), 0, 7))
+            .adversary(
+                AdversaryRole::Byzantine,
+                RandomMobile::new(1, 3),
+                CorruptionBudget::Mobile { f: 1 },
+            )
+            .seed(3)
+            .trace(obs::TraceSpec::ring())
+            .compiled_with(AsyncExecutor::new(schedule.clone()).with_hosts(hosts))
+            .run()
+            .unwrap()
+    };
+    let one = run_with(1);
+    let two = run_with(2);
+    let eight = run_with(8);
+    let jsonl = |r: &mobile_congest::scenario::RunReport| {
+        let mut buf = Vec::new();
+        r.trace.write_jsonl(&mut buf).unwrap();
+        String::from_utf8(buf).unwrap()
+    };
+    let reference = jsonl(&one);
+    assert!(
+        reference.contains("slot_delivered") && reference.contains("slot_delayed"),
+        "the jittery schedule must emit slot events"
+    );
+    assert_eq!(reference, jsonl(&two), "2 hosts diverged");
+    assert_eq!(reference, jsonl(&eight), "8 hosts diverged");
+    assert_eq!(one.trace.stats.unclosed, 0);
+}
+
+/// Crash windows emit paired crash/recover events even though idle ticks are
+/// skipped by the scheduler.
+#[test]
+fn async_crash_windows_emit_crash_and_recover_events() {
+    let g = generators::grid(3, 3);
+    let payload_graph = g.clone();
+    let report = Scenario::on(g)
+        .payload(move || FloodBroadcast::new(payload_graph.clone(), 0, 5))
+        .trace(obs::TraceSpec::ring())
+        .compiled_with(AsyncExecutor::new(ScheduleDef::synchronous().with_crash(
+            mobile_congest::scenario::CrashWindow {
+                node: 4,
+                from: 1,
+                until: 5,
+            },
+        )))
+        .run()
+        .unwrap();
+    let crashes = report
+        .trace
+        .events
+        .iter()
+        .filter(|e| matches!(e.kind, obs::EventKind::NodeCrash { node: 4 }))
+        .count();
+    let recovers = report
+        .trace
+        .events
+        .iter()
+        .filter(|e| matches!(e.kind, obs::EventKind::NodeRecover { node: 4 }))
+        .count();
+    assert_eq!(crashes, 1);
+    assert_eq!(recovers, 1);
+    assert_eq!(report.trace.stats.unclosed, 0);
+}
+
+/// The tracing default is off, and an untraced report carries an empty
+/// profile and no events — the zero-overhead configuration.
+#[test]
+fn untraced_runs_carry_no_events_and_empty_profiles() {
+    let g = generators::complete(8);
+    let payload_graph = g.clone();
+    let report = Scenario::on(g)
+        .payload(move || FloodBroadcast::new(payload_graph.clone(), 0, 1))
+        .adversary(
+            AdversaryRole::Byzantine,
+            RandomMobile::new(1, 2),
+            CorruptionBudget::Mobile { f: 1 },
+        )
+        .seed(2)
+        .compiled_with(CliqueAdapter::new(1, 5))
+        .run()
+        .unwrap();
+    assert!(report.trace.events.is_empty());
+    assert!(report.trace.profile.is_empty());
+    assert_eq!(report.trace.stats.offered, 0);
+    assert!(report.profile().is_empty());
+}
