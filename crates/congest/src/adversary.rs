@@ -656,6 +656,75 @@ impl AdversaryStrategy for ScheduledEdges {
     }
 }
 
+/// A concrete per-round corruption schedule applied **cyclically**: round `r`
+/// corrupts the edges of entry `r % len`, forever.  This is the runtime form
+/// of the red-team search's synthesized adversaries
+/// (`AdversaryDef::Synthesized`): the whole attack is data, so a found
+/// counterexample replays byte-identically from its serialized spec.
+///
+/// Unlike [`ScheduledEdges`] (an eavesdrop coupling tool that goes quiet when
+/// its list ends), the cyclic application means a 1-entry schedule is exactly
+/// the classical static adversary and an `R`-entry schedule attacks every
+/// round of an arbitrarily long compiled execution — which is what makes
+/// shrinking along the rounds dimension meaningful.
+#[derive(Debug, Clone)]
+pub struct SynthesizedSchedule {
+    schedule: Vec<Vec<EdgeId>>,
+    mode: CorruptionMode,
+}
+
+impl SynthesizedSchedule {
+    /// Corrupt `schedule[round % schedule.len()]` every round (an empty
+    /// schedule never corrupts anything).
+    pub fn new(schedule: Vec<Vec<EdgeId>>) -> Self {
+        SynthesizedSchedule {
+            schedule,
+            mode: CorruptionMode::FlipLowBit,
+        }
+    }
+
+    /// Select the corruption mode (default: [`CorruptionMode::FlipLowBit`],
+    /// the minimal hard-to-detect corruption red-team counterexamples aim
+    /// for).
+    pub fn with_mode(mut self, mode: CorruptionMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// The per-round edge budget the schedule implies: the longest per-round
+    /// entry (at least 1, so the budget stays meaningful for empty
+    /// schedules).
+    pub fn max_edges_per_round(&self) -> usize {
+        self.schedule
+            .iter()
+            .map(|edges| edges.len())
+            .max()
+            .unwrap_or(0)
+            .max(1)
+    }
+}
+
+impl AdversaryStrategy for SynthesizedSchedule {
+    fn name(&self) -> String {
+        format!(
+            "synthesized(r={},f={})",
+            self.schedule.len(),
+            self.max_edges_per_round()
+        )
+    }
+    fn mark_edges(&mut self, round: usize, _graph: &Graph, _traffic: &Traffic, out: &mut EdgeSet) {
+        if self.schedule.is_empty() {
+            return;
+        }
+        for &e in &self.schedule[round % self.schedule.len()] {
+            out.insert(e);
+        }
+    }
+    fn corruption_mode(&self) -> CorruptionMode {
+        self.mode
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

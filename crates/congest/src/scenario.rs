@@ -1380,6 +1380,17 @@ pub mod matrix {
             /// Per-round edge budget.
             f: usize,
         },
+        /// [`SynthesizedSchedule`](crate::adversary::SynthesizedSchedule): a
+        /// concrete per-round edge-corruption schedule, applied cyclically
+        /// (round `r` corrupts entry `r % len`).  This is the adversary the
+        /// red-team search synthesizes and the shrinker minimizes — the whole
+        /// attack is data, so counterexamples replay from their spec.
+        Synthesized {
+            /// Per-round corrupted-edge lists (cyclic).
+            schedule: Vec<Vec<usize>>,
+            /// How controlled messages are rewritten.
+            mode: crate::adversary::CorruptionMode,
+        },
     }
 
     impl AdversaryDef {
@@ -1395,6 +1406,11 @@ pub mod matrix {
                 AdversaryDef::Eclipse { node, .. } => format!("eclipse(v={node})"),
                 AdversaryDef::Burst { .. } => "burst".into(),
                 AdversaryDef::Eavesdropper { .. } => "eavesdropper".into(),
+                AdversaryDef::Synthesized { schedule, .. } => format!(
+                    "synthesized(r={},f={})",
+                    schedule.len(),
+                    synthesized_budget_f(schedule)
+                ),
             }
         }
 
@@ -1417,6 +1433,9 @@ pub mod matrix {
                 | AdversaryDef::Eclipse { f, .. }
                 | AdversaryDef::Eavesdropper { f } => CorruptionBudget::Mobile { f },
                 AdversaryDef::Burst { total, .. } => CorruptionBudget::RoundErrorRate { total },
+                AdversaryDef::Synthesized { ref schedule, .. } => CorruptionBudget::Mobile {
+                    f: synthesized_budget_f(schedule),
+                },
             }
         }
 
@@ -1425,33 +1444,48 @@ pub mod matrix {
         pub fn to_spec(&self) -> AdversarySpec {
             use crate::adversary::{
                 AdaptiveHeaviest, BurstAdversary, EclipseNode, GreedyHeaviest, RandomMobile,
-                SweepMobile,
+                SweepMobile, SynthesizedSchedule,
             };
             let def = self.clone();
             AdversarySpec::new(
                 self.display_name(),
                 self.role(),
                 self.budget(),
-                move |seed| match def {
-                    AdversaryDef::RandomMobile { f } => Box::new(RandomMobile::new(f, seed)),
-                    AdversaryDef::SweepMobile { f } => Box::new(SweepMobile::new(f)),
+                move |seed| match &def {
+                    AdversaryDef::RandomMobile { f } => Box::new(RandomMobile::new(*f, seed)),
+                    AdversaryDef::SweepMobile { f } => Box::new(SweepMobile::new(*f)),
                     AdversaryDef::GreedyHeaviest { f, mode } => {
-                        Box::new(GreedyHeaviest::new(f).with_mode(mode))
+                        Box::new(GreedyHeaviest::new(*f).with_mode(*mode))
                     }
-                    AdversaryDef::AdaptiveHeaviest { f } => Box::new(AdaptiveHeaviest::new(f)),
+                    AdversaryDef::AdaptiveHeaviest { f } => Box::new(AdaptiveHeaviest::new(*f)),
                     AdversaryDef::Eclipse { node, f, mode } => {
-                        Box::new(EclipseNode::new(node, f).with_mode(mode))
+                        Box::new(EclipseNode::new(*node, *f).with_mode(*mode))
                     }
                     AdversaryDef::Burst {
                         quiet,
                         burst,
                         per_round,
                         ..
-                    } => Box::new(BurstAdversary::new(quiet, burst, per_round, seed)),
-                    AdversaryDef::Eavesdropper { f } => Box::new(RandomMobile::new(f, seed)),
+                    } => Box::new(BurstAdversary::new(*quiet, *burst, *per_round, seed)),
+                    AdversaryDef::Eavesdropper { f } => Box::new(RandomMobile::new(*f, seed)),
+                    AdversaryDef::Synthesized { schedule, mode } => {
+                        Box::new(SynthesizedSchedule::new(schedule.clone()).with_mode(*mode))
+                    }
                 },
             )
         }
+    }
+
+    /// The per-round edge budget a synthesized schedule implies: its longest
+    /// per-round entry, at least 1 (mirrors
+    /// [`SynthesizedSchedule::max_edges_per_round`](crate::adversary::SynthesizedSchedule::max_edges_per_round)).
+    fn synthesized_budget_f(schedule: &[Vec<usize>]) -> usize {
+        schedule
+            .iter()
+            .map(|edges| edges.len())
+            .max()
+            .unwrap_or(0)
+            .max(1)
     }
 
     /// A named graph spec resolved from a serializable [`netgraph::GraphDef`]: the

@@ -364,7 +364,9 @@ impl CampaignSpec {
 // Per-def JSON encoding: one object per def, compact, field order stable.
 // ---------------------------------------------------------------------------
 
-fn graph_to_json(def: &GraphDef) -> String {
+/// Encode one [`GraphDef`] as a compact one-line JSON object (the form
+/// [`CampaignSpec::to_json`] embeds; field order is stable).
+pub fn graph_to_json(def: &GraphDef) -> String {
     let mut fields = vec![
         (
             "family".to_string(),
@@ -381,7 +383,8 @@ fn graph_to_json(def: &GraphDef) -> String {
     JsonValue::Obj(fields).to_string()
 }
 
-fn graph_from_json(v: &JsonValue) -> Result<GraphDef, SpecError> {
+/// Parse one [`GraphDef`] from its JSON object form.
+pub fn graph_from_json(v: &JsonValue) -> Result<GraphDef, SpecError> {
     let label = v
         .get("family")
         .and_then(JsonValue::as_str)
@@ -412,7 +415,8 @@ fn graph_from_json(v: &JsonValue) -> Result<GraphDef, SpecError> {
     Ok(def)
 }
 
-fn mode_to_json(mode: CorruptionMode) -> JsonValue {
+/// Encode a [`CorruptionMode`] (string label, or `{\"constant\": w}`).
+pub fn mode_to_json(mode: CorruptionMode) -> JsonValue {
     match mode {
         CorruptionMode::ReplaceRandom => JsonValue::Str("replace-random".into()),
         CorruptionMode::FlipLowBit => JsonValue::Str("flip-low-bit".into()),
@@ -423,7 +427,8 @@ fn mode_to_json(mode: CorruptionMode) -> JsonValue {
     }
 }
 
-fn mode_from_json(v: &JsonValue) -> Result<CorruptionMode, SpecError> {
+/// Parse a [`CorruptionMode`] from its JSON form.
+pub fn mode_from_json(v: &JsonValue) -> Result<CorruptionMode, SpecError> {
     if let Some(w) = v.get("constant").and_then(JsonValue::as_u64) {
         return Ok(CorruptionMode::Constant(w));
     }
@@ -439,7 +444,8 @@ fn mode_from_json(v: &JsonValue) -> Result<CorruptionMode, SpecError> {
     }
 }
 
-fn adversary_to_json(def: &AdversaryDef) -> String {
+/// Encode one [`AdversaryDef`] as a compact one-line JSON object.
+pub fn adversary_to_json(def: &AdversaryDef) -> String {
     let mut fields = vec![(
         "kind".to_string(),
         JsonValue::Str(
@@ -451,6 +457,7 @@ fn adversary_to_json(def: &AdversaryDef) -> String {
                 AdversaryDef::Eclipse { .. } => "eclipse",
                 AdversaryDef::Burst { .. } => "burst",
                 AdversaryDef::Eavesdropper { .. } => "eavesdropper",
+                AdversaryDef::Synthesized { .. } => "synthesized",
             }
             .into(),
         ),
@@ -481,11 +488,32 @@ fn adversary_to_json(def: &AdversaryDef) -> String {
             num("per_round", *per_round as u64);
             num("total", *total as u64);
         }
+        AdversaryDef::Synthesized { schedule, mode } => {
+            fields.push((
+                "schedule".to_string(),
+                JsonValue::Arr(
+                    schedule
+                        .iter()
+                        .map(|round| {
+                            JsonValue::Arr(
+                                round
+                                    .iter()
+                                    .map(|&e| JsonValue::from_u64(e as u64))
+                                    .collect(),
+                            )
+                        })
+                        .collect(),
+                ),
+            ));
+            fields.push(("mode".to_string(), mode_to_json(*mode)));
+        }
     }
     JsonValue::Obj(fields).to_string()
 }
 
-fn adversary_from_json(v: &JsonValue) -> Result<AdversaryDef, SpecError> {
+/// Parse one [`AdversaryDef`] from its JSON object form (omitted optional
+/// fields default to the identically-named zoo adversary's values).
+pub fn adversary_from_json(v: &JsonValue) -> Result<AdversaryDef, SpecError> {
     let kind = v
         .get("kind")
         .and_then(JsonValue::as_str)
@@ -523,6 +551,32 @@ fn adversary_from_json(v: &JsonValue) -> Result<AdversaryDef, SpecError> {
             total: req("total")?,
         }),
         "eavesdropper" => Ok(AdversaryDef::Eavesdropper { f: req("f")? }),
+        "synthesized" => {
+            let schedule = v
+                .get("schedule")
+                .and_then(JsonValue::as_array)
+                .ok_or_else(|| missing("adversaries[].schedule"))?
+                .iter()
+                .enumerate()
+                .map(|(i, round)| {
+                    round
+                        .as_array()
+                        .ok_or_else(|| missing(format!("adversaries[].schedule[{i}]")))?
+                        .iter()
+                        .map(|e| {
+                            e.as_usize()
+                                .ok_or_else(|| missing(format!("adversaries[].schedule[{i}][]")))
+                        })
+                        .collect::<Result<Vec<_>, _>>()
+                })
+                .collect::<Result<Vec<_>, _>>()?;
+            Ok(AdversaryDef::Synthesized {
+                schedule,
+                // Omitted mode defaults to the minimal hard-to-detect
+                // corruption the red-team search aims for.
+                mode: mode(CorruptionMode::FlipLowBit)?,
+            })
+        }
         other => Err(SpecError::UnknownLabel {
             registry: "adversary kind",
             label: other.into(),
@@ -530,7 +584,8 @@ fn adversary_from_json(v: &JsonValue) -> Result<AdversaryDef, SpecError> {
     }
 }
 
-fn compiler_to_json(def: &CompilerDef) -> String {
+/// Encode one [`CompilerDef`] as a compact one-line JSON object.
+pub fn compiler_to_json(def: &CompilerDef) -> String {
     let mut fields = vec![("id".to_string(), JsonValue::Str(def.label().into()))];
     if let CompilerDef::Async { schedule } = def {
         schedule_to_fields(schedule, &mut fields);
@@ -732,7 +787,8 @@ fn schedule_from_json(v: &JsonValue) -> Result<ScheduleDef, SpecError> {
     Ok(schedule)
 }
 
-fn compiler_from_json(v: &JsonValue) -> Result<CompilerDef, SpecError> {
+/// Parse one [`CompilerDef`] from its JSON object form.
+pub fn compiler_from_json(v: &JsonValue) -> Result<CompilerDef, SpecError> {
     let id = v
         .get("id")
         .and_then(JsonValue::as_str)
@@ -807,7 +863,8 @@ fn compiler_from_json(v: &JsonValue) -> Result<CompilerDef, SpecError> {
     }
 }
 
-fn payload_to_json(def: &PayloadDef) -> String {
+/// Encode one [`PayloadDef`] as a compact one-line JSON object.
+pub fn payload_to_json(def: &PayloadDef) -> String {
     let mut fields = vec![("kind".to_string(), JsonValue::Str(def.label().into()))];
     match *def {
         PayloadDef::ExchangeIds | PayloadDef::LeaderElection => {}
@@ -822,7 +879,8 @@ fn payload_to_json(def: &PayloadDef) -> String {
     JsonValue::Obj(fields).to_string()
 }
 
-fn payload_from_json(v: &JsonValue) -> Result<PayloadDef, SpecError> {
+/// Parse one [`PayloadDef`] from its JSON object form.
+pub fn payload_from_json(v: &JsonValue) -> Result<PayloadDef, SpecError> {
     let kind = v
         .get("kind")
         .and_then(JsonValue::as_str)

@@ -19,5 +19,7 @@
 pub mod replay;
 pub mod scheduler;
 
-pub use replay::{flood_paths_majority, majority, repeated_tree_broadcast, repeated_tree_sum};
+pub use replay::{
+    flood_paths_majority, majority, repeated_tree_broadcast, repeated_tree_sum, replay_trace_jsonl,
+};
 pub use scheduler::{FamilyRunReport, RsScheduler, TreeRunReport, C_RS, T_RS};

@@ -365,6 +365,57 @@ impl GraphDef {
             GraphFamily::CompleteMinusMatching => Ok(complete_minus_matching(self.n)),
         }
     }
+
+    /// Candidate defs exactly **one size step smaller**, for shrinkers that
+    /// minimize a failing scenario along the graph axis (the red-team
+    /// counterexample shrinker's `GraphDef` param descent).
+    ///
+    /// The descent order is: the primary size `n` first, then each integer
+    /// secondary parameter in stored order.  Every step decrements by 1; when
+    /// the one-step candidate violates a family constraint (Watts–Strogatz
+    /// `k` parity, expander `n·d` parity, …) a two-step candidate is tried
+    /// instead, so parity-constrained families still descend.  Every returned
+    /// candidate [`build`](GraphDef::build)s successfully, keeps `n >= 2`,
+    /// and keeps integer parameters `>= 1`; continuous parameters (`beta`)
+    /// are left untouched.  Minimality for a shrinker is defined **relative
+    /// to this set**: a def is graph-minimal when no candidate preserves its
+    /// failure.
+    pub fn shrink_candidates(&self) -> Vec<GraphDef> {
+        let mut out: Vec<GraphDef> = Vec::new();
+        let mut push_first_viable = |candidates: [Option<GraphDef>; 2]| {
+            for def in candidates.into_iter().flatten() {
+                if def.build().is_ok() {
+                    out.push(def);
+                    return;
+                }
+            }
+        };
+        // Primary size first: n-1, falling back to n-2 when parity or a
+        // family constraint rules the one-step candidate out.
+        let step_n = |dn: usize| -> Option<GraphDef> {
+            (self.n >= dn + 2).then(|| {
+                let mut def = self.clone();
+                def.n = self.n - dn;
+                def
+            })
+        };
+        push_first_viable([step_n(1), step_n(2)]);
+        // Then each integer secondary parameter, in stored order.
+        for (i, (_, value)) in self.params.iter().enumerate() {
+            if value.fract() != 0.0 {
+                continue;
+            }
+            let step_param = |dv: f64| -> Option<GraphDef> {
+                (*value >= dv + 1.0).then(|| {
+                    let mut def = self.clone();
+                    def.params[i].1 = value - dv;
+                    def
+                })
+            };
+            push_first_viable([step_param(1.0), step_param(2.0)]);
+        }
+        out
+    }
 }
 
 /// A path `0 - 1 - … - (n-1)`.

@@ -499,6 +499,18 @@ impl RunTrace {
         }
         Ok(())
     }
+
+    /// Number of retained events of one sampling class — the facet counters
+    /// downstream scoring reads (e.g. the red-team `Fitness` lattice counts
+    /// [`EventClass::Rewind`] triggers and [`EventClass::Corruption`]
+    /// applications).  Counts **retained** events only: ring eviction or
+    /// sampling reduce it, so score with keep-all policies.
+    pub fn class_count(&self, class: EventClass) -> usize {
+        self.events
+            .iter()
+            .filter(|ev| ev.kind.class() == class)
+            .count()
+    }
 }
 
 impl fmt::Debug for RunTrace {

@@ -1,0 +1,214 @@
+//! The search's objective: a lexicographic damage lattice over run reports,
+//! and the resolved execution target candidates are scored against.
+
+use crate::schedule::SynthesizedAdversary;
+use crate::spec::TargetSpec;
+use congest_sim::adversary::CorruptionMode;
+use congest_sim::scenario::matrix::{run_cell, run_cell_traced, CompilerSpec, GraphSpec};
+use congest_sim::scenario::{RunReport, ScenarioError};
+use mobile_congest_core::adapters::CompilerDef;
+use mobile_congest_harness::campaign::cell_seed;
+use mobile_congest_harness::spec::{PayloadDef, SpecError};
+use netgraph::{Graph, GraphDef};
+
+/// How much damage a candidate attack did, as a lexicographic lattice: the
+/// derived `Ord` compares fields top to bottom, so a failed decode dominates
+/// any number of residual mismatches, which dominate rewinds, and so on.
+/// The trailing tiers give hill-climbing a gradient even while the compiler
+/// still corrects everything — on the v1 greedy packing, `attack_pressure`
+/// (failed trees + pre-correction mismatches) distinguishes edges the
+/// packing reuses heavily from edges it covers well.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Fitness {
+    /// The compiled run's outputs disagree with the fault-free reference —
+    /// the compiler's guarantee is broken.
+    pub failed_decode: bool,
+    /// Mismatched node outputs left *after* correction
+    /// (`mismatches_after`).
+    pub residual_mismatches: u64,
+    /// Rewinds the compiler was forced into (rate-resilient compilers).
+    pub rewinds: u64,
+    /// Failed trees plus pre-correction mismatches — how hard the correction
+    /// machinery had to work even when it succeeded.
+    pub attack_pressure: u64,
+    /// Peak per-edge congestion of the compiled run (tie-breaker).
+    pub max_congestion: u64,
+}
+
+impl Fitness {
+    /// Score one run report.
+    pub fn from_report(report: &RunReport) -> Fitness {
+        let facet = |name: &str| -> u64 {
+            report
+                .notes
+                .metrics()
+                .iter()
+                .find(|(k, _)| *k == name)
+                .map(|(_, v)| *v as u64)
+                .unwrap_or(0)
+        };
+        Fitness {
+            failed_decode: report.agrees_with_fault_free() == Some(false),
+            residual_mismatches: facet("mismatches_after"),
+            rewinds: report.notes.rewinds().unwrap_or(0) as u64,
+            attack_pressure: facet("failed_trees") + facet("mismatches_before"),
+            max_congestion: report.metrics.max_edge_congestion() as u64,
+        }
+    }
+
+    /// Whether the attack broke the compiler's output guarantee at all.
+    pub fn is_failure(&self) -> bool {
+        self.failed_decode || self.residual_mismatches > 0
+    }
+
+    /// The failure severity class the shrinker keeps invariant: 2 for a
+    /// failed decode, 1 for residual mismatches only, 0 for a corrected run.
+    pub fn failure_class(&self) -> u8 {
+        if self.failed_decode {
+            2
+        } else if self.residual_mismatches > 0 {
+            1
+        } else {
+            0
+        }
+    }
+
+    /// Compact one-line JSON form (stable field order; trajectory lines and
+    /// tests embed this).
+    pub fn json(&self) -> String {
+        format!(
+            "{{\"failed_decode\":{},\"residual\":{},\"rewinds\":{},\"pressure\":{},\"congestion\":{}}}",
+            self.failed_decode,
+            self.residual_mismatches,
+            self.rewinds,
+            self.attack_pressure,
+            self.max_congestion
+        )
+    }
+}
+
+/// A [`TargetSpec`] resolved into runnable form: built graph, compiler
+/// factory, payload def and the evaluation seed.  Everything inside is
+/// `Send + Sync`, so the engine shares one resolved target across worker
+/// threads.
+pub struct ResolvedTarget {
+    /// The graph def the target runs on (the shrinker descends this).
+    pub graph_def: GraphDef,
+    /// The built, named graph.
+    pub gspec: GraphSpec,
+    /// The compiler under attack, as data.
+    pub compiler: CompilerDef,
+    /// The compiler factory cells run through.
+    pub cspec: CompilerSpec,
+    /// The payload every evaluation runs.
+    pub payload: PayloadDef,
+    /// How the synthesized adversary rewrites controlled messages.
+    pub mode: CorruptionMode,
+    /// The per-evaluation seed: `cell_seed(target.seed, 0)`, i.e. exactly
+    /// the seed cell 0 of a single-cell campaign with base seed
+    /// `target.seed` gets — which is why an exported counterexample spec
+    /// replays the search's evaluation bit-for-bit.
+    pub eval_seed: u64,
+}
+
+impl ResolvedTarget {
+    /// Resolve a target spec (builds the graph, validates the payload
+    /// against it).
+    pub fn resolve(target: &TargetSpec) -> Result<ResolvedTarget, SpecError> {
+        let gspec = GraphSpec::from_def(&target.graph)?;
+        target.payload.validate(&gspec.name, &gspec.graph)?;
+        Ok(ResolvedTarget {
+            graph_def: target.graph.clone(),
+            gspec,
+            compiler: target.compiler.clone(),
+            cspec: target.compiler.to_spec(),
+            payload: target.payload.clone(),
+            mode: target.mode,
+            eval_seed: cell_seed(target.seed, 0),
+        })
+    }
+
+    /// The same target on a different graph — the shrinker's graph-descent
+    /// step.  Fails when the smaller graph no longer fits the payload (e.g.
+    /// the flood source fell off the node range), which simply rejects that
+    /// shrink candidate.
+    pub fn with_graph(&self, def: &GraphDef) -> Result<ResolvedTarget, SpecError> {
+        let gspec = GraphSpec::from_def(def)?;
+        self.payload.validate(&gspec.name, &gspec.graph)?;
+        Ok(ResolvedTarget {
+            graph_def: def.clone(),
+            gspec,
+            compiler: self.compiler.clone(),
+            cspec: self.compiler.to_spec(),
+            payload: self.payload.clone(),
+            mode: self.mode,
+            eval_seed: self.eval_seed,
+        })
+    }
+
+    /// The graph the target runs on.
+    pub fn graph(&self) -> &Graph {
+        &self.gspec.graph
+    }
+
+    /// Score one candidate: run the cell (pure function of specs + seed) and
+    /// fold the report into the [`Fitness`] lattice.  A run that errors at
+    /// scenario level scores [`Fitness::default`] — no damage, never a
+    /// failure.
+    pub fn evaluate(&self, adv: &SynthesizedAdversary) -> Fitness {
+        let aspec = adv.def().to_spec();
+        let payload = self.payload.clone();
+        match run_cell(
+            &self.gspec,
+            &aspec,
+            &self.cspec,
+            &move |g: &Graph| payload.build(g),
+            self.eval_seed,
+        ) {
+            Ok(report) => Fitness::from_report(&report),
+            Err(_) => Fitness::default(),
+        }
+    }
+
+    /// Re-run one candidate with event tracing on (ring buffer) — used to
+    /// export the replay trace of a minimized counterexample.
+    pub fn run_traced(&self, adv: &SynthesizedAdversary) -> Result<RunReport, ScenarioError> {
+        let aspec = adv.def().to_spec();
+        let payload = self.payload.clone();
+        run_cell_traced(
+            &self.gspec,
+            &aspec,
+            &self.cspec,
+            &move |g: &Graph| payload.build(g),
+            self.eval_seed,
+            obs::TraceSpec::ring(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fitness_lattice_orders_lexicographically() {
+        let corrected = Fitness {
+            attack_pressure: 900,
+            max_congestion: 900,
+            ..Fitness::default()
+        };
+        let residual = Fitness {
+            residual_mismatches: 1,
+            ..Fitness::default()
+        };
+        let decode = Fitness {
+            failed_decode: true,
+            ..Fitness::default()
+        };
+        assert!(decode > residual && residual > corrected);
+        assert!(!corrected.is_failure() && residual.is_failure() && decode.is_failure());
+        assert_eq!(decode.failure_class(), 2);
+        assert_eq!(residual.failure_class(), 1);
+        assert_eq!(corrected.failure_class(), 0);
+    }
+}

@@ -1,0 +1,340 @@
+//! The search's candidate representation: a concrete per-round
+//! edge-corruption schedule ([`SynthesizedAdversary`]) and the mutation
+//! vocabulary the search walks it with ([`ScheduleMove`]).
+
+use congest_sim::adversary::CorruptionMode;
+use congest_sim::scenario::matrix::AdversaryDef;
+use netgraph::{EdgeId, Graph, NodeId};
+use rand::Rng;
+use rand_chacha::ChaCha8Rng;
+
+/// A synthesized mobile adversary as pure data: round `r` of the execution
+/// corrupts the edges of entry `r % rounds()` (the schedule is applied
+/// cyclically, mirroring
+/// [`SynthesizedSchedule`](congest_sim::adversary::SynthesizedSchedule)).
+///
+/// The representation is kept **canonical** — every per-round edge list
+/// sorted and deduplicated, rows truncated to the budget — so structurally
+/// equal attacks compare equal, serialize identically, and fingerprint
+/// identically.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SynthesizedAdversary {
+    schedule: Vec<Vec<EdgeId>>,
+    mode: CorruptionMode,
+}
+
+impl SynthesizedAdversary {
+    /// A canonicalized candidate from raw rows (rows are sorted, deduped and
+    /// kept as given otherwise; an empty row is a quiet round).
+    pub fn new(schedule: Vec<Vec<EdgeId>>, mode: CorruptionMode) -> Self {
+        let mut adv = SynthesizedAdversary { schedule, mode };
+        adv.canonicalize(usize::MAX);
+        adv
+    }
+
+    /// A random candidate: `rounds` rows of up to `f` distinct edges drawn
+    /// uniformly from `0..edge_count`.  Deterministic in the RNG state.
+    pub fn random(
+        rng: &mut ChaCha8Rng,
+        edge_count: usize,
+        rounds: usize,
+        f: usize,
+        mode: CorruptionMode,
+    ) -> Self {
+        let rounds = rounds.max(1);
+        let f = f.max(1);
+        let mut schedule = Vec::with_capacity(rounds);
+        for _ in 0..rounds {
+            let mut row: Vec<EdgeId> = Vec::with_capacity(f);
+            // Bounded rejection keeps the draw deterministic even when the
+            // budget approaches the edge count.
+            let mut attempts = 0;
+            while row.len() < f && attempts < 4 * f && edge_count > 0 {
+                attempts += 1;
+                let e = rng.gen_range(0..edge_count);
+                if !row.contains(&e) {
+                    row.push(e);
+                }
+            }
+            schedule.push(row);
+        }
+        SynthesizedAdversary::new(schedule, mode)
+    }
+
+    /// The cyclic schedule (each row sorted, deduped).
+    pub fn schedule(&self) -> &[Vec<EdgeId>] {
+        &self.schedule
+    }
+
+    /// How controlled messages are rewritten.
+    pub fn mode(&self) -> CorruptionMode {
+        self.mode
+    }
+
+    /// Number of schedule rows (the attack's cycle length).
+    pub fn rounds(&self) -> usize {
+        self.schedule.len()
+    }
+
+    /// The per-round budget the candidate actually uses: its longest row.
+    pub fn max_edges_per_round(&self) -> usize {
+        self.schedule.iter().map(Vec::len).max().unwrap_or(0)
+    }
+
+    /// Total corrupted edge-rounds across one cycle.
+    pub fn total_edges(&self) -> usize {
+        self.schedule.iter().map(Vec::len).sum()
+    }
+
+    /// The serializable data form — the whole attack as a campaign-grid
+    /// adversary def, which is what makes counterexamples replayable.
+    pub fn def(&self) -> AdversaryDef {
+        AdversaryDef::Synthesized {
+            schedule: self.schedule.clone(),
+            mode: self.mode,
+        }
+    }
+
+    /// Apply one mutation within the `f`-edges-per-round budget, returning
+    /// the canonicalized successor (which may equal `self` when the move is
+    /// a structural no-op, e.g. concentrating into a full row).
+    pub fn apply(&self, mv: &ScheduleMove, graph: &Graph, f: usize) -> SynthesizedAdversary {
+        let mut next = self.clone();
+        let r = next.schedule.len();
+        if r == 0 {
+            return next;
+        }
+        match *mv {
+            ScheduleMove::ShiftRound { from, to } => {
+                next.schedule.swap(from % r, to % r);
+            }
+            ScheduleMove::SwapTargetEdge { round, slot, edge } => {
+                let row = &mut next.schedule[round % r];
+                if row.is_empty() {
+                    row.push(edge);
+                } else {
+                    let i = slot % row.len();
+                    row[i] = edge;
+                }
+            }
+            ScheduleMove::ConcentrateBudget { from, to } => {
+                let (from, to) = (from % r, to % r);
+                if from != to && next.schedule[to].len() < f {
+                    if let Some(e) = next.schedule[from].pop() {
+                        next.schedule[to].push(e);
+                    }
+                }
+            }
+            ScheduleMove::SplitBudget { round } => {
+                let from = round % r;
+                let to = (from + 1) % r;
+                if from != to && next.schedule[from].len() > 1 && next.schedule[to].len() < f {
+                    if let Some(e) = next.schedule[from].pop() {
+                        next.schedule[to].push(e);
+                    }
+                }
+            }
+            ScheduleMove::RetargetNode { round, node } => {
+                let node = node % graph.node_count().max(1);
+                let mut incident = graph.incident_edges(node);
+                incident.truncate(f.max(1));
+                next.schedule[round % r] = incident;
+            }
+        }
+        next.canonicalize(f.max(1));
+        next
+    }
+
+    // -- shrinker steps -----------------------------------------------------
+
+    /// Keep only the first `k` rows (`k` clamped to `1..=rounds`).
+    pub fn truncate_rounds(&self, k: usize) -> SynthesizedAdversary {
+        let k = k.clamp(1, self.schedule.len().max(1));
+        SynthesizedAdversary {
+            schedule: self.schedule[..k].to_vec(),
+            mode: self.mode,
+        }
+    }
+
+    /// Remove row `i` (no-op when only one row remains).
+    pub fn remove_round(&self, i: usize) -> SynthesizedAdversary {
+        let mut schedule = self.schedule.clone();
+        if schedule.len() > 1 && i < schedule.len() {
+            schedule.remove(i);
+        }
+        SynthesizedAdversary {
+            schedule,
+            mode: self.mode,
+        }
+    }
+
+    /// Remove the edge at `(row, slot)`.
+    pub fn remove_edge(&self, row: usize, slot: usize) -> SynthesizedAdversary {
+        let mut schedule = self.schedule.clone();
+        if row < schedule.len() && slot < schedule[row].len() {
+            schedule[row].remove(slot);
+        }
+        SynthesizedAdversary {
+            schedule,
+            mode: self.mode,
+        }
+    }
+
+    /// Re-anchor every edge id into a graph with `new_edge_count` edges
+    /// (`e % new_edge_count`, then re-canonicalize) — the edge-id remap the
+    /// graph-descent shrink step uses.
+    pub fn remap_edges(&self, new_edge_count: usize) -> SynthesizedAdversary {
+        let m = new_edge_count.max(1);
+        let schedule = self
+            .schedule
+            .iter()
+            .map(|row| row.iter().map(|&e| e % m).collect())
+            .collect();
+        SynthesizedAdversary::new(schedule, self.mode)
+    }
+
+    /// Sort and dedupe every row, truncating to the budget.
+    fn canonicalize(&mut self, f: usize) {
+        for row in &mut self.schedule {
+            row.sort_unstable();
+            row.dedup();
+            row.truncate(f.max(1));
+        }
+    }
+}
+
+/// One mutation of a [`SynthesizedAdversary`] — the neighbourhood structure
+/// of the search space.  Every variant is applicable to every candidate
+/// (indices wrap, full rows reject transfers), so sampling never needs to
+/// retry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScheduleMove {
+    /// Swap two rows of the cycle — move an attack earlier or later.
+    ShiftRound {
+        /// Row moved.
+        from: usize,
+        /// Row it trades places with.
+        to: usize,
+    },
+    /// Replace one scheduled edge with another (or seed an empty round).
+    SwapTargetEdge {
+        /// Row mutated.
+        round: usize,
+        /// Slot within the row (wraps).
+        slot: usize,
+        /// Replacement edge.
+        edge: EdgeId,
+    },
+    /// Move one edge from row `from` into row `to` — pile budget onto one
+    /// round (rejected when `to` is already at the budget).
+    ConcentrateBudget {
+        /// Donor row.
+        from: usize,
+        /// Receiving row.
+        to: usize,
+    },
+    /// Move one edge from a multi-edge row into the next round — spread the
+    /// budget across the cycle.
+    SplitBudget {
+        /// Donor row.
+        round: usize,
+    },
+    /// Replace one row with up to `f` edges incident to `node` — an
+    /// eclipse-style refocus of that round.
+    RetargetNode {
+        /// Row mutated.
+        round: usize,
+        /// The node whose incident edges become the row.
+        node: NodeId,
+    },
+}
+
+impl ScheduleMove {
+    /// Draw one move uniformly over the five families, with parameters drawn
+    /// from the candidate's and graph's index ranges.  Deterministic in the
+    /// RNG state.
+    pub fn sample(rng: &mut ChaCha8Rng, adv: &SynthesizedAdversary, graph: &Graph) -> ScheduleMove {
+        let r = adv.rounds().max(1);
+        let m = graph.edge_count().max(1);
+        let n = graph.node_count().max(1);
+        match rng.gen_range(0..5u32) {
+            0 => ScheduleMove::ShiftRound {
+                from: rng.gen_range(0..r),
+                to: rng.gen_range(0..r),
+            },
+            1 => ScheduleMove::SwapTargetEdge {
+                round: rng.gen_range(0..r),
+                slot: rng.gen_range(0..16),
+                edge: rng.gen_range(0..m),
+            },
+            2 => ScheduleMove::ConcentrateBudget {
+                from: rng.gen_range(0..r),
+                to: rng.gen_range(0..r),
+            },
+            3 => ScheduleMove::SplitBudget {
+                round: rng.gen_range(0..r),
+            },
+            _ => ScheduleMove::RetargetNode {
+                round: rng.gen_range(0..r),
+                node: rng.gen_range(0..n),
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn grid() -> Graph {
+        netgraph::GraphDef::grid(3, 3).build().unwrap()
+    }
+
+    #[test]
+    fn canonical_rows_sorted_deduped() {
+        let adv =
+            SynthesizedAdversary::new(vec![vec![5, 1, 5, 3], vec![]], CorruptionMode::FlipLowBit);
+        assert_eq!(adv.schedule(), &[vec![1, 3, 5], vec![]]);
+        assert_eq!(adv.max_edges_per_round(), 3);
+        assert_eq!(adv.total_edges(), 3);
+    }
+
+    #[test]
+    fn moves_respect_budget() {
+        let g = grid();
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let mut adv = SynthesizedAdversary::random(
+            &mut rng,
+            g.edge_count(),
+            4,
+            2,
+            CorruptionMode::FlipLowBit,
+        );
+        for step in 0..200 {
+            let mut rng = ChaCha8Rng::seed_from_u64(step);
+            let mv = ScheduleMove::sample(&mut rng, &adv, &g);
+            adv = adv.apply(&mv, &g, 2);
+            assert!(adv.max_edges_per_round() <= 2, "budget violated by {mv:?}");
+            assert_eq!(adv.rounds(), 4, "round count changed by {mv:?}");
+            for row in adv.schedule() {
+                for &e in row {
+                    assert!(e < g.edge_count());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn shrink_steps_shrink() {
+        let adv = SynthesizedAdversary::new(
+            vec![vec![0, 1], vec![2], vec![3, 4]],
+            CorruptionMode::FlipLowBit,
+        );
+        assert_eq!(adv.truncate_rounds(2).rounds(), 2);
+        assert_eq!(adv.remove_round(1).rounds(), 2);
+        assert_eq!(adv.remove_edge(0, 0).schedule()[0], vec![1]);
+        let remapped = adv.remap_edges(3);
+        assert!(remapped.schedule().iter().flatten().all(|&e| e < 3));
+    }
+}

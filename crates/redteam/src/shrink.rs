@@ -1,0 +1,170 @@
+//! Deterministic counterexample shrinking: given a failing attack, find a
+//! locally minimal one — fewer rounds, fewer edges, smaller graph — by
+//! re-executing candidates and keeping the failure invariant.
+
+use crate::schedule::SynthesizedAdversary;
+use netgraph::GraphDef;
+
+/// A shrink fixpoint: the minimized graph/attack pair and how many oracle
+/// evaluations minimization spent.
+#[derive(Debug, Clone)]
+pub struct ShrinkOutcome {
+    /// The (possibly smaller) graph the minimal attack runs on.
+    pub graph: GraphDef,
+    /// The minimal failing attack.
+    pub adversary: SynthesizedAdversary,
+    /// Oracle evaluations spent shrinking.
+    pub evals: usize,
+}
+
+/// Shrink a failing `(graph, adversary)` pair to a local minimum of
+/// `still_fails` — the caller's failure oracle (typically "re-run the cell
+/// and check the failure class didn't soften"; the proptests drive it with
+/// synthetic oracles instead).
+///
+/// The descent is a fixpoint loop over four passes, largest strides first:
+///
+/// 1. **Halve rounds** — keep the first half of the cycle while that still
+///    fails (binary descent reaches a k-round core in O(log) evals).
+/// 2. **Drop single rounds** — remove each remaining row in turn.
+/// 3. **Drop single edges** — remove each scheduled edge in turn.
+/// 4. **Descend the graph** — try each [`GraphDef::shrink_candidates`]
+///    parameter step, remapping edge ids into the smaller graph
+///    (`e % new_edge_count`); the first candidate that still fails is taken
+///    and the whole loop restarts.
+///
+/// The loop ends when a full sweep changes nothing, so the result is
+/// **1-minimal by construction**: no single round removal, no single edge
+/// removal and no single graph-parameter step preserves the failure.  Every
+/// accepted step strictly shrinks `(graph size, rounds, edges)`, so the loop
+/// terminates; the pass order is fixed and the oracle is pure, so the same
+/// input always shrinks to the same output.
+///
+/// `still_fails(graph, adversary)` is assumed true on entry (the search only
+/// hands over failing candidates); the input is returned unchanged if it
+/// cannot be shrunk.
+pub fn shrink<F>(
+    graph: &GraphDef,
+    adversary: &SynthesizedAdversary,
+    mut still_fails: F,
+) -> ShrinkOutcome
+where
+    F: FnMut(&GraphDef, &SynthesizedAdversary) -> bool,
+{
+    let mut graph = graph.clone();
+    let mut adv = adversary.clone();
+    let mut evals = 0usize;
+    loop {
+        let mut changed = false;
+
+        // Pass 1: halve the cycle while the first half still fails.
+        while adv.rounds() > 1 {
+            let candidate = adv.truncate_rounds(adv.rounds().div_ceil(2));
+            evals += 1;
+            if still_fails(&graph, &candidate) {
+                adv = candidate;
+                changed = true;
+            } else {
+                break;
+            }
+        }
+
+        // Pass 2: drop single rounds.  On success re-test the same index —
+        // the next row shifted into it.
+        let mut i = 0;
+        while adv.rounds() > 1 && i < adv.rounds() {
+            let candidate = adv.remove_round(i);
+            evals += 1;
+            if still_fails(&graph, &candidate) {
+                adv = candidate;
+                changed = true;
+            } else {
+                i += 1;
+            }
+        }
+
+        // Pass 3: drop single edges, row by row.
+        let mut row = 0;
+        while row < adv.rounds() {
+            let mut slot = 0;
+            while slot < adv.schedule()[row].len() {
+                let candidate = adv.remove_edge(row, slot);
+                evals += 1;
+                if still_fails(&graph, &candidate) {
+                    adv = candidate;
+                    changed = true;
+                } else {
+                    slot += 1;
+                }
+            }
+            row += 1;
+        }
+
+        // Pass 4: one graph-parameter step down, edge ids remapped.
+        for smaller in graph.shrink_candidates() {
+            let Ok(built) = smaller.build() else { continue };
+            if built.edge_count() == 0 {
+                continue;
+            }
+            let candidate = adv.remap_edges(built.edge_count());
+            evals += 1;
+            if still_fails(&smaller, &candidate) {
+                graph = smaller;
+                adv = candidate;
+                changed = true;
+                break;
+            }
+        }
+
+        if !changed {
+            break;
+        }
+    }
+    ShrinkOutcome {
+        graph,
+        adversary: adv,
+        evals,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use congest_sim::adversary::CorruptionMode;
+
+    /// Synthetic oracle: fails iff edge 2 is scheduled in some round.
+    fn needs_edge_2(_g: &GraphDef, adv: &SynthesizedAdversary) -> bool {
+        adv.schedule().iter().flatten().any(|&e| e == 2)
+    }
+
+    #[test]
+    fn shrinks_to_single_edge_core() {
+        let graph = GraphDef::grid(3, 3);
+        let adv = SynthesizedAdversary::new(
+            vec![vec![0, 2], vec![5, 7], vec![2, 9], vec![1]],
+            CorruptionMode::FlipLowBit,
+        );
+        let out = shrink(&graph, &adv, needs_edge_2);
+        assert_eq!(out.adversary.rounds(), 1);
+        assert_eq!(out.adversary.total_edges(), 1);
+        assert_eq!(out.adversary.schedule()[0], vec![2]);
+        // The graph descended too: grid(3,3) keeps shrinking while edge 2
+        // exists, down to the smallest grid that still has 3 edges.
+        assert!(out.graph.n < 3 || out.graph != GraphDef::grid(3, 3));
+    }
+
+    #[test]
+    fn shrink_is_deterministic_and_idempotent() {
+        let graph = GraphDef::circulant(12, 4);
+        let adv =
+            SynthesizedAdversary::new(vec![vec![2, 3], vec![4, 2], vec![8]], CorruptionMode::Drop);
+        let a = shrink(&graph, &adv, needs_edge_2);
+        let b = shrink(&graph, &adv, needs_edge_2);
+        assert_eq!(a.adversary, b.adversary);
+        assert_eq!(a.graph, b.graph);
+        assert_eq!(a.evals, b.evals);
+        let again = shrink(&a.graph, &a.adversary, needs_edge_2);
+        assert_eq!(again.adversary, a.adversary);
+        assert_eq!(again.graph, a.graph);
+    }
+}

@@ -1,0 +1,137 @@
+//! Property tests for the counterexample shrinker: against synthetic failure
+//! oracles (fast — no simulator runs), the shrink fixpoint is (1) still
+//! failing, (2) 1-minimal — no single round removal, edge removal or graph
+//! parameter step preserves the failure — and (3) deterministic and
+//! idempotent, so the same found failure always shrinks to the byte-identical
+//! minimal spec.
+
+use congest_sim::adversary::CorruptionMode;
+use mobile_congest_redteam::{shrink, SynthesizedAdversary};
+use netgraph::GraphDef;
+use proptest::prelude::*;
+
+/// A deterministic synthetic failure oracle: fails iff the schedule covers
+/// every edge of `required` (in any round) and the graph still has at least
+/// `min_n` nodes.  Monotone in the schedule, so a minimal failing attack
+/// under it is exactly one round per required edge — or fewer, packed.
+#[derive(Clone)]
+struct RequiredEdges {
+    required: Vec<usize>,
+    min_n: usize,
+}
+
+impl RequiredEdges {
+    fn check(&self, graph: &GraphDef, adv: &SynthesizedAdversary) -> bool {
+        graph.n >= self.min_n
+            && self
+                .required
+                .iter()
+                .all(|e| adv.schedule().iter().flatten().any(|x| x == e))
+    }
+}
+
+/// Build a failing input: the required edges scattered over the schedule
+/// plus arbitrary noise edges.
+fn failing_input(
+    required: &[usize],
+    noise: &[(usize, usize)],
+    rounds: usize,
+) -> SynthesizedAdversary {
+    let rounds = rounds.max(1);
+    let mut schedule = vec![Vec::new(); rounds];
+    for (i, &e) in required.iter().enumerate() {
+        schedule[i % rounds].push(e);
+    }
+    for &(round, edge) in noise {
+        schedule[round % rounds].push(edge);
+    }
+    SynthesizedAdversary::new(schedule, CorruptionMode::FlipLowBit)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn shrunk_output_is_minimal_and_still_fails(
+        required in prop::collection::vec(0usize..12, 1..4),
+        noise in prop::collection::vec((0usize..6, 0usize..12), 0..8),
+        rounds in 1usize..6,
+        min_n in 4usize..10,
+    ) {
+        // Dedupe the required set — duplicate entries would make "remove one
+        // edge" recoverable and the minimality check meaningless.
+        let mut required = required;
+        required.sort_unstable();
+        required.dedup();
+        let graph = GraphDef::circulant(16, 4); // 32 edges; ids 0..12 all valid
+        let oracle = RequiredEdges { required: required.clone(), min_n };
+        let adv = failing_input(&required, &noise, rounds);
+        prop_assert!(oracle.check(&graph, &adv), "input must fail to start");
+
+        let out = shrink(&graph, &adv, |g, a| oracle.check(g, a));
+
+        // Still failing.
+        prop_assert!(oracle.check(&out.graph, &out.adversary));
+        // Exactly the required edges survive — the oracle is monotone, so
+        // anything beyond them was removable noise.
+        let mut left: Vec<usize> = out.adversary.schedule().iter().flatten().copied().collect();
+        left.sort_unstable();
+        prop_assert_eq!(left, required);
+        // 1-minimal along the shrinker's own move set: no single round
+        // removal, no single edge removal, no single graph step.
+        if out.adversary.rounds() > 1 {
+            for i in 0..out.adversary.rounds() {
+                prop_assert!(
+                    !oracle.check(&out.graph, &out.adversary.remove_round(i)),
+                    "round {} still removable", i
+                );
+            }
+        }
+        for row in 0..out.adversary.rounds() {
+            for slot in 0..out.adversary.schedule()[row].len() {
+                prop_assert!(
+                    !oracle.check(&out.graph, &out.adversary.remove_edge(row, slot)),
+                    "edge ({},{}) still removable", row, slot
+                );
+            }
+        }
+        for smaller in out.graph.shrink_candidates() {
+            let Ok(built) = smaller.build() else { continue };
+            if built.edge_count() == 0 {
+                continue;
+            }
+            let remapped = out.adversary.remap_edges(built.edge_count());
+            prop_assert!(
+                !oracle.check(&smaller, &remapped),
+                "graph still shrinkable to {}", smaller.display_name()
+            );
+        }
+    }
+
+    #[test]
+    fn shrinking_is_deterministic_and_idempotent(
+        required in prop::collection::vec(0usize..12, 1..4),
+        noise in prop::collection::vec((0usize..6, 0usize..12), 0..8),
+        rounds in 1usize..6,
+    ) {
+        let mut required = required;
+        required.sort_unstable();
+        required.dedup();
+        let graph = GraphDef::grid(4, 5); // 31 edges
+        let oracle = RequiredEdges { required: required.clone(), min_n: 2 };
+        let adv = failing_input(&required, &noise, rounds);
+        prop_assert!(oracle.check(&graph, &adv));
+
+        let a = shrink(&graph, &adv, |g, x| oracle.check(g, x));
+        let b = shrink(&graph, &adv, |g, x| oracle.check(g, x));
+        // Same seed (here: same input — shrinking draws no randomness at
+        // all) ⇒ byte-identical minimal result, eval count included.
+        prop_assert_eq!(&a.adversary, &b.adversary);
+        prop_assert_eq!(&a.graph, &b.graph);
+        prop_assert_eq!(a.evals, b.evals);
+        // And a fixpoint: shrinking the minimum changes nothing.
+        let again = shrink(&a.graph, &a.adversary, |g, x| oracle.check(g, x));
+        prop_assert_eq!(&again.adversary, &a.adversary);
+        prop_assert_eq!(&again.graph, &a.graph);
+    }
+}

@@ -57,7 +57,13 @@
 //!   [`CampaignSpec`](harness::CampaignSpec)s resolved through the
 //!   graph/adversary/compiler registries (`Campaign::from_spec`), sharding,
 //!   and the `campaign` CLI binary (`cargo run --bin campaign`) with
-//!   cell-level resume.
+//!   cell-level resume,
+//! * [`redteam`] — adversary synthesis: deterministic red-team search over
+//!   synthesized per-round corruption schedules
+//!   (greedy / (1+1)-evolutionary chains scored on a damage lattice), a
+//!   shrinker that minimizes every found failure (rounds → edges → graph)
+//!   into a replayable one-cell campaign spec, and the `redteam` CLI binary
+//!   (`cargo run --bin redteam`) with sharding and unit-level resume.
 //!
 //! See `README.md` for a guided tour; `benches/experiments.rs` is the
 //! experiment index (E1–E16, one table per theorem).
@@ -74,6 +80,7 @@ pub use congest_sim as sim;
 pub use interactive_coding as icoding;
 pub use mobile_congest_core as compilers;
 pub use mobile_congest_harness as harness;
+pub use mobile_congest_redteam as redteam;
 pub use netgraph as graphs;
 pub use obs;
 pub use sketches as sketch;
