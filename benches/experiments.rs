@@ -934,6 +934,107 @@ fn e16d_obs_overhead() {
     }
 }
 
+/// E16e — campaign-server overhead: submit `specs/e16-small.json` to an
+/// in-process `campaignd` (real HTTP over loopback, durable fsync'd store)
+/// and compare submit→complete wall time against the direct in-process run
+/// of the same spec (target: ≤10% overhead — the price of batching, the
+/// store appends and the HTTP round trips).  The two reports must carry the
+/// same record fingerprint.  Emits the `BENCH_9` perf line (also written to
+/// `target/BENCH_9.json`).
+fn e16e_server_overhead() {
+    use mobile_congest::campaignd::client::Client;
+    use mobile_congest::campaignd::server::{start, Config};
+    use mobile_congest::harness::report::ReportRecord;
+    use mobile_congest::harness::CampaignSpec;
+
+    header("E16e", "campaign server vs direct run (same spec)");
+    let spec_path = concat!(env!("CARGO_MANIFEST_DIR"), "/specs/e16-small.json");
+    let text = std::fs::read_to_string(spec_path).expect("specs/e16-small.json is checked in");
+    let mut spec = CampaignSpec::from_json(&text).expect("the checked-in spec parses");
+    // The checked-in spec finishes in single-digit milliseconds — too small
+    // to measure amortized overhead (fixed costs like the submit round trip
+    // and the completion poll would dominate).  Scale the repetition axis so
+    // the direct run takes a meaningful fraction of a second; the overhead
+    // target is about throughput, and every added cost (per-batch fsync,
+    // HTTP, polling) is exercised at scale.
+    spec.repetitions = 200;
+    let text = spec.to_json();
+
+    // Both paths are measured as the best of five *interleaved* trials: the
+    // engine's wall time on a busy box swings by well over the overhead
+    // being measured, and slow windows last long enough to bias whichever
+    // path runs entirely inside one.  Alternating direct/server per trial
+    // and taking each side's minimum is the standard noise-robust estimator
+    // for a deterministic workload.
+    const TRIALS: usize = 5;
+
+    let campaign = Campaign::from_spec(&spec).expect("the spec resolves");
+    std::hint::black_box(campaign.run());
+    // Earlier experiments (E16d in particular) leave tens of MB of dirty
+    // pages; the server's fsync'd appends would queue behind them and bill
+    // the backlog to this measurement.  Flush first so the overhead number
+    // reflects this workload's own durability cost.
+    let _ = std::process::Command::new("sync").status();
+    let trajectory_path = std::path::Path::new("target").join("bench-e16e-trajectory.jsonl");
+    let mut direct_s = f64::INFINITY;
+    let mut server_s = f64::INFINITY;
+    let mut direct = ReportRecord { cells: Vec::new() };
+    for trial in 0..TRIALS {
+        // The direct baseline: what the one-shot `campaign` CLI does — run
+        // the grid, compute the summaries, write the trajectory JSONL to
+        // disk (the server also persists its cells, so both sides pay for
+        // their durable artifact).
+        let t0 = Instant::now();
+        let direct_report = campaign.run();
+        let summaries = direct_report.summaries();
+        std::fs::write(&trajectory_path, direct_report.to_jsonl_with(&summaries))
+            .expect("trajectory writes");
+        direct_s = direct_s.min(t0.elapsed().as_secs_f64());
+        direct = ReportRecord::of(&direct_report);
+
+        // The server path: fresh store, real sockets, long-poll to
+        // completion.
+        let data_dir = std::path::Path::new("target").join(format!("bench-e16e-data-{trial}"));
+        let _ = std::fs::remove_dir_all(&data_dir);
+        let mut config = Config::new(&data_dir);
+        config.quiet = true;
+        let handle = start(config).expect("server starts");
+        let client = Client::new(handle.addr().to_string());
+        let t0 = Instant::now();
+        let submitted = client.submit(&text).expect("submit succeeds");
+        let done = client
+            .watch(&submitted.fingerprint, 1_000, |_| {})
+            .expect("job completes");
+        server_s = server_s.min(t0.elapsed().as_secs_f64());
+        assert_eq!(
+            done.report_fingerprint.as_deref(),
+            Some(direct.fingerprint()).as_deref(),
+            "the server-run report must be byte-identical to the direct run"
+        );
+        let _ = std::fs::remove_dir_all(&data_dir);
+    }
+    let _ = std::fs::remove_file(&trajectory_path);
+
+    let overhead_pct = (server_s - direct_s) / direct_s * 100.0;
+    println!(
+        "{} cells: direct {direct_s:.3}s, server {server_s:.3}s ({overhead_pct:+.2}%, \
+         target <= 10%); report fingerprints byte-identical",
+        spec.cell_count(),
+    );
+    let bench_line = format!(
+        "{{\"bench\":\"e16e-server\",\"direct_s\":{direct_s:.4},\"server_s\":{server_s:.4},\
+         \"overhead_pct\":{overhead_pct:.3},\"cells\":{},\"report_fingerprint\":\"{}\"}}",
+        spec.cell_count(),
+        direct.fingerprint(),
+    );
+    println!("BENCH {bench_line}");
+    let path = std::path::Path::new("target").join("BENCH_9.json");
+    match std::fs::write(&path, format!("{bench_line}\n")) {
+        Ok(()) => println!("wrote perf line to {}", path.display()),
+        Err(e) => println!("could not write {}: {e}", path.display()),
+    }
+}
+
 fn main() {
     let t0 = Instant::now();
     e1_bit_extraction();
@@ -956,6 +1057,7 @@ fn main() {
     e16b_spec_campaign(&e16_fingerprint, e16_secs);
     e16c_packing_ab();
     e16d_obs_overhead();
+    e16e_server_overhead();
     println!(
         "\ntotal experiment time: {:.1}s",
         t0.elapsed().as_secs_f64()

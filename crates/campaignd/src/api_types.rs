@@ -1,0 +1,518 @@
+//! The typed HTTP API surface: request/response structs with JSON codecs.
+//!
+//! Every wire document is hand-rolled over [`harness::json`]
+//! (`mobile_congest_harness::json`) like the rest of the workspace — no
+//! serde.  Each struct encodes to one compact `kind:"..."`-tagged JSON
+//! object and parses back exactly, so the [`crate::client::Client`] and the
+//! server can never drift: both sides use these codecs.
+
+use harness::json::{self, JsonValue};
+use harness::SpecError;
+
+use mobile_congest_harness as harness;
+
+/// Lifecycle state of a job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobState {
+    /// Submitted and durable; no worker has picked up a batch yet.
+    Queued,
+    /// At least one cell batch has executed; more remain.
+    Running,
+    /// Every cell is stored and the summary is finalized.
+    Done,
+    /// Cancelled via `DELETE /jobs/{fp}`; completed cells remain stored and
+    /// a resubmission resumes from them.
+    Cancelled,
+    /// The server could not persist or execute the job (the status carries
+    /// the error).
+    Failed,
+}
+
+impl JobState {
+    /// The stable lowercase wire label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            JobState::Queued => "queued",
+            JobState::Running => "running",
+            JobState::Done => "done",
+            JobState::Cancelled => "cancelled",
+            JobState::Failed => "failed",
+        }
+    }
+
+    /// Parse a wire label.
+    pub fn from_label(label: &str) -> Option<JobState> {
+        Some(match label {
+            "queued" => JobState::Queued,
+            "running" => JobState::Running,
+            "done" => JobState::Done,
+            "cancelled" => JobState::Cancelled,
+            "failed" => JobState::Failed,
+            _ => return None,
+        })
+    }
+
+    /// Whether the state is final (no worker will touch the job again
+    /// without a new submission).
+    pub fn is_terminal(&self) -> bool {
+        matches!(
+            self,
+            JobState::Done | JobState::Cancelled | JobState::Failed
+        )
+    }
+}
+
+impl core::fmt::Display for JobState {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+fn missing(field: &str) -> SpecError {
+    SpecError::Missing {
+        field: field.to_string(),
+    }
+}
+
+/// The status document of one job (`POST /jobs`, `GET /jobs/{fp}`,
+/// `DELETE /jobs/{fp}` all return it).
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobStatus {
+    /// The spec fingerprint — the job's identity.
+    pub fingerprint: String,
+    /// Lifecycle state.
+    pub state: JobState,
+    /// Cells in the full grid.
+    pub cells_total: usize,
+    /// Cells durably stored (any outcome).
+    pub cells_done: usize,
+    /// Stored cells that executed to a report.
+    pub executed: usize,
+    /// Stored cells skipped by validation.
+    pub skipped: usize,
+    /// Stored cells that failed at runtime.
+    pub failed: usize,
+    /// Executed cells disagreeing with the fault-free reference.
+    pub disagreements: usize,
+    /// The merged [`ReportRecord`](harness::ReportRecord) fingerprint —
+    /// present once the job is done; equals the record fingerprint of the
+    /// one-shot CLI run of the same spec.
+    pub report_fingerprint: Option<String>,
+    /// Why the job failed (only on [`JobState::Failed`]).
+    pub error: Option<String>,
+}
+
+impl JobStatus {
+    /// Encode as one compact JSON object.
+    pub fn to_json(&self) -> String {
+        let mut fields = vec![
+            ("kind".to_string(), JsonValue::Str("job-status".into())),
+            (
+                "fingerprint".to_string(),
+                JsonValue::Str(self.fingerprint.clone()),
+            ),
+            (
+                "state".to_string(),
+                JsonValue::Str(self.state.label().into()),
+            ),
+            (
+                "cells_total".to_string(),
+                JsonValue::from_u64(self.cells_total as u64),
+            ),
+            (
+                "cells_done".to_string(),
+                JsonValue::from_u64(self.cells_done as u64),
+            ),
+            (
+                "executed".to_string(),
+                JsonValue::from_u64(self.executed as u64),
+            ),
+            (
+                "skipped".to_string(),
+                JsonValue::from_u64(self.skipped as u64),
+            ),
+            (
+                "failed".to_string(),
+                JsonValue::from_u64(self.failed as u64),
+            ),
+            (
+                "disagreements".to_string(),
+                JsonValue::from_u64(self.disagreements as u64),
+            ),
+        ];
+        if let Some(fp) = &self.report_fingerprint {
+            fields.push(("report_fingerprint".to_string(), JsonValue::Str(fp.clone())));
+        }
+        if let Some(error) = &self.error {
+            fields.push(("error".to_string(), JsonValue::Str(error.clone())));
+        }
+        JsonValue::Obj(fields).to_string()
+    }
+
+    /// Parse from the [`JobStatus::to_json`] form.
+    pub fn from_json(text: &str) -> Result<JobStatus, SpecError> {
+        Self::from_value(&json::parse(text)?)
+    }
+
+    /// Parse from an already-parsed JSON value.
+    pub fn from_value(v: &JsonValue) -> Result<JobStatus, SpecError> {
+        if v.get("kind").and_then(JsonValue::as_str) != Some("job-status") {
+            return Err(SpecError::Invalid {
+                reason: "not a job-status document".into(),
+            });
+        }
+        let num = |name: &str| {
+            v.get(name)
+                .and_then(JsonValue::as_usize)
+                .ok_or_else(|| missing(name))
+        };
+        let state_label = v
+            .get("state")
+            .and_then(JsonValue::as_str)
+            .ok_or_else(|| missing("state"))?;
+        Ok(JobStatus {
+            fingerprint: v
+                .get("fingerprint")
+                .and_then(JsonValue::as_str)
+                .ok_or_else(|| missing("fingerprint"))?
+                .to_string(),
+            state: JobState::from_label(state_label).ok_or_else(|| SpecError::Invalid {
+                reason: format!("unknown job state `{state_label}`"),
+            })?,
+            cells_total: num("cells_total")?,
+            cells_done: num("cells_done")?,
+            executed: num("executed")?,
+            skipped: num("skipped")?,
+            failed: num("failed")?,
+            disagreements: num("disagreements")?,
+            report_fingerprint: v
+                .get("report_fingerprint")
+                .and_then(JsonValue::as_str)
+                .map(str::to_string),
+            error: v
+                .get("error")
+                .and_then(JsonValue::as_str)
+                .map(str::to_string),
+        })
+    }
+}
+
+/// The job listing (`GET /jobs`).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct JobList {
+    /// One status per known job, ordered by fingerprint.
+    pub jobs: Vec<JobStatus>,
+}
+
+impl JobList {
+    /// Encode as one compact JSON object.
+    pub fn to_json(&self) -> String {
+        JsonValue::Obj(vec![
+            ("kind".to_string(), JsonValue::Str("job-list".into())),
+            (
+                "jobs".to_string(),
+                JsonValue::Arr(
+                    self.jobs
+                        .iter()
+                        .map(|j| json::parse(&j.to_json()).expect("status JSON is valid"))
+                        .collect(),
+                ),
+            ),
+        ])
+        .to_string()
+    }
+
+    /// Parse from the [`JobList::to_json`] form.
+    pub fn from_json(text: &str) -> Result<JobList, SpecError> {
+        let v = json::parse(text)?;
+        if v.get("kind").and_then(JsonValue::as_str) != Some("job-list") {
+            return Err(SpecError::Invalid {
+                reason: "not a job-list document".into(),
+            });
+        }
+        Ok(JobList {
+            jobs: v
+                .get("jobs")
+                .and_then(JsonValue::as_array)
+                .ok_or_else(|| missing("jobs"))?
+                .iter()
+                .map(JobStatus::from_value)
+                .collect::<Result<Vec<_>, _>>()?,
+        })
+    }
+}
+
+/// Parameters of the cross-job facet query (`GET /query`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryParams {
+    /// Facet name (`overhead`, `network_rounds`, a notes metric, …).
+    pub facet: String,
+    /// Which statistic of the facet to report
+    /// (`mean`/`stddev`/`min`/`max`/`p10`/`p50`/`p90`/`p99`).
+    pub stat: String,
+    /// Keep only groups with this graph display name.
+    pub graph: Option<String>,
+    /// Keep only groups with this adversary display name.
+    pub adversary: Option<String>,
+    /// Keep only groups with this compiler display name.
+    pub compiler: Option<String>,
+    /// Restrict to these job fingerprints (empty = every job).
+    pub jobs: Vec<String>,
+}
+
+impl QueryParams {
+    /// A query over every job for `facet`'s `stat`.
+    pub fn new(facet: &str, stat: &str) -> QueryParams {
+        QueryParams {
+            facet: facet.to_string(),
+            stat: stat.to_string(),
+            graph: None,
+            adversary: None,
+            compiler: None,
+            jobs: Vec::new(),
+        }
+    }
+
+    /// Render as an URL query string (percent-encoding the values).
+    pub fn to_query_string(&self) -> String {
+        let mut parts = vec![
+            format!("facet={}", crate::http::percent_encode(&self.facet)),
+            format!("stat={}", crate::http::percent_encode(&self.stat)),
+        ];
+        for (key, value) in [
+            ("graph", &self.graph),
+            ("adversary", &self.adversary),
+            ("compiler", &self.compiler),
+        ] {
+            if let Some(value) = value {
+                parts.push(format!("{key}={}", crate::http::percent_encode(value)));
+            }
+        }
+        if !self.jobs.is_empty() {
+            parts.push(format!(
+                "jobs={}",
+                crate::http::percent_encode(&self.jobs.join(","))
+            ));
+        }
+        parts.join("&")
+    }
+}
+
+/// One row of a query result: one grid cell of one job.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryRow {
+    /// The owning job's fingerprint.
+    pub job: String,
+    /// Graph display name.
+    pub graph: String,
+    /// Adversary display name.
+    pub adversary: String,
+    /// Compiler display name.
+    pub compiler: String,
+    /// The requested statistic of the requested facet.
+    pub value: f64,
+}
+
+/// The query result (`GET /query`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryResponse {
+    /// The facet that was queried.
+    pub facet: String,
+    /// The statistic that was reported.
+    pub stat: String,
+    /// One row per matching grid cell, jobs in fingerprint order.
+    pub rows: Vec<QueryRow>,
+}
+
+impl QueryResponse {
+    /// Encode as one compact JSON object.
+    pub fn to_json(&self) -> String {
+        JsonValue::Obj(vec![
+            ("kind".to_string(), JsonValue::Str("query".into())),
+            ("facet".to_string(), JsonValue::Str(self.facet.clone())),
+            ("stat".to_string(), JsonValue::Str(self.stat.clone())),
+            (
+                "rows".to_string(),
+                JsonValue::Arr(
+                    self.rows
+                        .iter()
+                        .map(|r| {
+                            JsonValue::Obj(vec![
+                                ("job".to_string(), JsonValue::Str(r.job.clone())),
+                                ("graph".to_string(), JsonValue::Str(r.graph.clone())),
+                                ("adversary".to_string(), JsonValue::Str(r.adversary.clone())),
+                                ("compiler".to_string(), JsonValue::Str(r.compiler.clone())),
+                                ("value".to_string(), JsonValue::from_f64(r.value)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+        .to_string()
+    }
+
+    /// Parse from the [`QueryResponse::to_json`] form.
+    pub fn from_json(text: &str) -> Result<QueryResponse, SpecError> {
+        let v = json::parse(text)?;
+        if v.get("kind").and_then(JsonValue::as_str) != Some("query") {
+            return Err(SpecError::Invalid {
+                reason: "not a query document".into(),
+            });
+        }
+        let str_field = |obj: &JsonValue, name: &str| {
+            obj.get(name)
+                .and_then(JsonValue::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| missing(name))
+        };
+        Ok(QueryResponse {
+            facet: str_field(&v, "facet")?,
+            stat: str_field(&v, "stat")?,
+            rows: v
+                .get("rows")
+                .and_then(JsonValue::as_array)
+                .ok_or_else(|| missing("rows"))?
+                .iter()
+                .map(|r| {
+                    Ok(QueryRow {
+                        job: str_field(r, "job")?,
+                        graph: str_field(r, "graph")?,
+                        adversary: str_field(r, "adversary")?,
+                        compiler: str_field(r, "compiler")?,
+                        value: r
+                            .get("value")
+                            .and_then(JsonValue::as_f64)
+                            .ok_or_else(|| missing("value"))?,
+                    })
+                })
+                .collect::<Result<Vec<_>, SpecError>>()?,
+        })
+    }
+}
+
+/// The error document every non-2xx response carries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ApiError {
+    /// Human-readable explanation.
+    pub error: String,
+}
+
+impl ApiError {
+    /// Encode as one compact JSON object.
+    pub fn to_json(&self) -> String {
+        JsonValue::Obj(vec![
+            ("kind".to_string(), JsonValue::Str("error".into())),
+            ("error".to_string(), JsonValue::Str(self.error.clone())),
+        ])
+        .to_string()
+    }
+
+    /// Parse from the [`ApiError::to_json`] form.
+    pub fn from_json(text: &str) -> Result<ApiError, SpecError> {
+        let v = json::parse(text)?;
+        Ok(ApiError {
+            error: v
+                .get("error")
+                .and_then(JsonValue::as_str)
+                .ok_or_else(|| missing("error"))?
+                .to_string(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_status() -> JobStatus {
+        JobStatus {
+            fingerprint: "00112233deadbeef".into(),
+            state: JobState::Running,
+            cells_total: 54,
+            cells_done: 20,
+            executed: 18,
+            skipped: 2,
+            failed: 0,
+            disagreements: 1,
+            report_fingerprint: None,
+            error: None,
+        }
+    }
+
+    #[test]
+    fn job_status_round_trips_with_and_without_optionals() {
+        let mut status = sample_status();
+        assert_eq!(JobStatus::from_json(&status.to_json()).unwrap(), status);
+        status.state = JobState::Done;
+        status.report_fingerprint = Some("ffee00112233".into());
+        status.error = Some("boom".into());
+        assert_eq!(JobStatus::from_json(&status.to_json()).unwrap(), status);
+    }
+
+    #[test]
+    fn job_list_round_trips() {
+        let list = JobList {
+            jobs: vec![sample_status(), sample_status()],
+        };
+        assert_eq!(JobList::from_json(&list.to_json()).unwrap(), list);
+        assert_eq!(
+            JobList::from_json(&JobList::default().to_json()).unwrap(),
+            JobList::default()
+        );
+    }
+
+    #[test]
+    fn query_response_round_trips() {
+        let response = QueryResponse {
+            facet: "overhead".into(),
+            stat: "mean".into(),
+            rows: vec![QueryRow {
+                job: "abc".into(),
+                graph: "K8".into(),
+                adversary: "random-mobile".into(),
+                compiler: "clique(f=1)".into(),
+                value: 12.25,
+            }],
+        };
+        assert_eq!(
+            QueryResponse::from_json(&response.to_json()).unwrap(),
+            response
+        );
+    }
+
+    #[test]
+    fn all_states_round_trip_their_labels() {
+        for state in [
+            JobState::Queued,
+            JobState::Running,
+            JobState::Done,
+            JobState::Cancelled,
+            JobState::Failed,
+        ] {
+            assert_eq!(JobState::from_label(state.label()), Some(state));
+        }
+        assert_eq!(JobState::from_label("paused"), None);
+        assert!(JobState::Done.is_terminal());
+        assert!(!JobState::Running.is_terminal());
+    }
+
+    #[test]
+    fn api_errors_round_trip() {
+        let e = ApiError {
+            error: "no job with fingerprint `xyz`".into(),
+        };
+        assert_eq!(ApiError::from_json(&e.to_json()).unwrap(), e);
+    }
+
+    #[test]
+    fn query_params_render_stable_query_strings() {
+        let mut params = QueryParams::new("overhead", "p99");
+        params.graph = Some("K8".into());
+        params.jobs = vec!["a".into(), "b".into()];
+        assert_eq!(
+            params.to_query_string(),
+            "facet=overhead&stat=p99&graph=K8&jobs=a%2Cb"
+        );
+    }
+}

@@ -1,0 +1,153 @@
+//! A typed client for the campaign server, speaking the same hand-rolled
+//! HTTP/1.1 subset as [`crate::http`] over a plain [`TcpStream`].
+//!
+//! Every method returns `Err(message)` on transport failures and on
+//! non-2xx responses; for the latter the message is the server's
+//! [`ApiError`] text when the body parses as one.
+
+use crate::api_types::{ApiError, JobList, JobStatus, QueryParams, QueryResponse};
+use mobile_congest_harness as harness;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+
+/// A client bound to one server address.
+pub struct Client {
+    addr: String,
+}
+
+impl Client {
+    /// A client for `addr` (`host:port`).
+    pub fn new(addr: impl Into<String>) -> Client {
+        Client { addr: addr.into() }
+    }
+
+    /// The server address this client talks to.
+    pub fn addr(&self) -> &str {
+        &self.addr
+    }
+
+    /// One raw request/response exchange.  Returns the status code and the
+    /// body text.
+    pub fn request(
+        &self,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+    ) -> Result<(u16, String), String> {
+        let mut stream = TcpStream::connect(&self.addr)
+            .map_err(|e| format!("cannot connect to {}: {e}", self.addr))?;
+        let body = body.unwrap_or("");
+        let head = format!(
+            "{method} {path} HTTP/1.1\r\nHost: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+            self.addr,
+            body.len(),
+        );
+        stream
+            .write_all(head.as_bytes())
+            .and_then(|()| stream.write_all(body.as_bytes()))
+            .map_err(|e| format!("cannot send request: {e}"))?;
+        let mut reply = String::new();
+        stream
+            .read_to_string(&mut reply)
+            .map_err(|e| format!("cannot read response: {e}"))?;
+        let (head, body) = reply
+            .split_once("\r\n\r\n")
+            .ok_or_else(|| "malformed response: no header terminator".to_string())?;
+        let status: u16 = head
+            .split_whitespace()
+            .nth(1)
+            .and_then(|code| code.parse().ok())
+            .ok_or_else(|| format!("malformed status line: {head}"))?;
+        Ok((status, body.to_string()))
+    }
+
+    /// Exchange plus 2xx check: non-2xx turns into `Err` with the server's
+    /// error message.
+    fn expect_ok(&self, method: &str, path: &str, body: Option<&str>) -> Result<String, String> {
+        let (status, body) = self.request(method, path, body)?;
+        if (200..300).contains(&status) {
+            return Ok(body);
+        }
+        let message = ApiError::from_json(&body)
+            .map(|e| e.error)
+            .unwrap_or_else(|_| body.clone());
+        Err(format!("server returned {status}: {message}"))
+    }
+
+    /// Submit a spec (`POST /jobs`); the body is the raw spec JSON text.
+    pub fn submit(&self, spec_json: &str) -> Result<JobStatus, String> {
+        let body = self.expect_ok("POST", "/jobs", Some(spec_json))?;
+        JobStatus::from_json(&body).map_err(|e| format!("malformed job status: {e}"))
+    }
+
+    /// Fetch one job's status (`GET /jobs/{fp}`).
+    pub fn status(&self, fingerprint: &str) -> Result<JobStatus, String> {
+        let body = self.expect_ok("GET", &format!("/jobs/{fingerprint}"), None)?;
+        JobStatus::from_json(&body).map_err(|e| format!("malformed job status: {e}"))
+    }
+
+    /// List every job (`GET /jobs`).
+    pub fn jobs(&self) -> Result<JobList, String> {
+        let body = self.expect_ok("GET", "/jobs", None)?;
+        JobList::from_json(&body).map_err(|e| format!("malformed job list: {e}"))
+    }
+
+    /// Fetch a job's summary JSONL (`GET /jobs/{fp}/summary`).
+    pub fn summary(&self, fingerprint: &str) -> Result<String, String> {
+        self.expect_ok("GET", &format!("/jobs/{fingerprint}/summary"), None)
+    }
+
+    /// Fetch a job's trajectory JSONL (`GET /jobs/{fp}/trajectory`).
+    pub fn trajectory(&self, fingerprint: &str) -> Result<String, String> {
+        self.expect_ok("GET", &format!("/jobs/{fingerprint}/trajectory"), None)
+    }
+
+    /// Cancel a job (`DELETE /jobs/{fp}`); returns the post-cancel status.
+    pub fn cancel(&self, fingerprint: &str) -> Result<JobStatus, String> {
+        let body = self.expect_ok("DELETE", &format!("/jobs/{fingerprint}"), None)?;
+        JobStatus::from_json(&body).map_err(|e| format!("malformed job status: {e}"))
+    }
+
+    /// Compare a facet statistic across jobs (`GET /query`).
+    pub fn query(&self, params: &QueryParams) -> Result<QueryResponse, String> {
+        let body = self.expect_ok("GET", &format!("/query?{}", params.to_query_string()), None)?;
+        QueryResponse::from_json(&body).map_err(|e| format!("malformed query response: {e}"))
+    }
+
+    /// Watch a job until it reaches a terminal state, invoking `on_progress`
+    /// with every observed status (including the terminal one).
+    ///
+    /// Each round long-polls (`?wait_ms=poll_ms`): the server holds the
+    /// response until the job is terminal or `poll_ms` elapses, so
+    /// completion is observed immediately instead of half a poll interval
+    /// late, and a watcher costs one blocked connection rather than a
+    /// request storm.
+    pub fn watch(
+        &self,
+        fingerprint: &str,
+        poll_ms: u64,
+        mut on_progress: impl FnMut(&JobStatus),
+    ) -> Result<JobStatus, String> {
+        let path = format!("/jobs/{fingerprint}?wait_ms={}", poll_ms.max(1));
+        loop {
+            let body = self.expect_ok("GET", &path, None)?;
+            let status =
+                JobStatus::from_json(&body).map_err(|e| format!("malformed job status: {e}"))?;
+            on_progress(&status);
+            if status.state.is_terminal() {
+                return Ok(status);
+            }
+        }
+    }
+
+    /// Submit a spec from a file and return the status; a convenience for
+    /// the `campaignctl` binary and tests.
+    pub fn submit_file(&self, path: &std::path::Path) -> Result<JobStatus, String> {
+        let spec_json = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        // Parse locally first for a friendlier error than a server 400.
+        harness::CampaignSpec::from_json(&spec_json)
+            .map_err(|e| format!("invalid spec {}: {e}", path.display()))?;
+        self.submit(&spec_json)
+    }
+}

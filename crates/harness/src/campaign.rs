@@ -344,10 +344,14 @@ pub struct CampaignReport {
 impl CampaignReport {
     /// Merge shard (or resume) reports back into one, re-establishing the
     /// global enumeration order.  The union of all [`Campaign::shard`] runs
-    /// merged this way is byte-identical to the unsharded run.
+    /// merged this way is byte-identical to the unsharded run.  Overlapping
+    /// shards are tolerated: cells sharing a global index are deduplicated
+    /// (first occurrence wins), which is sound because a cell's seed — and
+    /// therefore its entire execution — depends only on its global index.
     pub fn merged(reports: impl IntoIterator<Item = CampaignReport>) -> CampaignReport {
         let mut cells: Vec<CampaignCell> = reports.into_iter().flat_map(|r| r.cells).collect();
         cells.sort_by_key(|c| c.index);
+        cells.dedup_by_key(|c| c.index);
         CampaignReport { cells }
     }
 
@@ -373,90 +377,39 @@ impl CampaignReport {
 
     /// Aggregate the repetitions of every grid cell into summaries
     /// (mean/stddev plus the order statistics), in enumeration order.
+    ///
+    /// The aggregation itself (grouping on the grid-cell key
+    /// `index - repetition`, facet extraction, the stats) is shared with the
+    /// serializable record form ([`crate::report::summaries_of`]) — a summary
+    /// recomputed from stored [`CellRecord`](crate::report::CellRecord)s is
+    /// byte-identical to this one.  On top, the live path overlays the
+    /// per-group wall-clock [`GroupSummary::profile`] harvested from the
+    /// in-memory reports of traced runs; wall times are measurement, not
+    /// data, and never enter the record form.
     pub fn summaries(&self) -> Vec<GroupSummary> {
-        // Group on the grid-cell key `index - repetition` (the global index
-        // of the cell's repetition 0), not on display names — two specs may
-        // render to the same name (e.g. two `clique(f=1)` adapters with
-        // different compiler seeds) and must still be summarised separately.
-        // The key also survives non-contiguous reports (shards, resumed
-        // subsets), where a bare repetition-boundary scan would glue
-        // repetitions onto the wrong grid cell.
-        let mut groups: Vec<(usize, String, String, String, Vec<&CampaignCell>)> = Vec::new();
-        for cell in &self.cells {
-            let key = cell.index - cell.repetition;
-            match groups.last_mut() {
-                Some((k, _, _, _, members)) if *k == key => members.push(cell),
-                _ => groups.push((
-                    key,
-                    cell.graph.clone(),
-                    cell.adversary.clone(),
-                    cell.compiler.clone(),
-                    vec![cell],
-                )),
-            }
-        }
-        let groups: Vec<(String, String, String, Vec<&CampaignCell>)> = groups
-            .into_iter()
-            .map(|(_, g, a, c, members)| (g, a, c, members))
+        let records: Vec<crate::report::CellRecord> = self
+            .cells
+            .iter()
+            .map(crate::report::CellRecord::of)
             .collect();
-        groups
-            .into_iter()
-            .map(|(graph, adversary, compiler, members)| {
-                let reports: Vec<&RunReport> = members
-                    .iter()
-                    .filter_map(|c| c.outcome.as_ref().ok())
-                    .collect();
-                let mut stats: Vec<(String, Vec<f64>)> = Vec::new();
-                let mut push =
-                    |name: &str, value: f64| match stats.iter_mut().find(|(n, _)| n == name) {
-                        Some((_, samples)) => samples.push(value),
-                        None => stats.push((name.to_string(), vec![value])),
-                    };
-                for report in &reports {
-                    push("network_rounds", report.network_rounds as f64);
-                    push("payload_rounds", report.payload_rounds as f64);
-                    push("overhead", report.overhead());
-                    push(
-                        "corrupted_edge_rounds",
-                        report.metrics.corrupted_edge_rounds as f64,
-                    );
-                    let cong = report.metrics.congestion_summary(3);
-                    push("cong_p99", cong.p99 as f64);
-                    push("cong_topk", cong.topk_mean());
-                    for (name, value) in report.notes.metrics() {
-                        push(name, value);
-                    }
-                }
-                let mut profile = obs::PhaseProfile::default();
-                for report in &reports {
+        let mut summaries = crate::report::summaries_of(&records);
+        for (summary, members) in summaries
+            .iter_mut()
+            .zip(crate::report::grouped_indices(&records))
+        {
+            let mut profile = obs::PhaseProfile::default();
+            for &i in &members {
+                if let Ok(report) = &self.cells[i].outcome {
                     profile.merge(&report.trace.profile);
                 }
-                GroupSummary {
-                    graph,
-                    adversary,
-                    compiler,
-                    executed: reports.len(),
-                    skipped: members.iter().filter(|c| c.skipped()).count(),
-                    failed: members
-                        .iter()
-                        .filter(|c| !c.skipped() && c.outcome.is_err())
-                        .count(),
-                    disagreements: reports
-                        .iter()
-                        .filter(|r| r.agrees_with_fault_free() == Some(false))
-                        .count(),
-                    stats: stats
-                        .into_iter()
-                        .filter_map(|(name, samples)| StatSummary::of(&samples).map(|s| (name, s)))
-                        .collect(),
-                    profile: profile
-                        .rows()
-                        .into_iter()
-                        .map(|(name, spans, nanos)| (name.to_string(), spans, nanos as f64 / 1.0e6))
-                        .collect(),
-                }
-            })
-            .collect()
+            }
+            summary.profile = profile
+                .rows()
+                .into_iter()
+                .map(|(name, spans, nanos)| (name.to_string(), spans, nanos as f64 / 1.0e6))
+                .collect();
+        }
+        summaries
     }
 
     /// The JSONL export for the bench trajectory: one `kind:"cell"` line per

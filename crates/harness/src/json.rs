@@ -422,6 +422,18 @@ pub fn json_str(s: &str) -> String {
     out
 }
 
+/// The FNV-1a hash of a byte stream, rendered as 16 hex digits — the one
+/// fingerprint function of the workspace (spec fingerprints, report-record
+/// fingerprints, the campaign server's job keys all use it).
+pub fn fnv1a_hex(bytes: impl Iterator<Item = u8>) -> String {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    format!("{h:016x}")
+}
+
 /// Format an f64 the way JSON expects (no NaN/inf ever reaches this point).
 pub fn json_num(v: f64) -> String {
     if v == v.trunc() && v.abs() < 1e15 {

@@ -68,6 +68,7 @@
 pub mod campaign;
 pub mod engine;
 pub mod json;
+pub mod report;
 pub mod spec;
 pub mod stats;
 
@@ -75,5 +76,6 @@ pub use campaign::{
     cell_seed, Campaign, CampaignCell, CampaignReport, GroupSummary, SharedPayload,
 };
 pub use engine::{default_threads, run_indexed};
+pub use report::{CellRecord, RecordOutcome, ReportRecord};
 pub use spec::{CampaignSpec, GridSpec, PayloadDef, SpecError};
 pub use stats::StatSummary;

@@ -351,12 +351,7 @@ impl CampaignSpec {
     /// fingerprint equal iff they describe the same campaign; trajectory
     /// files are keyed by it so `--resume` never mixes campaigns.
     pub fn fingerprint(&self) -> String {
-        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-        for b in self.to_json().bytes() {
-            h ^= b as u64;
-            h = h.wrapping_mul(0x0000_0100_0000_01b3);
-        }
-        format!("{h:016x}")
+        json::fnv1a_hex(self.to_json().bytes())
     }
 }
 

@@ -28,8 +28,10 @@
 //! to `DIR/<fingerprint>-cell<index>.jsonl` and a per-phase wall-time table
 //! is printed to stderr.
 
+use mobile_congest::cli;
 use mobile_congest::harness::campaign::{cell_json, summary_json, GroupSummary};
 use mobile_congest::harness::json::{self, JsonValue};
+use mobile_congest::harness::report::trajectory_header;
 use mobile_congest::harness::{Campaign, CampaignSpec};
 use mobile_congest::obs;
 use std::path::{Path, PathBuf};
@@ -85,40 +87,25 @@ fn parse_args(mut it: impl Iterator<Item = String>) -> Result<Parsed, String> {
         trace_dir: None,
         quiet: false,
     };
-    let need = |it: &mut dyn Iterator<Item = String>, flag: &str| {
-        it.next().ok_or_else(|| format!("{flag} needs a value"))
-    };
     while let Some(arg) = it.next() {
         match arg.as_str() {
-            "--spec" => args.spec = PathBuf::from(need(&mut it, "--spec")?),
-            "--out" => args.out = Some(PathBuf::from(need(&mut it, "--out")?)),
+            "--spec" => args.spec = PathBuf::from(cli::need_value(&mut it, "--spec")?),
+            "--out" => args.out = Some(PathBuf::from(cli::need_value(&mut it, "--out")?)),
             "--threads" => {
-                args.threads = need(&mut it, "--threads")?
-                    .parse()
-                    .map_err(|_| "--threads needs a number".to_string())?;
+                args.threads =
+                    cli::parse_count("--threads", &cli::need_value(&mut it, "--threads")?)?;
             }
             "--shard" => {
-                let v = need(&mut it, "--shard")?;
-                let (i, of) = v
-                    .split_once('/')
-                    .ok_or_else(|| "--shard needs the form I/OF".to_string())?;
-                let (i, of) = (
-                    i.parse::<usize>()
-                        .map_err(|_| "--shard index must be a number".to_string())?,
-                    of.parse::<usize>()
-                        .map_err(|_| "--shard count must be a number".to_string())?,
-                );
-                if of == 0 || i >= of {
-                    return Err(format!("shard {i}/{of} is out of range"));
-                }
-                args.shard = Some((i, of));
+                args.shard = Some(cli::parse_shard(&cli::need_value(&mut it, "--shard")?)?);
             }
             "--resume" => args.resume = true,
             "--dry-run" => args.dry_run = true,
-            "--trace-dir" => args.trace_dir = Some(PathBuf::from(need(&mut it, "--trace-dir")?)),
+            "--trace-dir" => {
+                args.trace_dir = Some(PathBuf::from(cli::need_value(&mut it, "--trace-dir")?));
+            }
             "--quiet" => args.quiet = true,
             "--help" | "-h" => return Ok(Parsed::Help),
-            other => return Err(format!("unknown flag `{other}`")),
+            other => return Err(cli::unknown_flag(other)),
         }
     }
     if args.spec.as_os_str().is_empty() {
@@ -134,17 +121,6 @@ fn default_out(spec_path: &Path) -> PathBuf {
         .map(|s| s.to_string_lossy().into_owned())
         .unwrap_or_else(|| "campaign".to_string());
     Path::new("target").join(format!("{stem}-trajectory.jsonl"))
-}
-
-/// The `kind:"campaign"` header line keying a trajectory file to its spec.
-fn header_line(spec: &CampaignSpec) -> String {
-    format!(
-        "{{\"kind\":\"campaign\",\"fingerprint\":\"{}\",\"seed\":{},\"repetitions\":{},\"cells\":{}}}",
-        spec.fingerprint(),
-        spec.seed,
-        spec.repetitions,
-        spec.cell_count(),
-    )
 }
 
 /// Read an existing trajectory: verify the header belongs to `spec`, return
@@ -339,7 +315,7 @@ fn run() -> Result<(), String> {
     let mut lines: Vec<(usize, String)> = kept;
     lines.extend(report.cells.iter().map(|c| (c.index, cell_json(c))));
     lines.sort_by_key(|(i, _)| *i);
-    let mut text = header_line(&spec);
+    let mut text = trajectory_header(&spec);
     text.push('\n');
     for (_, line) in &lines {
         text.push_str(line);

@@ -1,0 +1,182 @@
+//! The `campaignctl` client binary: drive a running `campaignd` server.
+//!
+//! ```text
+//! campaignctl [--addr HOST:PORT] COMMAND ...
+//!
+//!   submit --spec FILE [--watch]      submit a campaign spec
+//!   status FP                         one job's status document
+//!   list                              every job
+//!   summary FP                        the job's summary JSONL
+//!   trajectory FP                     the job's trajectory JSONL
+//!   watch FP                          poll until the job is terminal
+//!   cancel FP                         cancel a job (resubmit resumes it)
+//!   query --facet F [--stat S] ...    compare a facet statistic across jobs
+//! ```
+//!
+//! **Stream contract**: stdout carries the server's machine-parseable
+//! documents only (JSON / JSONL); progress while watching goes to stderr,
+//! and `--quiet` silences it.  Exit code 0 requires the command to succeed
+//! — for `submit --watch` and `watch` that includes the job finishing in
+//! the `done` state.
+
+use mobile_congest::campaignd::api_types::{JobStatus, QueryParams};
+use mobile_congest::campaignd::client::Client;
+use mobile_congest::cli;
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: campaignctl [--addr HOST:PORT] [--quiet] COMMAND ...
+
+  submit --spec FILE [--watch]   submit a spec (idempotent on its fingerprint);
+                                 --watch polls until the job is terminal
+  status FP                      print one job's status JSON
+  list                           print the job-list JSON
+  summary FP                     print the job's summary JSONL
+  trajectory FP                  print the job's trajectory JSONL
+  watch FP                       poll until the job is terminal
+  cancel FP                      cancel a job (already-run cells stay durable)
+  query --facet F [--stat S] [--graph G] [--adversary A] [--compiler C]
+        [--jobs FP1,FP2]         compare a facet statistic across jobs
+
+  --addr HOST:PORT               server address (default 127.0.0.1:7070)
+  --quiet                        suppress stderr progress";
+
+/// How often `watch` polls the server.
+const POLL_MS: u64 = 250;
+
+fn run() -> Result<(), String> {
+    let mut it = std::env::args().skip(1);
+    let mut addr = "127.0.0.1:7070".to_string();
+    let mut quiet = false;
+    // Global flags may precede the command word.
+    let command = loop {
+        match it.next() {
+            Some(arg) => match arg.as_str() {
+                "--addr" => addr = cli::need_value(&mut it, "--addr")?,
+                "--quiet" => quiet = true,
+                "--help" | "-h" => {
+                    println!("{USAGE}");
+                    return Ok(());
+                }
+                flag if flag.starts_with('-') => return Err(cli::unknown_flag(flag)),
+                command => break command.to_string(),
+            },
+            None => return Err("a command is required".to_string()),
+        }
+    };
+    let client = Client::new(addr);
+    let progress = |status: &JobStatus| {
+        if !quiet {
+            eprintln!(
+                "job {}: {} ({}/{} cells)",
+                status.fingerprint, status.state, status.cells_done, status.cells_total
+            );
+        }
+    };
+    // A watched job must actually finish: cancelled/failed is an error exit.
+    let check_done = |status: JobStatus| -> Result<(), String> {
+        println!("{}", status.to_json());
+        if status.state == mobile_congest::campaignd::JobState::Done {
+            Ok(())
+        } else {
+            Err(format!(
+                "job {} ended in state {}{}",
+                status.fingerprint,
+                status.state,
+                status
+                    .error
+                    .as_deref()
+                    .map(|e| format!(": {e}"))
+                    .unwrap_or_default(),
+            ))
+        }
+    };
+
+    match command.as_str() {
+        "submit" => {
+            let mut spec = None;
+            let mut watch = false;
+            while let Some(arg) = it.next() {
+                match arg.as_str() {
+                    "--spec" => spec = Some(cli::need_value(&mut it, "--spec")?),
+                    "--watch" => watch = true,
+                    other => return Err(cli::unknown_flag(other)),
+                }
+            }
+            let spec = spec.ok_or_else(|| "submit needs --spec FILE".to_string())?;
+            let status = client.submit_file(std::path::Path::new(&spec))?;
+            if watch {
+                let fingerprint = status.fingerprint.clone();
+                progress(&status);
+                check_done(client.watch(&fingerprint, POLL_MS, progress)?)
+            } else {
+                println!("{}", status.to_json());
+                Ok(())
+            }
+        }
+        "status" => {
+            let fp = cli::need_value(&mut it, "status")?;
+            println!("{}", client.status(&fp)?.to_json());
+            Ok(())
+        }
+        "list" => {
+            println!("{}", client.jobs()?.to_json());
+            Ok(())
+        }
+        "summary" => {
+            let fp = cli::need_value(&mut it, "summary")?;
+            print!("{}", client.summary(&fp)?);
+            Ok(())
+        }
+        "trajectory" => {
+            let fp = cli::need_value(&mut it, "trajectory")?;
+            print!("{}", client.trajectory(&fp)?);
+            Ok(())
+        }
+        "watch" => {
+            let fp = cli::need_value(&mut it, "watch")?;
+            check_done(client.watch(&fp, POLL_MS, progress)?)
+        }
+        "cancel" => {
+            let fp = cli::need_value(&mut it, "cancel")?;
+            println!("{}", client.cancel(&fp)?.to_json());
+            Ok(())
+        }
+        "query" => {
+            let mut facet = None;
+            let mut params = QueryParams::new("", "mean");
+            while let Some(arg) = it.next() {
+                match arg.as_str() {
+                    "--facet" => facet = Some(cli::need_value(&mut it, "--facet")?),
+                    "--stat" => params.stat = cli::need_value(&mut it, "--stat")?,
+                    "--graph" => params.graph = Some(cli::need_value(&mut it, "--graph")?),
+                    "--adversary" => {
+                        params.adversary = Some(cli::need_value(&mut it, "--adversary")?)
+                    }
+                    "--compiler" => params.compiler = Some(cli::need_value(&mut it, "--compiler")?),
+                    "--jobs" => {
+                        params.jobs = cli::need_value(&mut it, "--jobs")?
+                            .split(',')
+                            .map(str::to_string)
+                            .collect();
+                    }
+                    other => return Err(cli::unknown_flag(other)),
+                }
+            }
+            params.facet = facet.ok_or_else(|| "query needs --facet".to_string())?;
+            println!("{}", client.query(&params)?.to_json());
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`")),
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("error: {message}");
+            eprintln!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -28,6 +28,7 @@
 //! **Stream contract**: stdout carries the executed unit JSONL lines only;
 //! everything narrative goes to stderr, and `--quiet` silences it.
 
+use mobile_congest::cli;
 use mobile_congest::icoding::replay_trace_jsonl;
 use mobile_congest::redteam::{
     counterexample_spec, parse_trajectory, trajectory, unit_line, RedTeam, RedTeamSpec, UnitOutcome,
@@ -84,40 +85,23 @@ fn parse_args(mut it: impl Iterator<Item = String>) -> Result<Parsed, String> {
         dry_run: false,
         quiet: false,
     };
-    let need = |it: &mut dyn Iterator<Item = String>, flag: &str| {
-        it.next().ok_or_else(|| format!("{flag} needs a value"))
-    };
     while let Some(arg) = it.next() {
         match arg.as_str() {
-            "--spec" => args.spec = PathBuf::from(need(&mut it, "--spec")?),
-            "--out" => args.out = Some(PathBuf::from(need(&mut it, "--out")?)),
-            "--ce-dir" => args.ce_dir = Some(PathBuf::from(need(&mut it, "--ce-dir")?)),
+            "--spec" => args.spec = PathBuf::from(cli::need_value(&mut it, "--spec")?),
+            "--out" => args.out = Some(PathBuf::from(cli::need_value(&mut it, "--out")?)),
+            "--ce-dir" => args.ce_dir = Some(PathBuf::from(cli::need_value(&mut it, "--ce-dir")?)),
             "--threads" => {
-                args.threads = need(&mut it, "--threads")?
-                    .parse()
-                    .map_err(|_| "--threads needs a number".to_string())?;
+                args.threads =
+                    cli::parse_count("--threads", &cli::need_value(&mut it, "--threads")?)?;
             }
             "--shard" => {
-                let v = need(&mut it, "--shard")?;
-                let (i, of) = v
-                    .split_once('/')
-                    .ok_or_else(|| "--shard needs the form I/OF".to_string())?;
-                let (i, of) = (
-                    i.parse::<usize>()
-                        .map_err(|_| "--shard index must be a number".to_string())?,
-                    of.parse::<usize>()
-                        .map_err(|_| "--shard count must be a number".to_string())?,
-                );
-                if of == 0 || i >= of {
-                    return Err(format!("shard {i}/{of} is out of range"));
-                }
-                args.shard = Some((i, of));
+                args.shard = Some(cli::parse_shard(&cli::need_value(&mut it, "--shard")?)?);
             }
             "--resume" => args.resume = true,
             "--dry-run" => args.dry_run = true,
             "--quiet" => args.quiet = true,
             "--help" | "-h" => return Ok(Parsed::Help),
-            other => return Err(format!("unknown flag `{other}`")),
+            other => return Err(cli::unknown_flag(other)),
         }
     }
     if args.spec.as_os_str().is_empty() {

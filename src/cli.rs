@@ -1,0 +1,114 @@
+//! Shared argument-parsing helpers for the workspace CLIs (`campaign`,
+//! `redteam`, `campaignd`, `campaignctl`).
+//!
+//! Every binary hand-rolls its flag loop (the workspace is offline — no
+//! clap), but the pieces that must behave and *word their errors*
+//! identically live here: pulling a flag's value off the iterator, parsing
+//! counts, parsing `I/OF` shard designators, and reporting unknown flags.
+//! The error strings are part of each CLI's tested surface — the binaries'
+//! unit tests pin them — so changing a message here is a deliberate,
+//! workspace-wide decision rather than per-binary drift.
+
+/// Pull the value of `flag` off the argument iterator
+/// (`"{flag} needs a value"` if the command line ends first).
+pub fn need_value(it: &mut dyn Iterator<Item = String>, flag: &str) -> Result<String, String> {
+    it.next().ok_or_else(|| format!("{flag} needs a value"))
+}
+
+/// Parse a flag's value as a count (`"{flag} needs a number"` on anything
+/// that is not a `usize`).
+pub fn parse_count(flag: &str, value: &str) -> Result<usize, String> {
+    value.parse().map_err(|_| format!("{flag} needs a number"))
+}
+
+/// Parse a `--shard I/OF` designator: two slash-separated numbers with
+/// `OF > 0` and `I < OF`.  Returns `(index, of)`.
+pub fn parse_shard(value: &str) -> Result<(usize, usize), String> {
+    let (i, of) = value
+        .split_once('/')
+        .ok_or_else(|| "--shard needs the form I/OF".to_string())?;
+    let (i, of) = (
+        i.parse::<usize>()
+            .map_err(|_| "--shard index must be a number".to_string())?,
+        of.parse::<usize>()
+            .map_err(|_| "--shard count must be a number".to_string())?,
+    );
+    if of == 0 || i >= of {
+        return Err(format!("shard {i}/{of} is out of range"));
+    }
+    Ok((i, of))
+}
+
+/// The unknown-flag error: names the offending flag in backticks.
+pub fn unknown_flag(flag: &str) -> String {
+    format!("unknown flag `{flag}`")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(argv: &[&str]) -> std::vec::IntoIter<String> {
+        argv.iter()
+            .map(|s| s.to_string())
+            .collect::<Vec<_>>()
+            .into_iter()
+    }
+
+    #[test]
+    fn need_value_pulls_the_next_argument_or_names_the_flag() {
+        let mut it = args(&["value", "rest"]);
+        assert_eq!(need_value(&mut it, "--spec").unwrap(), "value");
+        assert_eq!(it.next().as_deref(), Some("rest"));
+        let mut empty = args(&[]);
+        assert_eq!(
+            need_value(&mut empty, "--out").unwrap_err(),
+            "--out needs a value"
+        );
+    }
+
+    #[test]
+    fn counts_parse_or_name_the_flag() {
+        assert_eq!(parse_count("--threads", "4").unwrap(), 4);
+        assert_eq!(
+            parse_count("--threads", "four").unwrap_err(),
+            "--threads needs a number"
+        );
+        assert_eq!(
+            parse_count("--threads", "-1").unwrap_err(),
+            "--threads needs a number"
+        );
+    }
+
+    #[test]
+    fn well_formed_shards_parse() {
+        assert_eq!(parse_shard("0/1").unwrap(), (0, 1));
+        assert_eq!(parse_shard("3/8").unwrap(), (3, 8));
+    }
+
+    #[test]
+    fn malformed_shard_designators_are_rejected() {
+        assert_eq!(parse_shard("4").unwrap_err(), "--shard needs the form I/OF");
+        assert_eq!(
+            parse_shard("x/2").unwrap_err(),
+            "--shard index must be a number"
+        );
+        assert_eq!(
+            parse_shard("1/y").unwrap_err(),
+            "--shard count must be a number"
+        );
+    }
+
+    #[test]
+    fn zero_and_out_of_range_shards_are_rejected() {
+        assert_eq!(parse_shard("0/0").unwrap_err(), "shard 0/0 is out of range");
+        assert_eq!(parse_shard("4/4").unwrap_err(), "shard 4/4 is out of range");
+        assert_eq!(parse_shard("9/2").unwrap_err(), "shard 9/2 is out of range");
+    }
+
+    #[test]
+    fn unknown_flags_are_named_in_backticks() {
+        assert_eq!(unknown_flag("--frobnicate"), "unknown flag `--frobnicate`");
+        assert_eq!(unknown_flag("-x"), "unknown flag `-x`");
+    }
+}

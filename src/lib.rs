@@ -58,6 +58,10 @@
 //!   graph/adversary/compiler registries (`Campaign::from_spec`), sharding,
 //!   and the `campaign` CLI binary (`cargo run --bin campaign`) with
 //!   cell-level resume,
+//! * [`campaignd`] — the campaign *server*: durable jobs in an fsync'd
+//!   store, an in-process worker pool over the same deterministic engine
+//!   (byte-identical reports, zero re-execution after a crash), a std-only
+//!   HTTP/1.1 API and the `campaignd` / `campaignctl` binaries,
 //! * [`redteam`] — adversary synthesis: deterministic red-team search over
 //!   synthesized per-round corruption schedules
 //!   (greedy / (1+1)-evolutionary chains scored on a damage lattice), a
@@ -74,6 +78,9 @@
 #[doc = include_str!("../README.md")]
 pub struct ReadmeDoctests;
 
+pub mod cli;
+
+pub use campaignd;
 pub use coding as codes;
 pub use congest_algorithms as payloads;
 pub use congest_sim as sim;

@@ -1,0 +1,231 @@
+//! Integration tests for the campaign server (`mobile_congest::campaignd`):
+//! the determinism contract (a server-run campaign is byte-identical to the
+//! one-shot CLI run), crash recovery with zero re-execution, cancel/resume,
+//! the typed API errors, and the cross-job query endpoint.
+//!
+//! Every test starts a real server on `127.0.0.1:0` and talks to it over
+//! real sockets through the typed [`Client`] — the same path `campaignctl`
+//! and CI use.
+
+use mobile_congest::campaignd::api_types::QueryParams;
+use mobile_congest::campaignd::client::Client;
+use mobile_congest::campaignd::server::{shard_batches, start, Config, Handle};
+use mobile_congest::campaignd::store::{FsStore, Store};
+use mobile_congest::campaignd::JobState;
+use mobile_congest::harness::report::{trajectory_header, CellRecord, ReportRecord};
+use mobile_congest::harness::{Campaign, CampaignSpec};
+use std::path::PathBuf;
+
+fn spec_text() -> String {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/specs/e16-small.json");
+    std::fs::read_to_string(path).expect("specs/e16-small.json is checked in")
+}
+
+/// A fresh per-test data dir under the system temp root.
+fn temp_data_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("campaignd-it-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Start a server with `workers` worker threads on an ephemeral port and
+/// hand back its handle plus a client bound to it.
+fn server_on(data_dir: &PathBuf, workers: usize) -> (Handle, Client) {
+    let mut config = Config::new(data_dir);
+    config.workers = workers;
+    config.quiet = true;
+    let handle = start(config).expect("server starts");
+    let client = Client::new(handle.addr().to_string());
+    (handle, client)
+}
+
+#[test]
+fn server_run_is_byte_identical_to_the_one_shot_run_and_query_sees_it() {
+    let text = spec_text();
+    let spec = CampaignSpec::from_json(&text).unwrap();
+    let expected = ReportRecord::of(&Campaign::from_spec(&spec).unwrap().threads(1).run());
+
+    let data_dir = temp_data_dir("determinism");
+    let (_handle, client) = server_on(&data_dir, 1);
+    let submitted = client.submit(&text).unwrap();
+    assert_eq!(submitted.fingerprint, spec.fingerprint());
+    assert_eq!(submitted.cells_total, spec.cell_count());
+
+    let done = client.watch(&submitted.fingerprint, 25, |_| {}).unwrap();
+    assert_eq!(done.state, JobState::Done);
+    assert_eq!(done.cells_done, spec.cell_count());
+
+    // The determinism contract: the server's merged record report is
+    // byte-identical — same fingerprint, same summary and trajectory bytes
+    // — to the one-shot in-process run.
+    assert_eq!(
+        done.report_fingerprint.as_deref(),
+        Some(expected.fingerprint()).as_deref()
+    );
+    assert_eq!(
+        client.summary(&done.fingerprint).unwrap(),
+        expected.summary_jsonl()
+    );
+    let mut trajectory = trajectory_header(&spec);
+    trajectory.push('\n');
+    trajectory.push_str(&expected.cell_lines());
+    assert_eq!(client.trajectory(&done.fingerprint).unwrap(), trajectory);
+
+    // The status counters mirror the record's outcome tallies.
+    let (executed, skipped, failed, disagreements) = expected.outcome_counts();
+    assert_eq!(
+        (done.executed, done.skipped, done.failed, done.disagreements),
+        (executed, skipped, failed, disagreements)
+    );
+
+    // The query endpoint sees the finished job and honours its filters.
+    let mut params = QueryParams::new("overhead", "p50");
+    params.compiler = Some("uncompiled".to_string());
+    let response = client.query(&params).unwrap();
+    assert!(!response.rows.is_empty(), "query returned no rows");
+    assert!(response.rows.iter().all(|r| r.compiler == "uncompiled"));
+    assert!(response
+        .rows
+        .iter()
+        .all(|r| r.job == done.fingerprint && r.value.is_finite()));
+
+    let _ = std::fs::remove_dir_all(&data_dir);
+}
+
+#[test]
+fn killed_server_resumes_without_reexecuting_completed_cells() {
+    let text = spec_text();
+    let spec = CampaignSpec::from_json(&text).unwrap();
+    let fingerprint = spec.fingerprint();
+    let campaign = Campaign::from_spec(&spec).unwrap().threads(1);
+    let total = campaign.cell_count();
+
+    // What a crashed server would have left behind: the spec, a `running`
+    // state, the even cells fully persisted, and a torn trailing line (a
+    // partial write of cell 1 interrupted mid-append).
+    let evens: Vec<usize> = (0..total).step_by(2).collect();
+    let done_lines: Vec<String> = campaign
+        .run_cells(&evens)
+        .cells
+        .iter()
+        .map(|cell| CellRecord::of(cell).to_json())
+        .collect();
+    let data_dir = temp_data_dir("recovery");
+    let store = FsStore::open(&data_dir).unwrap();
+    store.put_spec(&fingerprint, &spec.to_json()).unwrap();
+    store.set_state(&fingerprint, JobState::Running).unwrap();
+    store.append_cells(&fingerprint, &done_lines).unwrap();
+    {
+        use std::io::Write;
+        let mut log = std::fs::OpenOptions::new()
+            .append(true)
+            .open(data_dir.join("jobs").join(&fingerprint).join("cells.log"))
+            .unwrap();
+        write!(log, "{{\"kind\":\"cell-record\",\"index\":1,\"gra").unwrap();
+    }
+    drop(store);
+
+    // Restart: recovery must requeue exactly the odd cells (the torn cell
+    // never persisted, so it re-runs) and never touch the persisted evens.
+    let (handle, client) = server_on(&data_dir, 1);
+    let done = client.watch(&fingerprint, 25, |_| {}).unwrap();
+    assert_eq!(done.state, JobState::Done);
+    assert_eq!(done.cells_done, total);
+    assert_eq!(
+        handle.executed(),
+        total - evens.len(),
+        "a recovered server must execute exactly the missing cells"
+    );
+
+    // And the resumed result is still byte-identical to the one-shot run.
+    let expected = ReportRecord::of(&campaign.run());
+    assert_eq!(done.report_fingerprint, Some(expected.fingerprint()));
+    assert_eq!(
+        client.summary(&fingerprint).unwrap(),
+        expected.summary_jsonl()
+    );
+
+    let _ = std::fs::remove_dir_all(&data_dir);
+}
+
+#[test]
+fn cancel_parks_a_job_and_resubmitting_resumes_it() {
+    let text = spec_text();
+    // No workers: submissions queue durably but nothing executes, so the
+    // cancel/resubmit transitions are fully deterministic.
+    let data_dir = temp_data_dir("cancel");
+    let (handle, client) = server_on(&data_dir, 0);
+
+    let submitted = client.submit(&text).unwrap();
+    assert_eq!(submitted.state, JobState::Queued);
+    assert_eq!(submitted.cells_done, 0);
+
+    let cancelled = client.cancel(&submitted.fingerprint).unwrap();
+    assert_eq!(cancelled.state, JobState::Cancelled);
+    // Cancel is idempotent and the job stays listed.
+    assert_eq!(
+        client.cancel(&submitted.fingerprint).unwrap().state,
+        JobState::Cancelled
+    );
+    let list = client.jobs().unwrap();
+    assert_eq!(list.jobs.len(), 1);
+    assert_eq!(list.jobs[0].state, JobState::Cancelled);
+
+    // Resubmitting the same spec resumes the cancelled job in place.
+    let resumed = client.submit(&text).unwrap();
+    assert_eq!(resumed.fingerprint, submitted.fingerprint);
+    assert_eq!(resumed.state, JobState::Queued);
+    assert_eq!(handle.executed(), 0, "no workers were started");
+
+    let _ = std::fs::remove_dir_all(&data_dir);
+}
+
+#[test]
+fn api_errors_are_typed_and_named() {
+    let data_dir = temp_data_dir("errors");
+    let (_handle, client) = server_on(&data_dir, 0);
+
+    // Unknown job: a 404 whose message names the fingerprint.
+    let err = client.status("deadbeefdeadbeef").unwrap_err();
+    assert!(err.contains("404"), "got: {err}");
+    assert!(err.contains("deadbeefdeadbeef"), "got: {err}");
+
+    // A malformed spec is refused with a 400 before anything is stored.
+    let (status, body) = client.request("POST", "/jobs", Some("{not json")).unwrap();
+    assert_eq!(status, 400, "body: {body}");
+    assert!(body.contains("invalid spec"), "body: {body}");
+    assert!(client.jobs().unwrap().jobs.is_empty());
+
+    // Unknown routes and wrong methods both land on the typed 404.
+    let (status, _) = client.request("GET", "/nope", None).unwrap();
+    assert_eq!(status, 404);
+    let (status, body) = client.request("PUT", "/jobs", None).unwrap();
+    assert_eq!(status, 404);
+    assert!(body.contains("no route"), "body: {body}");
+
+    // Health check works without any jobs.
+    let (status, body) = client.request("GET", "/healthz", None).unwrap();
+    assert_eq!(status, 200);
+    assert!(body.contains("\"ok\":true"));
+
+    let _ = std::fs::remove_dir_all(&data_dir);
+}
+
+#[test]
+fn server_batches_are_exactly_the_cli_shard_partition() {
+    let spec = CampaignSpec::from_json(&spec_text()).unwrap();
+    let pending = Campaign::from_spec(&spec).unwrap().cell_indices();
+    for of in [1usize, 3, 7] {
+        let batches = shard_batches(&pending, of);
+        let expected: Vec<Vec<usize>> = (0..of)
+            .map(|i| {
+                Campaign::from_spec(&spec)
+                    .unwrap()
+                    .shard(i, of)
+                    .cell_indices()
+            })
+            .filter(|s| !s.is_empty())
+            .collect();
+        assert_eq!(batches, expected, "of={of}");
+    }
+}
