@@ -77,7 +77,8 @@
 
 use congest_sim::network::Network;
 use congest_sim::scenario::{
-    validate_role, BoxedAlgorithm, Compiler, CompilerKind, CompilerNotes, ScenarioError,
+    validate_role, BoxedAlgorithm, CompileArtifacts, Compiler, CompilerKind, CompilerNotes,
+    ScenarioError,
 };
 use congest_sim::traffic::{Output, Traffic};
 use netgraph::{ArcId, Graph, NodeId};
@@ -527,6 +528,27 @@ impl Compiler for AsyncExecutor {
         Err(ScenarioError::ReplayRequired {
             compiler: self.name(),
         })
+    }
+
+    fn prepare(
+        &self,
+        graph: &Graph,
+        tracer: &mut obs::Tracer,
+    ) -> Result<CompileArtifacts, ScenarioError> {
+        // The executor derives everything per run from the schedule and the
+        // run seed; only the warmed graph is seed-independent.
+        let _ = tracer;
+        Ok(CompileArtifacts::graph_only(graph))
+    }
+
+    fn execute_replayable(
+        &self,
+        artifacts: &CompileArtifacts,
+        make: &dyn Fn() -> BoxedAlgorithm,
+        net: &mut Network,
+    ) -> Result<(Vec<Output>, CompilerNotes), ScenarioError> {
+        let _ = artifacts;
+        self.compile_replayable(make, net)
     }
 
     fn compile_replayable(

@@ -135,6 +135,10 @@ struct Inner {
     /// batches rather than proportionally more of them.
     max_batches: usize,
     quiet: bool,
+    /// One compile-artifact cache for the whole daemon: every job's
+    /// campaign shares it, so resubmitted or overlapping specs reuse each
+    /// `(graph, compiler)` preparation across batches and across jobs.
+    artifact_cache: Arc<harness::ArtifactCache>,
 }
 
 impl Inner {
@@ -198,6 +202,7 @@ pub fn start(config: Config) -> Result<Handle, String> {
         batch_size: config.batch_size.max(1),
         max_batches: (config.workers.max(1) * 4).max(8),
         quiet: config.quiet,
+        artifact_cache: Arc::new(harness::ArtifactCache::new()),
     });
 
     recover(&inner).map_err(|e| format!("recovery failed: {e}"))?;
@@ -259,7 +264,8 @@ fn recover(inner: &Arc<Inner>) -> Result<(), String> {
         let campaign = Arc::new(
             Campaign::from_spec(&job.spec)
                 .map_err(|e| format!("job {}: {e}", job.fingerprint))?
-                .threads(1),
+                .threads(1)
+                .artifact_cache(Arc::clone(&inner.artifact_cache)),
         );
         let total = campaign.cell_count();
         let mut done = BTreeMap::new();
@@ -633,7 +639,11 @@ fn submit(inner: &Arc<Inner>, body: &[u8]) -> Response {
     }
 
     let campaign = match Campaign::from_spec(&spec) {
-        Ok(campaign) => Arc::new(campaign.threads(1)),
+        Ok(campaign) => Arc::new(
+            campaign
+                .threads(1)
+                .artifact_cache(Arc::clone(&inner.artifact_cache)),
+        ),
         Err(e) => return error_response(400, format!("invalid spec: {e}")),
     };
     if let Err(e) = inner

@@ -79,6 +79,27 @@ pub trait Field:
         self == Self::ZERO
     }
 
+    /// Fused multiply–accumulate over slices: `acc[i] += c · src[i]`.
+    ///
+    /// This is the primitive behind every matrix–vector product in the crate
+    /// (Reed–Solomon encode, syndrome checks, interpolation).  The default is
+    /// the scalar loop; fields with vectorized kernels override it — see
+    /// [`crate::kernels`].  Every implementation computes identical field
+    /// arithmetic, so overriding never changes results.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the slices have different lengths.
+    fn addmul_slice(acc: &mut [Self], src: &[Self], c: Self) {
+        assert_eq!(acc.len(), src.len(), "addmul_slice length mismatch");
+        if c.is_zero() {
+            return;
+        }
+        for (a, &s) in acc.iter_mut().zip(src.iter()) {
+            *a = *a + c * s;
+        }
+    }
+
     /// Sample a uniformly random field element.
     fn random<R: rand::Rng + ?Sized>(rng: &mut R) -> Self {
         // Rejection-free for power-of-two orders; for prime orders the modulo

@@ -12,7 +12,8 @@ use std::ops::{Add, Mul, Neg, Sub};
 use std::sync::OnceLock;
 
 /// Primitive polynomial for GF(2^16): x^16 + x^12 + x^3 + x + 1.
-const PRIM_POLY: u32 = 0x1100B;
+/// Crate-visible so [`crate::kernels::NibbleMul`] reduces with the same modulus.
+pub(crate) const PRIM_POLY: u32 = 0x1100B;
 /// Multiplicative group order.
 const GROUP_ORDER: usize = (1 << 16) - 1;
 
@@ -115,6 +116,30 @@ impl Field for Gf2_16 {
         let t = tables();
         let l = t.log[self.0 as usize] as usize;
         Gf2_16(t.exp[GROUP_ORDER - l])
+    }
+
+    fn addmul_slice(acc: &mut [Self], src: &[Self], c: Self) {
+        assert_eq!(acc.len(), src.len(), "addmul_slice length mismatch");
+        if c.0 == 0 {
+            return;
+        }
+        if acc.len() >= 16 {
+            // Long slices amortize a 128-byte split-table multiplier for the
+            // constant: four nibble lookups per element, no log/antilog traffic.
+            let m = crate::kernels::NibbleMul::new(c);
+            for (a, &s) in acc.iter_mut().zip(src.iter()) {
+                a.0 ^= m.mul(s).0;
+            }
+        } else {
+            // Short slices: log/antilog walk with the constant's log hoisted.
+            let t = tables();
+            let lc = t.log[c.0 as usize] as usize;
+            for (a, &s) in acc.iter_mut().zip(src.iter()) {
+                if s.0 != 0 {
+                    a.0 ^= t.exp[lc + t.log[s.0 as usize] as usize];
+                }
+            }
+        }
     }
 }
 

@@ -12,7 +12,10 @@
 //! * [`reed_solomon`]: Reed–Solomon encoding with Berlekamp–Welch error decoding
 //!   (Theorem 1.8), used by the `ECCSafeBroadcast` procedure,
 //! * [`hashing`]: `c`-wise independent hash families (Lemma 1.11) and polynomial
-//!   transcript fingerprints used by the rewind-if-error compiler.
+//!   transcript fingerprints used by the rewind-if-error compiler,
+//! * [`kernels`]: bit-sliced/SWAR and SIMD multiply–accumulate kernels behind
+//!   the Reed–Solomon encode/syndrome hot loops, plus the GF(2^16)
+//!   split-table constant multiplier.
 //!
 //! # Example
 //!
@@ -39,6 +42,7 @@ pub mod fp;
 pub mod gf256;
 pub mod gf2_16;
 pub mod hashing;
+pub mod kernels;
 pub mod reed_solomon;
 pub mod vandermonde;
 
@@ -47,6 +51,7 @@ pub use fp::Fp61;
 pub use gf256::Gf256;
 pub use gf2_16::Gf2_16;
 pub use hashing::{KWiseHash, TranscriptHash};
+pub use kernels::NibbleMul;
 pub use reed_solomon::ReedSolomon;
 pub use vandermonde::{BitExtractor, Vandermonde};
 

@@ -8,9 +8,30 @@
 //! mobile adversary.  Berlekamp–Welch recovers the message as long as fewer
 //! than `(k - ℓ + 1)/2` shares are wrong, which is exactly the guarantee the
 //! lemma needs.
+//!
+//! # Precomputation
+//!
+//! Construction is the expensive step: [`ReedSolomon::new`] precomputes the
+//! generator, interpolation and parity-check matrices so that encoding, the
+//! [`ReedSolomon::syndromes`] codeword check and the clean-word fast path of
+//! [`ReedSolomon::decode`] are all plain matrix–vector products over
+//! [`Field::addmul_slice`] — which the per-field kernels in
+//! [`crate::kernels`] vectorize.  Callers encoding or decoding many words
+//! with the same `(ℓ, k)` should build the code once and reuse it.
 
 use crate::field::{lagrange_interpolate, poly_degree, poly_divmod, poly_eval, Field};
 use crate::{CodingError, Result};
+
+/// `y = A·v` with `A` stored column-major: `y = Σ_j v_j · col_j`, each term a
+/// fused [`Field::addmul_slice`] so the per-field kernels carry the hot loop.
+fn matvec<F: Field>(cols: &[Vec<F>], v: &[F]) -> Vec<F> {
+    let rows = cols.first().map_or(0, Vec::len);
+    let mut y = vec![F::ZERO; rows];
+    for (col, &vj) in cols.iter().zip(v.iter()) {
+        F::addmul_slice(&mut y, col, vj);
+    }
+    y
+}
 
 /// A Reed–Solomon code with message length `ell` and block length `k` over `F`.
 ///
@@ -21,6 +42,17 @@ pub struct ReedSolomon<F: Field> {
     ell: usize,
     k: usize,
     points: Vec<F>,
+    /// Generator matrix, column-major: `gen_cols[j][i] = x_i^j`, so a
+    /// codeword is `Σ_j m_j · gen_cols[j]`.
+    gen_cols: Vec<Vec<F>>,
+    /// Interpolation matrix, column-major: the coefficients of the `j`-th
+    /// Lagrange basis polynomial over the first `ℓ` points, so the message
+    /// behind a clean word is `Σ_j head_j · interp_cols[j]`.
+    interp_cols: Vec<Vec<F>>,
+    /// Parity-check matrix, column-major: the `j`-th basis polynomial
+    /// evaluated at the `k − ℓ` tail points, so the tail a clean word must
+    /// carry given its head is `Σ_j head_j · parity_cols[j]`.
+    parity_cols: Vec<Vec<F>>,
 }
 
 impl<F: Field> ReedSolomon<F> {
@@ -47,8 +79,43 @@ impl<F: Field> ReedSolomon<F> {
                 F::order()
             )));
         }
-        let points = (1..=k as u64).map(F::from_u64).collect();
-        Ok(ReedSolomon { ell, k, points })
+        let points: Vec<F> = (1..=k as u64).map(F::from_u64).collect();
+        // Generator matrix, column-major: gen_cols[j][i] = x_i^j.
+        let mut gen_cols = vec![vec![F::ZERO; k]; ell];
+        for (i, &x) in points.iter().enumerate() {
+            let mut p = F::ONE;
+            for col in gen_cols.iter_mut() {
+                col[i] = p;
+                p = p * x;
+            }
+        }
+        // The Lagrange basis polynomials over the head points feed both the
+        // interpolation matrix (their coefficients) and the parity-check
+        // matrix (their evaluations at the tail points).
+        let mut interp_cols = Vec::with_capacity(ell);
+        let mut parity_cols = Vec::with_capacity(ell);
+        for j in 0..ell {
+            let unit: Vec<(F, F)> = (0..ell)
+                .map(|i| (points[i], if i == j { F::ONE } else { F::ZERO }))
+                .collect();
+            let mut basis = lagrange_interpolate(&unit);
+            basis.resize(ell, F::ZERO);
+            parity_cols.push(
+                points[ell..]
+                    .iter()
+                    .map(|&x| poly_eval(&basis, x))
+                    .collect(),
+            );
+            interp_cols.push(basis);
+        }
+        Ok(ReedSolomon {
+            ell,
+            k,
+            points,
+            gen_cols,
+            interp_cols,
+            parity_cols,
+        })
     }
 
     /// Message length `ℓ`.
@@ -79,7 +146,29 @@ impl<F: Field> ReedSolomon<F> {
                 got: message.len(),
             });
         }
-        Ok(self.points.iter().map(|&x| poly_eval(message, x)).collect())
+        Ok(matvec(&self.gen_cols, message))
+    }
+
+    /// The `k − ℓ` parity syndromes of a received word: the tail symbols the
+    /// word's head predicts (via the precomputed parity-check matrix) minus
+    /// the tail symbols actually received.  All-zero iff `received` is a
+    /// codeword.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodingError::LengthMismatch`] for wrong input length.
+    pub fn syndromes(&self, received: &[F]) -> Result<Vec<F>> {
+        if received.len() != self.k {
+            return Err(CodingError::LengthMismatch {
+                expected: self.k,
+                got: received.len(),
+            });
+        }
+        let mut s = matvec(&self.parity_cols, &received[..self.ell]);
+        for (sr, &r) in s.iter_mut().zip(received[self.ell..].iter()) {
+            *sr = *sr - r;
+        }
+        Ok(s)
     }
 
     /// Decode a (possibly corrupted) word of `k` symbols back to the `ℓ`-symbol
@@ -97,9 +186,15 @@ impl<F: Field> ReedSolomon<F> {
                 got: received.len(),
             });
         }
-        // Fast path: the received word may already be a codeword.
-        if let Some(msg) = self.try_exact(received) {
-            return Ok(msg);
+        // Fast path: a word with all-zero syndromes is already a codeword —
+        // read the message off the head with the interpolation matrix.
+        if self
+            .syndromes(received)
+            .expect("length checked above")
+            .iter()
+            .all(|s| s.is_zero())
+        {
+            return Ok(matvec(&self.interp_cols, &received[..self.ell]));
         }
         let max_e = self.error_capacity();
         for e in (1..=max_e).rev() {
@@ -148,24 +243,6 @@ impl<F: Field> ReedSolomon<F> {
         let mut coeffs = lagrange_interpolate(&pts);
         coeffs.resize(self.ell, F::ZERO);
         Ok(coeffs)
-    }
-
-    fn try_exact(&self, received: &[F]) -> Option<Vec<F>> {
-        let pts: Vec<(F, F)> = self
-            .points
-            .iter()
-            .copied()
-            .zip(received.iter().copied())
-            .take(self.ell)
-            .collect();
-        let mut coeffs = lagrange_interpolate(&pts);
-        coeffs.resize(self.ell, F::ZERO);
-        let reencoded = self.encode(&coeffs).ok()?;
-        if reencoded == *received {
-            Some(coeffs)
-        } else {
-            None
-        }
     }
 
     /// One round of Berlekamp–Welch assuming exactly at most `e` errors.
@@ -311,6 +388,43 @@ mod tests {
             let cw = rs.encode(&msg).unwrap();
             assert_eq!(rs.decode(&cw).unwrap(), msg);
         }
+    }
+
+    #[test]
+    fn encode_matches_polynomial_evaluation() {
+        // The precomputed generator matrix must agree with the definition:
+        // codeword_i = p(x_i) for the message polynomial p.
+        let mut rng = ChaCha8Rng::seed_from_u64(6);
+        for (ell, k) in [(1, 1), (3, 7), (6, 20)] {
+            let rs = Rs::new(ell, k).unwrap();
+            let msg = random_message(&mut rng, ell);
+            let cw = rs.encode(&msg).unwrap();
+            for (i, &c) in cw.iter().enumerate() {
+                let x = F::from_u64(i as u64 + 1);
+                assert_eq!(c, crate::field::poly_eval(&msg, x), "ell={ell} k={k} i={i}");
+            }
+        }
+    }
+
+    #[test]
+    fn syndromes_are_zero_exactly_on_codewords() {
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let rs = Rs::new(4, 11).unwrap();
+        let msg = random_message(&mut rng, 4);
+        let mut cw = rs.encode(&msg).unwrap();
+        let s = rs.syndromes(&cw).unwrap();
+        assert_eq!(s.len(), 11 - 4);
+        assert!(s.iter().all(|x| x.is_zero()));
+        // Corrupting any single position (head or tail) trips the check.
+        for i in [0usize, 3, 4, 10] {
+            cw[i] = cw[i] + F::ONE;
+            assert!(
+                rs.syndromes(&cw).unwrap().iter().any(|x| !x.is_zero()),
+                "corruption at {i} went unnoticed"
+            );
+            cw[i] = cw[i] + F::ONE;
+        }
+        assert!(rs.syndromes(&cw[..10]).is_err());
     }
 
     #[test]

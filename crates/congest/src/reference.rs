@@ -13,7 +13,7 @@
 //! Nothing here is used by the production path; prefer
 //! [`crate::network::Network`] everywhere else.
 
-use crate::adversary::{AdversaryRole, AdversaryStrategy, CorruptionBudget};
+use crate::adversary::{AdversaryRole, AdversaryStrategy, CorruptionBudget, EdgeSet};
 use crate::metrics::Metrics;
 use crate::network::{ViewEntry, ViewLog};
 use crate::traffic::{Payload, Traffic};
@@ -93,6 +93,10 @@ pub struct ReferenceNetwork {
     bandwidth_words: usize,
     corruption_rng: ChaCha8Rng,
     rounds: usize,
+    /// Recycled request set for [`AdversaryStrategy::mark_edges`] (the
+    /// reference engine predates [`EdgeSet`] but uses the non-allocating
+    /// strategy entry point like the production engine does).
+    wanted: EdgeSet,
 }
 
 impl ReferenceNetwork {
@@ -118,6 +122,7 @@ impl ReferenceNetwork {
             bandwidth_words: 2,
             corruption_rng: ChaCha8Rng::seed_from_u64(seed ^ 0xAD5E_55A7),
             rounds: 0,
+            wanted: EdgeSet::new(),
         }
     }
 
@@ -140,10 +145,12 @@ impl ReferenceNetwork {
         let flat = outgoing.to_traffic(&self.graph);
         self.metrics.record_exchange(&flat, self.bandwidth_words);
 
-        let wanted = self.strategy.choose_edges(round, &self.graph, &flat);
+        self.wanted.reset(self.graph.edge_count());
+        self.strategy
+            .mark_edges(round, &self.graph, &flat, &mut self.wanted);
         let cap = self.budget.round_cap(self.budget_spent);
         let mut controlled: Vec<EdgeId> = Vec::new();
-        for e in wanted {
+        for &e in self.wanted.as_slice() {
             if controlled.len() >= cap {
                 break;
             }

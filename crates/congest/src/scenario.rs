@@ -565,19 +565,139 @@ impl core::fmt::Display for CompilerNotes {
     }
 }
 
+/// Seed-independent products of a compiler's *prepare* phase.
+///
+/// Everything in here is a pure function of the graph and the compiler's own
+/// parameters — never of the run seed or the adversary — so one value can be
+/// shared across every `(seed, adversary)` cell of a campaign grid.  The
+/// carried graph has its CSR adjacency index forced, so clones of it start
+/// warm; compiler-specific state (a tree packing, a prebuilt correction
+/// compiler, a cycle cover) rides along as an opaque `Any` payload that the
+/// owning compiler downcasts back in [`Compiler::execute`].
+pub struct CompileArtifacts {
+    graph: Graph,
+    payload: Option<std::sync::Arc<dyn std::any::Any + Send + Sync>>,
+}
+
+impl CompileArtifacts {
+    /// Artifacts that carry only the (CSR-warmed) graph — the default for
+    /// compilers whose expensive state depends on the seed or the adversary
+    /// (key schedules, under-attack packings).
+    pub fn graph_only(graph: &Graph) -> Self {
+        let graph = graph.clone();
+        let _ = graph.csr();
+        CompileArtifacts {
+            graph,
+            payload: None,
+        }
+    }
+
+    /// Artifacts carrying a compiler-specific seed-independent payload in
+    /// addition to the warmed graph.
+    pub fn with_payload<T: std::any::Any + Send + Sync>(graph: &Graph, payload: T) -> Self {
+        let mut artifacts = CompileArtifacts::graph_only(graph);
+        artifacts.payload = Some(std::sync::Arc::new(payload));
+        artifacts
+    }
+
+    /// The prepared graph, CSR index already built.  Cloning it clones the
+    /// warm index, so per-cell networks skip the CSR rebuild.
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// Downcast the compiler-specific payload back to its concrete type.
+    /// `None` if no payload was stored or the type does not match (e.g. the
+    /// artifacts were prepared by a different compiler).
+    pub fn payload<T: std::any::Any + Send + Sync>(&self) -> Option<&T> {
+        self.payload.as_deref().and_then(|p| p.downcast_ref())
+    }
+}
+
+impl core::fmt::Debug for CompileArtifacts {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("CompileArtifacts")
+            .field("nodes", &self.graph.node_count())
+            .field("edges", &self.graph.edge_count())
+            .field("has_payload", &self.payload.is_some())
+            .finish()
+    }
+}
+
 /// The uniform compiler interface of the scenario pipeline.
 ///
 /// A compiler takes an arbitrary round-by-round CONGEST algorithm and
 /// simulates it on the (adversarial) network, returning the payload outputs.
-/// Implementations are cheap parameter holders; anything derived from the
-/// graph (packings, covers, key pools) is built inside `compile` from
-/// `net.graph()`, so one compiler value can serve a whole scenario matrix.
+/// Implementations are cheap parameter holders.
+///
+/// The interface is **two-phase**: [`Compiler::prepare`] builds everything
+/// that depends only on the graph and the compiler's parameters (tree
+/// packings, covers, prebuilt correction state) into [`CompileArtifacts`],
+/// and [`Compiler::execute`] / [`Compiler::execute_replayable`] run the
+/// seed/adversary-dependent simulation against those artifacts.  The
+/// one-phase [`Compiler::compile`] entry point remains the required method —
+/// simple compilers implement only it and inherit prepare/execute defaults
+/// that make the two phases behave identically to the single phase, while
+/// compilers with an expensive seed-independent prefix override the pair so
+/// campaign drivers can cache the artifacts across cells.
 pub trait Compiler {
     /// Display name for reports and error messages.
     fn name(&self) -> String;
 
     /// What the compiler defends against.
     fn kind(&self) -> CompilerKind;
+
+    /// Phase one: build the seed-independent artifacts for `graph`.
+    ///
+    /// The default returns graph-only artifacts (warm CSR, no payload) —
+    /// correct for every compiler, optimal for those whose derived state is
+    /// seed- or adversary-dependent.  Overrides must produce a pure function
+    /// of `(graph, self)`: campaign drivers key cached artifacts by
+    /// `(GraphDef, CompilerDef)` only, and campaign fingerprints must stay
+    /// byte-identical whether artifacts are cached or rebuilt per cell.
+    /// `tracer` carries phase spans (e.g. [`obs::Phase::Packing`]) when the
+    /// scenario traces; cached preparation passes a disabled tracer.
+    fn prepare(
+        &self,
+        graph: &Graph,
+        tracer: &mut obs::Tracer,
+    ) -> Result<CompileArtifacts, ScenarioError> {
+        let _ = tracer;
+        Ok(CompileArtifacts::graph_only(graph))
+    }
+
+    /// Phase two: execute `payload` on `net` using prepared `artifacts`.
+    ///
+    /// The default ignores the artifacts and forwards to
+    /// [`Compiler::compile`], so single-phase compilers behave identically
+    /// under both entry points.  Overrides downcast their payload out of the
+    /// artifacts and must fall back to rebuilding it (the artifacts may be
+    /// graph-only if prepared by a default `prepare`).
+    fn execute(
+        &self,
+        artifacts: &CompileArtifacts,
+        payload: BoxedAlgorithm,
+        net: &mut Network,
+    ) -> Result<(Vec<Output>, CompilerNotes), ScenarioError> {
+        let _ = artifacts;
+        self.compile(payload, net)
+    }
+
+    /// [`Compiler::execute`] with access to fresh payload instances, for
+    /// compilers that re-simulate from a committed prefix.  The default
+    /// routes through [`Compiler::execute`] and falls back to
+    /// [`Compiler::compile_replayable`] when the compiler demands replay.
+    fn execute_replayable(
+        &self,
+        artifacts: &CompileArtifacts,
+        make: &dyn Fn() -> BoxedAlgorithm,
+        net: &mut Network,
+    ) -> Result<(Vec<Output>, CompilerNotes), ScenarioError> {
+        match self.execute(artifacts, make(), net) {
+            Err(ScenarioError::ReplayRequired { .. }) => self.compile_replayable(make, net),
+            other => other,
+        }
+    }
 
     /// Compile and execute `payload` on `net`, returning the payload outputs
     /// together with the compiler's typed diagnostics.
@@ -690,6 +810,7 @@ impl Scenario {
             bandwidth_words: None,
             check_fault_free: true,
             trace: obs::TraceSpec::off(),
+            artifacts: None,
         }
     }
 }
@@ -732,6 +853,7 @@ pub struct ScenarioBuilder {
     bandwidth_words: Option<usize>,
     check_fault_free: bool,
     trace: obs::TraceSpec,
+    artifacts: Option<std::sync::Arc<CompileArtifacts>>,
 }
 
 impl ScenarioBuilder {
@@ -818,6 +940,18 @@ impl ScenarioBuilder {
         self
     }
 
+    /// Supply pre-built [`CompileArtifacts`] (typically from a campaign
+    /// artifact cache) instead of letting the run call
+    /// [`Compiler::prepare`] itself.  The artifacts must have been prepared
+    /// by an identically-parameterised compiler on an equal graph — the
+    /// contract a `(GraphDef, CompilerDef)`-keyed cache provides by
+    /// construction.  The run then uses the artifacts' CSR-warmed graph and
+    /// skips the prepare phase entirely.
+    pub fn artifacts(mut self, artifacts: std::sync::Arc<CompileArtifacts>) -> Self {
+        self.artifacts = Some(artifacts);
+        self
+    }
+
     /// Validate the configuration into a runnable [`BuiltScenario`].
     ///
     /// All *configuration* errors surface here (missing payload, role /
@@ -843,6 +977,7 @@ impl ScenarioBuilder {
             bandwidth_words: self.bandwidth_words,
             check_fault_free: self.check_fault_free,
             trace: self.trace,
+            artifacts: self.artifacts,
         })
     }
 
@@ -885,6 +1020,7 @@ pub struct BuiltScenario {
     bandwidth_words: Option<usize>,
     check_fault_free: bool,
     trace: obs::TraceSpec,
+    artifacts: Option<std::sync::Arc<CompileArtifacts>>,
 }
 
 impl BuiltScenario {
@@ -921,12 +1057,21 @@ impl BuiltScenario {
         tracer.span_open(obs::Phase::CsrIndex);
         let _ = net.graph().csr();
         tracer.span_close(obs::Phase::CsrIndex);
+        // Phase one: reuse supplied artifacts, or prepare them now on the same
+        // tracer so packing spans land in the trace exactly where the
+        // single-phase pipeline put them.
+        let artifacts = match self.artifacts {
+            Some(artifacts) => artifacts,
+            None => std::sync::Arc::new(self.compiler.prepare(net.graph(), &mut tracer)?),
+        };
         net.install_tracer(tracer);
         if let Some(words) = self.bandwidth_words {
             net.set_bandwidth_words(words);
         }
         let adversary = net.adversary_name();
-        let result = self.compiler.compile_replayable(&self.payload, &mut net);
+        let result = self
+            .compiler
+            .execute_replayable(&artifacts, &self.payload, &mut net);
         let trace = net.take_tracer().finish();
         let (outputs, notes) = result?;
         let fault_free = if self.check_fault_free && is_reference {
@@ -1153,7 +1298,7 @@ pub mod matrix {
     //! deterministic parallel worker pool (`harness::Campaign`) for
     //! multi-core sweeps with repetitions and aggregation.
 
-    use super::{BoxedAlgorithm, Compiler, RunReport, Scenario, ScenarioError};
+    use super::{BoxedAlgorithm, CompileArtifacts, Compiler, RunReport, Scenario, ScenarioError};
     use crate::adversary::{AdversaryRole, AdversaryStrategy, CorruptionBudget};
     use netgraph::Graph;
 
@@ -1228,6 +1373,13 @@ pub mod matrix {
         pub fn of<C: Compiler + Clone + Send + Sync + 'static>(compiler: C) -> Self {
             let name = compiler.name();
             CompilerSpec::new(name, move || Box::new(compiler.clone()))
+        }
+
+        /// A fresh compiler instance from the factory — what the per-cell
+        /// engine calls, exposed so campaign-level machinery (the artifact
+        /// cache) can drive [`Compiler::prepare`] outside a cell.
+        pub fn instantiate(&self) -> Box<dyn Compiler> {
+            (self.make)()
         }
     }
 
@@ -1620,16 +1772,45 @@ pub mod matrix {
     where
         P: Fn(&Graph) -> BoxedAlgorithm + Clone + 'static,
     {
-        let graph = gspec.graph.clone();
+        run_cell_artifacts(gspec, aspec, cspec, payload, seed, trace, None)
+    }
+
+    /// [`run_cell_traced`] with optional pre-built [`CompileArtifacts`] for
+    /// the cell's `(graph, compiler)` pair, the entry point the campaign
+    /// artifact cache drives.  With `Some`, the scenario runs on the
+    /// artifacts' CSR-warmed graph and skips [`Compiler::prepare`]; with
+    /// `None` it behaves exactly like [`run_cell_traced`].  Because prepared
+    /// artifacts are a pure function of `(graph, compiler)`, both paths
+    /// produce byte-identical reports.
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_cell_artifacts<P>(
+        gspec: &GraphSpec,
+        aspec: &AdversarySpec,
+        cspec: &CompilerSpec,
+        payload: &P,
+        seed: u64,
+        trace: obs::TraceSpec,
+        artifacts: Option<std::sync::Arc<CompileArtifacts>>,
+    ) -> Result<RunReport, ScenarioError>
+    where
+        P: Fn(&Graph) -> BoxedAlgorithm + Clone + 'static,
+    {
+        let graph = match &artifacts {
+            Some(a) => a.graph().clone(),
+            None => gspec.graph.clone(),
+        };
         let payload_graph = gspec.graph.clone();
         let make_payload = payload.clone();
-        Scenario::on(graph)
+        let mut builder = Scenario::on(graph)
             .payload_boxed(move || make_payload(&payload_graph))
             .adversary_boxed(aspec.role, (aspec.make)(seed), aspec.budget.clone())
             .seed(seed)
             .compiled_with_boxed((cspec.make)())
-            .trace(trace)
-            .run()
+            .trace(trace);
+        if let Some(artifacts) = artifacts {
+            builder = builder.artifacts(artifacts);
+        }
+        builder.run()
     }
 
     /// Run `payload` through every graph × adversary × compiler combination.

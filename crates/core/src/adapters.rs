@@ -18,7 +18,7 @@
 //! | [`StaticToMobileAdapter`] | `StaticToMobileCompiler` | Theorem 1.2 |
 //! | [`CongestionSensitiveAdapter`] | `CongestionSensitiveCompiler` | Theorem 1.3 |
 
-use async_exec::{AsyncExecutor, ScheduleDef};
+use async_exec::ScheduleDef;
 
 use crate::rate::RewindCompiler;
 use crate::resilient::{
@@ -29,7 +29,8 @@ use crate::secure::{CongestionSensitiveCompiler, StaticToMobileCompiler};
 use congest_sim::network::Network;
 use congest_sim::scenario::matrix::CompilerSpec;
 use congest_sim::scenario::{
-    validate_role, BoxedAlgorithm, Compiler, CompilerKind, CompilerNotes, ScenarioError,
+    validate_role, BoxedAlgorithm, CompileArtifacts, Compiler, CompilerKind, CompilerNotes,
+    ScenarioError,
 };
 use congest_sim::traffic::Output;
 use congest_sim::AdversaryRole;
@@ -112,9 +113,15 @@ fn validate_clique_floor(compiler: &str, g: &Graph, f: usize) -> Result<(), Scen
 /// Build the packing the byzantine-resilient adapters share: the `(n, 2, 2)`
 /// star packing on cliques; elsewhere the Appendix-C greedy packing (v1) or
 /// its augmenting-path repaired successor (v2) per the selected
-/// [`PackingVersion`].
-fn resilient_packing(net: &mut Network, k: usize, version: PackingVersion) -> TreePacking {
-    let (g, tracer) = net.graph_and_tracer();
+/// [`PackingVersion`].  A pure function of `(g, k, version)` — the tracer
+/// only carries phase spans — which is what makes the packing cacheable
+/// across seeds and adversaries.
+fn resilient_packing_on(
+    g: &Graph,
+    tracer: &mut obs::Tracer,
+    k: usize,
+    version: PackingVersion,
+) -> TreePacking {
     tracer.span_open(obs::Phase::Packing);
     let packing = if is_complete(g) {
         star_packing(g, 0)
@@ -128,6 +135,13 @@ fn resilient_packing(net: &mut Network, k: usize, version: PackingVersion) -> Tr
     };
     tracer.span_close(obs::Phase::Packing);
     packing
+}
+
+/// [`resilient_packing_on`] against a network's own graph and tracer (the
+/// single-phase `compile` path).
+fn resilient_packing(net: &mut Network, k: usize, version: PackingVersion) -> TreePacking {
+    let (g, tracer) = net.graph_and_tracer();
+    resilient_packing_on(g, tracer, k, version)
 }
 
 /// The number of trees the majority argument needs against `f` mobile faults
@@ -179,6 +193,14 @@ impl CliqueAdapter {
         self.variant = variant;
         self
     }
+
+    /// Build the wrapped compiler (star packing and all) under a packing span.
+    fn build_compiler(&self, g: &Graph, tracer: &mut obs::Tracer) -> CliqueCompiler {
+        tracer.span_open(obs::Phase::Packing);
+        let compiler = CliqueCompiler::new(g, self.f, self.seed).with_variant(self.variant);
+        tracer.span_close(obs::Phase::Packing);
+        compiler
+    }
 }
 
 impl Compiler for CliqueAdapter {
@@ -208,10 +230,39 @@ impl Compiler for CliqueAdapter {
         net: &mut Network,
     ) -> Result<(Vec<Output>, CompilerNotes), ScenarioError> {
         validate_role(self, net.role())?;
-        let (g, tracer) = net.graph_and_tracer();
-        tracer.span_open(obs::Phase::Packing);
-        let compiler = CliqueCompiler::new(g, self.f, self.seed).with_variant(self.variant);
-        tracer.span_close(obs::Phase::Packing);
+        let compiler = {
+            let (g, tracer) = net.graph_and_tracer();
+            self.build_compiler(g, tracer)
+        };
+        let (out, report) = compiler.run(&mut *payload, net);
+        Ok((out, resilient_notes(&report)))
+    }
+    fn prepare(
+        &self,
+        graph: &Graph,
+        tracer: &mut obs::Tracer,
+    ) -> Result<CompileArtifacts, ScenarioError> {
+        // `CliqueCompiler::new` asserts completeness; surface the same typed
+        // error `validate` gives so caching over arbitrary grids never panics.
+        if !is_complete(graph) {
+            return Err(ScenarioError::UnsupportedGraph {
+                compiler: self.name(),
+                reason: "the clique compiler requires the complete graph".into(),
+            });
+        }
+        let compiler = self.build_compiler(graph, tracer);
+        Ok(CompileArtifacts::with_payload(graph, compiler))
+    }
+    fn execute(
+        &self,
+        artifacts: &CompileArtifacts,
+        mut payload: BoxedAlgorithm,
+        net: &mut Network,
+    ) -> Result<(Vec<Output>, CompilerNotes), ScenarioError> {
+        let Some(compiler) = artifacts.payload::<CliqueCompiler>() else {
+            return self.compile(payload, net);
+        };
+        validate_role(self, net.role())?;
         let (out, report) = compiler.run(&mut *payload, net);
         Ok((out, resilient_notes(&report)))
     }
@@ -302,6 +353,34 @@ impl Compiler for TreePackingAdapter {
         let (out, report) = compiler.run(&mut *payload, net);
         Ok((out, resilient_notes(&report)))
     }
+    fn prepare(
+        &self,
+        graph: &Graph,
+        tracer: &mut obs::Tracer,
+    ) -> Result<CompileArtifacts, ScenarioError> {
+        // The packing (and therefore the whole wrapped compiler — its seed is
+        // the adapter's own parameter) is a pure function of the graph, and so
+        // is the correction context (schedule plan, spanning flags, broadcast
+        // code, quality measurement) prepared alongside it.
+        let packing = resilient_packing_on(graph, tracer, self.k, self.packing);
+        let compiler = MobileByzantineCompiler::new(packing, self.f, self.seed)
+            .with_variant(self.variant)
+            .contextualize(graph);
+        Ok(CompileArtifacts::with_payload(graph, compiler))
+    }
+    fn execute(
+        &self,
+        artifacts: &CompileArtifacts,
+        mut payload: BoxedAlgorithm,
+        net: &mut Network,
+    ) -> Result<(Vec<Output>, CompilerNotes), ScenarioError> {
+        let Some(compiler) = artifacts.payload::<MobileByzantineCompiler>() else {
+            return self.compile(payload, net);
+        };
+        validate_role(self, net.role())?;
+        let (out, report) = compiler.run(&mut *payload, net);
+        Ok((out, resilient_notes(&report)))
+    }
 }
 
 /// Theorems 1.4 / 5.5: the FT-cycle-cover compiler for `(2f+1)`-edge-connected
@@ -316,6 +395,26 @@ impl CycleCoverAdapter {
     /// Adapter for an `f`-mobile byzantine adversary.
     pub fn new(f: usize) -> Self {
         CycleCoverAdapter { f }
+    }
+
+    /// Build the wrapped compiler (cover construction included), surfacing
+    /// insufficient connectivity as the same typed error `validate` gives.
+    fn build_compiler(&self, g: &Graph) -> Result<CycleCoverCompiler, ScenarioError> {
+        CycleCoverCompiler::new(g, self.f).ok_or_else(|| ScenarioError::InsufficientConnectivity {
+            compiler: self.name(),
+            needed: 2 * self.f + 1,
+            found: edge_connectivity(g),
+        })
+    }
+
+    /// Fold a cover report into the typed notes channel.
+    fn cover_notes(report: &crate::resilient::CycleCoverReport) -> CompilerNotes {
+        CompilerNotes::CycleCover {
+            paths_per_edge: report.paths_per_edge,
+            dilation: report.dilation,
+            congestion: report.congestion,
+            colors: report.colors,
+        }
     }
 }
 
@@ -345,21 +444,33 @@ impl Compiler for CycleCoverAdapter {
         net: &mut Network,
     ) -> Result<(Vec<Output>, CompilerNotes), ScenarioError> {
         validate_role(self, net.role())?;
-        let compiler = CycleCoverCompiler::new(net.graph(), self.f).ok_or_else(|| {
-            ScenarioError::InsufficientConnectivity {
-                compiler: self.name(),
-                needed: 2 * self.f + 1,
-                found: edge_connectivity(net.graph()),
-            }
-        })?;
+        let compiler = self.build_compiler(net.graph())?;
         let (out, report) = compiler.run(&mut *payload, net);
-        let notes = CompilerNotes::CycleCover {
-            paths_per_edge: report.paths_per_edge,
-            dilation: report.dilation,
-            congestion: report.congestion,
-            colors: report.colors,
+        Ok((out, Self::cover_notes(&report)))
+    }
+    fn prepare(
+        &self,
+        graph: &Graph,
+        tracer: &mut obs::Tracer,
+    ) -> Result<CompileArtifacts, ScenarioError> {
+        // The FT cycle cover is deterministic in the graph; the wrapped
+        // compiler carries no seed at all.
+        let _ = tracer;
+        let compiler = self.build_compiler(graph)?;
+        Ok(CompileArtifacts::with_payload(graph, compiler))
+    }
+    fn execute(
+        &self,
+        artifacts: &CompileArtifacts,
+        mut payload: BoxedAlgorithm,
+        net: &mut Network,
+    ) -> Result<(Vec<Output>, CompilerNotes), ScenarioError> {
+        let Some(compiler) = artifacts.payload::<CycleCoverCompiler>() else {
+            return self.compile(payload, net);
         };
-        Ok((out, notes))
+        validate_role(self, net.role())?;
+        let (out, report) = compiler.run(&mut *payload, net);
+        Ok((out, Self::cover_notes(&report)))
     }
 }
 
@@ -441,6 +552,17 @@ impl Compiler for ExpanderAdapter {
         };
         Ok((out, notes))
     }
+    fn prepare(
+        &self,
+        graph: &Graph,
+        tracer: &mut obs::Tracer,
+    ) -> Result<CompileArtifacts, ScenarioError> {
+        // Theorem 1.7's whole point is that the weak packing is *built while
+        // the adversary attacks* — it depends on the seed and the adversary,
+        // so only the warmed graph is seed-independent and cacheable.
+        let _ = tracer;
+        Ok(CompileArtifacts::graph_only(graph))
+    }
 }
 
 /// Theorem 4.1: the round-error-rate rewind compiler.  Needs a replayable
@@ -458,6 +580,34 @@ impl RewindAdapter {
     /// Adapter for an `f`-average-rate byzantine adversary.
     pub fn new(f: usize, seed: u64) -> Self {
         RewindAdapter { f, seed }
+    }
+
+    /// Drive the wrapped [`RewindCompiler`] over `packing` and fold its
+    /// report into the typed notes channel.
+    fn run_rewind(
+        &self,
+        packing: TreePacking,
+        make: &dyn Fn() -> BoxedAlgorithm,
+        net: &mut Network,
+    ) -> Result<(Vec<Output>, CompilerNotes), ScenarioError> {
+        let compiler = RewindCompiler::new(packing, self.f, self.seed);
+        let (out, report) = compiler.run(make, net);
+        if !report.completed {
+            return Err(ScenarioError::IncompleteRun {
+                compiler: self.name(),
+                detail: format!(
+                    "committed only {} rounds after {} rewinds in {} global rounds",
+                    report.committed_rounds, report.rewinds, report.global_rounds
+                ),
+            });
+        }
+        let notes = CompilerNotes::Rewind {
+            rewinds: report.rewinds,
+            committed_rounds: report.committed_rounds,
+            global_rounds: report.global_rounds,
+            completed: report.completed,
+        };
+        Ok((out, notes))
     }
 }
 
@@ -493,24 +643,34 @@ impl Compiler for RewindAdapter {
         // only the cheap role check guards direct trait callers.
         validate_role(self, net.role())?;
         let packing = resilient_packing(net, default_tree_count(self.f), PackingVersion::default());
-        let compiler = RewindCompiler::new(packing, self.f, self.seed);
-        let (out, report) = compiler.run(make, net);
-        if !report.completed {
-            return Err(ScenarioError::IncompleteRun {
-                compiler: self.name(),
-                detail: format!(
-                    "committed only {} rounds after {} rewinds in {} global rounds",
-                    report.committed_rounds, report.rewinds, report.global_rounds
-                ),
-            });
-        }
-        let notes = CompilerNotes::Rewind {
-            rewinds: report.rewinds,
-            committed_rounds: report.committed_rounds,
-            global_rounds: report.global_rounds,
-            completed: report.completed,
+        self.run_rewind(packing, make, net)
+    }
+    fn prepare(
+        &self,
+        graph: &Graph,
+        tracer: &mut obs::Tracer,
+    ) -> Result<CompileArtifacts, ScenarioError> {
+        // Only the packing is seed-independent (the rewind schedule itself
+        // reacts to the adversary), so the artifacts carry the bare packing.
+        let packing = resilient_packing_on(
+            graph,
+            tracer,
+            default_tree_count(self.f),
+            PackingVersion::default(),
+        );
+        Ok(CompileArtifacts::with_payload(graph, packing))
+    }
+    fn execute_replayable(
+        &self,
+        artifacts: &CompileArtifacts,
+        make: &dyn Fn() -> BoxedAlgorithm,
+        net: &mut Network,
+    ) -> Result<(Vec<Output>, CompilerNotes), ScenarioError> {
+        let Some(packing) = artifacts.payload::<TreePacking>() else {
+            return self.compile_replayable(make, net);
         };
-        Ok((out, notes))
+        validate_role(self, net.role())?;
+        self.run_rewind(packing.clone(), make, net)
     }
 }
 
@@ -568,6 +728,17 @@ impl Compiler for StaticToMobileAdapter {
             simulation_rounds: report.simulation_rounds,
         };
         Ok((out, notes))
+    }
+    fn prepare(
+        &self,
+        graph: &Graph,
+        tracer: &mut obs::Tracer,
+    ) -> Result<CompileArtifacts, ScenarioError> {
+        // Key schedules are exchanged *over the network* per run (the pads
+        // depend on node randomness the eavesdropper races against), so only
+        // the warmed graph is seed-independent and cacheable.
+        let _ = tracer;
+        Ok(CompileArtifacts::graph_only(graph))
     }
 }
 
@@ -646,6 +817,17 @@ impl Compiler for CongestionSensitiveAdapter {
             congestion: report.congestion,
         };
         Ok((out, notes))
+    }
+    fn prepare(
+        &self,
+        graph: &Graph,
+        tracer: &mut obs::Tracer,
+    ) -> Result<CompileArtifacts, ScenarioError> {
+        // Both the local and the global key exchanges run over the live
+        // (eavesdropped) network, so nothing beyond the warmed graph is
+        // seed-independent.
+        let _ = tracer;
+        Ok(CompileArtifacts::graph_only(graph))
     }
 }
 
@@ -774,41 +956,10 @@ impl CompilerDef {
         }
     }
 
-    /// Resolve the def into one boxed compiler instance.
+    /// Resolve the def into one boxed compiler instance (delegates to
+    /// [`crate::registry::instantiate`], the single def → adapter path).
     pub fn build(&self) -> Box<dyn Compiler> {
-        use congest_sim::scenario::{FaultFree, Uncompiled};
-        match *self {
-            CompilerDef::Uncompiled => Box::new(Uncompiled),
-            CompilerDef::Async { ref schedule } => Box::new(AsyncExecutor::new(schedule.clone())),
-            CompilerDef::FaultFree => Box::new(FaultFree),
-            CompilerDef::Clique { f, seed } => Box::new(CliqueAdapter::new(f, seed)),
-            CompilerDef::TreePacking {
-                f,
-                trees,
-                seed,
-                packing,
-            } => {
-                let adapter = TreePackingAdapter::new(f, seed).with_packing(packing);
-                Box::new(match trees {
-                    Some(k) => adapter.with_trees(k),
-                    None => adapter,
-                })
-            }
-            CompilerDef::CycleCover { f } => Box::new(CycleCoverAdapter::new(f)),
-            CompilerDef::Expander {
-                f,
-                k,
-                bfs_rounds,
-                seed,
-            } => Box::new(ExpanderAdapter::new(f, k, bfs_rounds, seed)),
-            CompilerDef::Rewind { f, seed } => Box::new(RewindAdapter::new(f, seed)),
-            CompilerDef::StaticToMobile { t, words, seed } => {
-                Box::new(StaticToMobileAdapter::new(t, words, seed))
-            }
-            CompilerDef::CongestionSensitive { f, words, seed } => {
-                Box::new(CongestionSensitiveAdapter::new(f, words, seed))
-            }
-        }
+        crate::registry::instantiate(self)
     }
 
     /// Resolve the def into a grid-ready [`CompilerSpec`] whose display name

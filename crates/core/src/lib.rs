@@ -47,10 +47,11 @@
 
 pub mod adapters;
 pub mod rate;
+pub mod registry;
 pub mod resilient;
 pub mod secure;
 
 pub use adapters::{
-    CliqueAdapter, CongestionSensitiveAdapter, CycleCoverAdapter, ExpanderAdapter, RewindAdapter,
-    StaticToMobileAdapter, TreePackingAdapter,
+    CliqueAdapter, CompilerDef, CongestionSensitiveAdapter, CycleCoverAdapter, ExpanderAdapter,
+    RewindAdapter, StaticToMobileAdapter, TreePackingAdapter,
 };

@@ -27,7 +27,7 @@
 //! The protected algorithm is supplied as a *factory* because rewinding means
 //! re-simulating it from the committed transcript prefix.
 
-use crate::resilient::correction::sparse_majority_correction;
+use crate::resilient::correction::{sparse_majority_correction_ctx, CorrectionContext};
 use congest_sim::network::Network;
 use congest_sim::traffic::{Output, Traffic};
 use congest_sim::CongestAlgorithm;
@@ -89,6 +89,10 @@ impl RewindCompiler {
         let r = make_alg().rounds();
         let global_rounds = self.slack * r.max(1);
         let dtp = self.packing.max_height().max(1);
+        // Correction state (schedule plan, spanning flags, broadcast code) is a
+        // pure function of `(g, packing)` — build it once, not per global round.
+        let ctx = CorrectionContext::new(&g, &self.packing);
+        let plan = interactive_coding::SchedulePlan::new(&g, &self.packing);
 
         // committed[j] = the (corrected) traffic delivered in simulated round j.
         let mut committed: Vec<Traffic> = Vec::new();
@@ -130,8 +134,9 @@ impl RewindCompiler {
 
             // Phase B: message correction (Lemma 4.2).
             net.tracer_mut().span_open(obs::Phase::Correction);
-            let (corrected, _rep) = sparse_majority_correction(
+            let (corrected, _rep) = sparse_majority_correction_ctx(
                 net,
+                &ctx,
                 &self.packing,
                 &intended,
                 &majority,
@@ -144,7 +149,7 @@ impl RewindCompiler {
             // the new round, with the verdict aggregated over the packing's trees.
             let honest_good =
                 corrected.agrees_with(&intended) && prefix_consistent(&committed, &make_alg);
-            let sched = RsScheduler.run_family(net, &self.packing, dtp + 2);
+            let sched = RsScheduler.run_planned(net, &self.packing, &plan, dtp + 2);
             let verdict_trustworthy = 2 * sched.success_count() > self.packing.len();
             let good_state = if verdict_trustworthy {
                 honest_good

@@ -11,8 +11,9 @@
 use coding::field::Field;
 use coding::{Gf2_16, ReedSolomon};
 use congest_sim::network::Network;
-use interactive_coding::RsScheduler;
+use interactive_coding::{RsScheduler, SchedulePlan};
 use netgraph::tree_packing::TreePacking;
+use netgraph::Graph;
 use rand::Rng;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -51,6 +52,60 @@ pub fn rs_error_capacity(k: usize) -> usize {
     k.saturating_sub(rs_data_symbols(k)) / 2
 }
 
+/// Precomputed, topology-only state for [`ecc_safe_broadcast`] over a fixed
+/// `(graph, packing)` pair: which trees are usable (spanning with the common
+/// root), the Lemma 3.3 [`SchedulePlan`], and the `RS(ℓ, k)` code with its
+/// precomputed encode/decode matrices.
+///
+/// The correction layer broadcasts once per retry attempt per simulated round,
+/// so building this per call repeats `O(k·n)` spanning walks and a Vandermonde
+/// inversion every time.  Build it once per packing instead — in
+/// `Compiler::prepare`, where the campaign artifact cache shares it across
+/// cells.  The context is pure precomputation: broadcasting through it is
+/// byte-identical to the plain entry point.
+#[derive(Debug, Clone)]
+pub struct BroadcastContext {
+    packing: TreePacking,
+    /// Per tree: spanning *and* rooted at the packing's common root.
+    usable: Vec<bool>,
+    plan: SchedulePlan,
+    rs: ReedSolomon<Gf2_16>,
+    dtp: usize,
+    ell: usize,
+}
+
+impl BroadcastContext {
+    /// Precompute the broadcast state for `packing` over `g`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the packing is empty.
+    pub fn new(g: &Graph, packing: &TreePacking) -> Self {
+        assert!(!packing.is_empty(), "tree packing must be non-empty");
+        let k = packing.len();
+        let ell = rs_data_symbols(k);
+        let root = packing.trees[0].root;
+        let usable = packing
+            .trees
+            .iter()
+            .map(|t| t.is_spanning(g) && t.root == root)
+            .collect();
+        BroadcastContext {
+            usable,
+            plan: SchedulePlan::new(g, packing),
+            rs: ReedSolomon::new(ell, k).expect("ℓ ≤ k by construction"),
+            dtp: packing.max_height().max(1),
+            ell,
+            packing: packing.clone(),
+        }
+    }
+
+    /// The packing this context was built for.
+    pub fn packing(&self) -> &TreePacking {
+        &self.packing
+    }
+}
+
 /// Broadcast `message` from the packing's common root to all nodes, resiliently
 /// against the byzantine adversary configured on `net`.
 ///
@@ -66,18 +121,38 @@ pub fn ecc_safe_broadcast(
     message: &[u64],
     seed: u64,
 ) -> (Vec<Option<Vec<u64>>>, SafeBroadcastReport) {
-    assert!(!packing.is_empty(), "tree packing must be non-empty");
+    let ctx = BroadcastContext::new(net.graph(), packing);
+    ecc_safe_broadcast_ctx(net, &ctx, message, seed)
+}
+
+/// [`ecc_safe_broadcast`] through a precomputed [`BroadcastContext`].
+///
+/// Beyond reusing the context's plan, flags, and code, this entry point decodes
+/// each chunk **once** instead of once per node: the received word is built
+/// from the family run report and the garbage stream, neither of which depends
+/// on the receiving node, so all `n` decoders see identical input by
+/// construction.  (That is the Lemma 3.6 worst case — the adversary coordinates
+/// the garbage across nodes — and has been this module's semantics from the
+/// start; the per-node decode was `n−1` redundant Berlekamp–Welch solves.)
+///
+/// # Panics
+///
+/// Panics if the message is empty.
+pub fn ecc_safe_broadcast_ctx(
+    net: &mut Network,
+    ctx: &BroadcastContext,
+    message: &[u64],
+    seed: u64,
+) -> (Vec<Option<Vec<u64>>>, SafeBroadcastReport) {
     assert!(!message.is_empty(), "message must be non-empty");
-    let g = net.graph().clone();
-    let n = g.node_count();
-    let k = packing.len();
+    let n = net.graph().node_count();
+    let k = ctx.packing.len();
     let start = net.round();
-    let dtp = packing.max_height().max(1);
 
     // Chunking: each chunk carries at most ℓ = max(1, k/4) symbols so the code
     // has relative distance ≥ 3/4 and error capacity ≥ 3k/8 — enough slack for
     // the Lemma 3.3 failure bound plus non-spanning trees of a weak packing.
-    let ell = rs_data_symbols(k);
+    let ell = ctx.ell;
     let symbols: Vec<Gf2_16> = message
         .iter()
         .flat_map(|w| (0..SYMBOLS_PER_WORD).map(move |i| Gf2_16::from_u64(w >> (16 * i))))
@@ -85,57 +160,48 @@ pub fn ecc_safe_broadcast(
     let chunks: Vec<&[Gf2_16]> = symbols.chunks(ell).collect();
     let mut fake_rng = ChaCha8Rng::seed_from_u64(seed ^ 0xECC0_FFEE);
 
-    // per node, the decoded symbol stream
-    let mut decoded_symbols: Vec<Vec<Gf2_16>> = vec![Vec::new(); n];
-    let mut decode_ok = vec![true; n];
+    // The decoded symbol stream (identical at every node, see above).
+    let mut decoded: Vec<Gf2_16> = Vec::with_capacity(symbols.len());
+    let mut decode_ok = true;
     let mut max_failed = 0usize;
+    let mut received: Vec<Gf2_16> = Vec::with_capacity(k);
 
     for chunk in &chunks {
         let mut padded = chunk.to_vec();
         padded.resize(ell, Gf2_16::ZERO);
-        let rs = ReedSolomon::<Gf2_16>::new(ell, k).expect("ℓ ≤ k by construction");
-        let codeword = rs.encode(&padded).expect("length matches");
+        let codeword = ctx.rs.encode(&padded).expect("length matches");
 
         // One RS-compiled DTP-hop broadcast per tree, scheduled in parallel.  The
         // per-instance round count (and with it the Theorem 3.2 corruption
         // threshold) is padded so that an adversary sweeping over consecutive
         // edge ids cannot fail a tree within a single scheduling window.
-        let report = RsScheduler.run_family(net, packing, dtp + 16);
+        let report = RsScheduler.run_planned(net, &ctx.packing, &ctx.plan, ctx.dtp + 16);
         max_failed = max_failed.max(k - report.success_count());
 
         // Fault-free semantics per instance: a successful tree delivers its
         // symbol to every node; a failed tree delivers adversarial garbage
         // (coordinated across nodes — the worst case for the decoder).
         let garbage: Vec<Gf2_16> = (0..k).map(|_| Gf2_16::from_u64(fake_rng.gen())).collect();
-        for v in 0..n {
-            let mut received: Vec<Gf2_16> = Vec::with_capacity(k);
-            for (j, tree_report) in report.per_tree.iter().enumerate() {
-                let tree = &packing.trees[j];
-                let spans = tree.is_spanning(&g) && tree.root == packing.trees[0].root;
-                if tree_report.ok && spans {
-                    received.push(codeword[j]);
-                } else {
-                    received.push(garbage[j]);
-                }
+        received.clear();
+        for (j, tree_report) in report.per_tree.iter().enumerate() {
+            if tree_report.ok && ctx.usable[j] {
+                received.push(codeword[j]);
+            } else {
+                received.push(garbage[j]);
             }
-            match rs.decode(&received) {
-                Ok(msg) => decoded_symbols[v].extend_from_slice(&msg[..chunk.len().min(ell)]),
-                Err(_) => decode_ok[v] = false,
-            }
+        }
+        match ctx.rs.decode(&received) {
+            Ok(msg) => decoded.extend_from_slice(&msg[..chunk.len().min(ell)]),
+            Err(_) => decode_ok = false,
         }
     }
 
-    // Reassemble words from symbols.
-    let outputs: Vec<Option<Vec<u64>>> = (0..n)
-        .map(|v| {
-            if !decode_ok[v] {
-                return None;
-            }
-            let syms = &decoded_symbols[v];
-            if syms.len() < symbols.len() {
-                return None;
-            }
-            let words: Vec<u64> = syms[..symbols.len()]
+    // Reassemble words from symbols; every node holds the same stream.
+    let node_output: Option<Vec<u64>> = if !decode_ok || decoded.len() < symbols.len() {
+        None
+    } else {
+        Some(
+            decoded[..symbols.len()]
                 .chunks(SYMBOLS_PER_WORD)
                 .map(|group| {
                     group
@@ -143,11 +209,11 @@ pub fn ecc_safe_broadcast(
                         .enumerate()
                         .fold(0u64, |acc, (i, s)| acc | (s.to_u64() << (16 * i)))
                 })
-                .collect();
-            Some(words)
-        })
-        .collect();
-    let unanimous = outputs.iter().all(|o| o.as_deref() == Some(message));
+                .collect(),
+        )
+    };
+    let unanimous = node_output.as_deref() == Some(message);
+    let outputs: Vec<Option<Vec<u64>>> = vec![node_output; n];
     let report = SafeBroadcastReport {
         rounds: net.round() - start,
         chunks: chunks.len(),

@@ -16,7 +16,8 @@
 //! regimes; both are selectable via [`CorrectionVariant`].
 
 use crate::resilient::correction::{
-    l0_threshold_correction, sparse_majority_correction, CorrectionReport,
+    l0_threshold_correction_ctx, sparse_majority_correction_ctx, CorrectionContext,
+    CorrectionReport,
 };
 use congest_sim::network::Network;
 use congest_sim::traffic::Output;
@@ -69,6 +70,38 @@ pub struct MobileByzantineCompiler {
     pub variant: CorrectionVariant,
     /// Seed for the compiler's randomness (sketch seeds, share padding).
     pub seed: u64,
+    /// Precomputed per-`(graph, packing)` state, built by
+    /// [`MobileByzantineCompiler::contextualize`] (ideally from
+    /// `Compiler::prepare`, so the campaign artifact cache shares it across
+    /// cells).  `run` falls back to building it on the fly.
+    prepared: Option<PreparedPacking>,
+}
+
+/// Everything about a `(graph, packing)` pair the compiler needs per run but
+/// that does not depend on the adversary, the seed or the payload: the
+/// correction context and the packing-quality measurement (which runs a
+/// min-cut computation).
+#[derive(Debug, Clone)]
+struct PreparedPacking {
+    ctx: CorrectionContext,
+    quality: PackingQuality,
+}
+
+impl PreparedPacking {
+    fn new(g: &Graph, packing: &TreePacking) -> Self {
+        // Measured at the packing's own height: `good_trees` counts the
+        // spanning, root-anchored trees the correction majority can use.
+        let quality = PackingQuality::measure(
+            g,
+            packing,
+            packing.trees.first().map_or(0, |t| t.root),
+            packing.max_height(),
+        );
+        PreparedPacking {
+            ctx: CorrectionContext::new(g, packing),
+            quality,
+        }
+    }
 }
 
 impl MobileByzantineCompiler {
@@ -79,12 +112,26 @@ impl MobileByzantineCompiler {
             f,
             variant: CorrectionVariant::SparseMajority,
             seed,
+            prepared: None,
         }
     }
 
     /// Select the correction variant (default: sparse majority).
     pub fn with_variant(mut self, variant: CorrectionVariant) -> Self {
         self.variant = variant;
+        self
+    }
+
+    /// Precompute the per-graph correction state (schedule plan, spanning
+    /// flags, broadcast code, packing quality) for running on `g`.
+    ///
+    /// This is the expensive, adversary-independent half of a compiled run;
+    /// adapters call it from `Compiler::prepare` so the artifact cache pays it
+    /// once per `(graph, compiler)` pair instead of once per cell.  `g` must
+    /// be the graph the compiler will run on — `run` recomputes the state on
+    /// the fly when no context was prepared, with identical results.
+    pub fn contextualize(mut self, g: &Graph) -> Self {
+        self.prepared = Some(PreparedPacking::new(g, &self.packing));
         self
     }
 
@@ -102,14 +149,15 @@ impl MobileByzantineCompiler {
     ) -> (Vec<Output>, ByzantineCompilerReport) {
         let start = net.round();
         let r = alg.rounds();
-        // Measured at the packing's own height: `good_trees` counts the
-        // spanning, root-anchored trees the correction majority can use.
-        let packing_quality = PackingQuality::measure(
-            net.graph(),
-            &self.packing,
-            self.packing.trees.first().map_or(0, |t| t.root),
-            self.packing.max_height(),
-        );
+        let local;
+        let prepared = match &self.prepared {
+            Some(p) => p,
+            None => {
+                local = PreparedPacking::new(net.graph(), &self.packing);
+                &local
+            }
+        };
+        let packing_quality = prepared.quality;
         let mut per_round = Vec::with_capacity(r);
         // Round buffers, reused across all simulated rounds.
         let mut sent = congest_sim::traffic::Traffic::new(net.graph());
@@ -124,16 +172,18 @@ impl MobileByzantineCompiler {
             let sparsity = 8 * self.f.max(1) * (sent.max_words().max(1) + 1);
             net.tracer_mut().span_open(obs::Phase::Correction);
             let (corrected, report) = match self.variant {
-                CorrectionVariant::SparseMajority => sparse_majority_correction(
+                CorrectionVariant::SparseMajority => sparse_majority_correction_ctx(
                     net,
+                    &prepared.ctx,
                     &self.packing,
                     &sent,
                     &received,
                     sparsity,
                     self.seed ^ ((round as u64) << 20),
                 ),
-                CorrectionVariant::L0Threshold => l0_threshold_correction(
+                CorrectionVariant::L0Threshold => l0_threshold_correction_ctx(
                     net,
+                    &prepared.ctx,
                     &self.packing,
                     &sent,
                     &received,
@@ -177,7 +227,10 @@ impl CliqueCompiler {
     pub fn new(g: &Graph, f: usize, seed: u64) -> Self {
         let packing = star_packing(g, 0);
         CliqueCompiler {
-            inner: MobileByzantineCompiler::new(packing, f, seed),
+            // The clique compiler always knows its graph up front, so the
+            // correction context is prepared here — `prepare` paths hand the
+            // whole compiler (context included) to the artifact cache.
+            inner: MobileByzantineCompiler::new(packing, f, seed).contextualize(g),
         }
     }
 

@@ -2,11 +2,12 @@
 //! cells, executed deterministically in parallel and aggregated into
 //! campaign-level summaries with a JSONL export.
 
+use crate::artifact_cache::ArtifactCache;
 use crate::engine;
 use crate::json::{json_num, json_str};
 use crate::spec::{CampaignSpec, SpecError};
 use crate::stats::StatSummary;
-use congest_sim::scenario::matrix::{run_cell_traced, AdversarySpec, CompilerSpec, GraphSpec};
+use congest_sim::scenario::matrix::{run_cell_artifacts, AdversarySpec, CompilerSpec, GraphSpec};
 use congest_sim::scenario::{BoxedAlgorithm, RunReport, ScenarioError};
 use netgraph::Graph;
 use std::sync::Arc;
@@ -47,6 +48,12 @@ pub struct Campaign {
     threads: usize,
     shard: Option<(usize, usize)>,
     trace: obs::TraceSpec,
+    /// The shared compile-artifact cache, if this campaign runs cached.
+    cache: Option<Arc<ArtifactCache>>,
+    /// Canonical cache keys per `(graph, compiler)` pair, `gi * n_c + ci`
+    /// order.  Only spec-built campaigns know their defs and get keys;
+    /// hand-built campaigns run uncached.
+    pair_keys: Option<Vec<String>>,
 }
 
 impl Campaign {
@@ -62,6 +69,8 @@ impl Campaign {
             threads: 0,
             shard: None,
             trace: obs::TraceSpec::off(),
+            cache: None,
+            pair_keys: None,
         }
     }
 
@@ -89,12 +98,37 @@ impl Campaign {
             spec.grid.payload.validate(&gspec.name, &gspec.graph)?;
         }
         let payload = spec.grid.payload.clone();
-        Ok(Campaign::new(spec.seed)
+        // The spec layer knows the defs behind every axis, so spec-built
+        // campaigns get artifact-cache keys (canonical def JSON — collision
+        // free) and a per-campaign cache, shared or disabled via
+        // [`Campaign::artifact_cache`] / [`Campaign::without_artifact_cache`].
+        let graph_jsons: Vec<String> = spec
+            .grid
+            .graphs
+            .iter()
+            .map(crate::spec::graph_to_json)
+            .collect();
+        let compiler_jsons: Vec<String> = spec
+            .grid
+            .compilers
+            .iter()
+            .map(crate::spec::compiler_to_json)
+            .collect();
+        let mut pair_keys = Vec::with_capacity(graph_jsons.len() * compiler_jsons.len());
+        for gj in &graph_jsons {
+            for cj in &compiler_jsons {
+                pair_keys.push(ArtifactCache::pair_key(gj, cj));
+            }
+        }
+        let mut campaign = Campaign::new(spec.seed)
             .graphs(graphs)
             .adversaries(spec.grid.adversaries.iter().map(|d| d.to_spec()).collect())
             .compilers(spec.grid.compilers.iter().map(|d| d.to_spec()).collect())
             .payload(move |g: &Graph| payload.build(g))
-            .repetitions(spec.repetitions))
+            .repetitions(spec.repetitions);
+        campaign.pair_keys = Some(pair_keys);
+        campaign.cache = Some(Arc::new(ArtifactCache::new()));
+        Ok(campaign)
     }
 
     /// The graph axis of the grid.
@@ -152,6 +186,31 @@ impl Campaign {
         self
     }
 
+    /// Share an existing [`ArtifactCache`] — the form `campaignd` uses so
+    /// every batch and job of a daemon reuses one cache.  Only campaigns
+    /// built by [`Campaign::from_spec`] consult it (hand-built campaigns
+    /// have no def-derived keys), and traced runs always bypass it so every
+    /// cell's event stream still carries its packing spans.
+    pub fn artifact_cache(mut self, cache: Arc<ArtifactCache>) -> Self {
+        self.cache = Some(cache);
+        self
+    }
+
+    /// Disable the compile-artifact cache: every cell prepares its own
+    /// artifacts, exactly as a hand-built campaign does.  Reports are
+    /// byte-identical either way; this exists for measurement (bench E16f)
+    /// and as the CLI `--no-cache` escape hatch.
+    pub fn without_artifact_cache(mut self) -> Self {
+        self.cache = None;
+        self
+    }
+
+    /// The campaign's artifact cache, if it has one — read the hit/miss
+    /// counters from here after [`Campaign::run`].
+    pub fn artifact_cache_handle(&self) -> Option<&Arc<ArtifactCache>> {
+        self.cache.as_ref()
+    }
+
     /// Restrict the campaign to shard `index` of `of`: cell `i` belongs to
     /// shard `i % of`.  Cells keep their **global** index and therefore their
     /// seed, so the union of all `of` shard runs (see
@@ -192,8 +251,8 @@ impl Campaign {
     /// Cells are enumerated graph-major, then adversary, then compiler, with
     /// repetitions innermost; each cell's RNG seed is [`cell_seed`]`(campaign
     /// seed, cell index)` and the whole cell is built and run inside the
-    /// worker via [`run_cell_traced`], so the report is byte-identical at any thread
-    /// count.
+    /// worker via [`matrix::run_cell_artifacts`](congest_sim::scenario::matrix::run_cell_artifacts),
+    /// so the report is byte-identical at any thread count.
     ///
     /// # Panics
     ///
@@ -228,6 +287,15 @@ impl Campaign {
         } else {
             self.threads
         };
+        // The cache is consulted only when (a) this campaign has one, (b) it
+        // was spec-built and therefore knows its def-derived keys, and (c)
+        // tracing is off — `prepare` emits packing spans into the cell's
+        // event stream, and a cache hit would elide them from every cell but
+        // the first, changing traced fingerprints.
+        let cache = match (&self.cache, &self.pair_keys) {
+            (Some(cache), Some(keys)) if !self.trace.enabled => Some((cache, keys)),
+            _ => None,
+        };
 
         let cells = engine::run_indexed(threads, indices.len(), |slot| {
             let index = indices[slot];
@@ -243,6 +311,18 @@ impl Campaign {
                 let p = Arc::clone(&payload);
                 move |g: &Graph| p(g)
             };
+            // A failed `prepare` is cached as the typed error and surfaces
+            // here as `None`: the cell then runs the uncached path, whose
+            // validation reproduces the identical error inline.
+            let artifacts = cache.and_then(|(cache, keys)| {
+                cache
+                    .get_or_prepare(&keys[gi * n_c + ci], || {
+                        let compiler = cspec.instantiate();
+                        let mut tracer = obs::TraceSpec::off().build_tracer();
+                        compiler.prepare(&gspec.graph, &mut tracer)
+                    })
+                    .ok()
+            });
             CampaignCell {
                 index,
                 graph: gspec.name.clone(),
@@ -250,7 +330,15 @@ impl Campaign {
                 compiler: cspec.name.clone(),
                 repetition: rep,
                 seed,
-                outcome: run_cell_traced(gspec, aspec, cspec, &cell_payload, seed, self.trace),
+                outcome: run_cell_artifacts(
+                    gspec,
+                    aspec,
+                    cspec,
+                    &cell_payload,
+                    seed,
+                    self.trace,
+                    artifacts,
+                ),
             }
         });
         CampaignReport { cells }

@@ -65,6 +65,7 @@
 
 #![warn(missing_docs)]
 
+pub mod artifact_cache;
 pub mod campaign;
 pub mod engine;
 pub mod json;
@@ -72,6 +73,7 @@ pub mod report;
 pub mod spec;
 pub mod stats;
 
+pub use artifact_cache::ArtifactCache;
 pub use campaign::{
     cell_seed, Campaign, CampaignCell, CampaignReport, GroupSummary, SharedPayload,
 };

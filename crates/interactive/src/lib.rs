@@ -22,4 +22,4 @@ pub mod scheduler;
 pub use replay::{
     flood_paths_majority, majority, repeated_tree_broadcast, repeated_tree_sum, replay_trace_jsonl,
 };
-pub use scheduler::{FamilyRunReport, RsScheduler, TreeRunReport, C_RS, T_RS};
+pub use scheduler::{FamilyRunReport, RsScheduler, SchedulePlan, TreeRunReport, C_RS, T_RS};

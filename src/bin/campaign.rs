@@ -40,7 +40,7 @@ use std::time::Instant;
 
 const USAGE: &str =
     "usage: campaign --spec FILE [--out FILE] [--threads N] [--shard I/OF] [--resume] [--dry-run]
-                [--trace-dir DIR] [--quiet]
+                [--trace-dir DIR] [--no-cache] [--quiet]
 
   --spec FILE      campaign spec JSON (see specs/e16-small.json)
   --out FILE       trajectory JSONL (default: target/<spec-stem>-trajectory.jsonl)
@@ -52,18 +52,17 @@ const USAGE: &str =
   --trace-dir DIR  record deterministic event traces: one
                    DIR/<fingerprint>-cell<index>.jsonl per executed cell,
                    plus a per-phase wall-time profile table on stderr
+  --no-cache       prepare compile artifacts per cell instead of once per
+                   (graph, compiler) pair (results identical; for measurement)
   --quiet          suppress stderr diagnostics (stdout and errors unaffected)";
 
 #[cfg_attr(test, derive(Debug))]
 struct Args {
     spec: PathBuf,
     out: Option<PathBuf>,
-    threads: usize,
-    shard: Option<(usize, usize)>,
-    resume: bool,
-    dry_run: bool,
     trace_dir: Option<PathBuf>,
-    quiet: bool,
+    no_cache: bool,
+    common: cli::CommonArgs,
 }
 
 /// What a command line parses to: a run, or an explicit help request.
@@ -80,30 +79,21 @@ fn parse_args(mut it: impl Iterator<Item = String>) -> Result<Parsed, String> {
     let mut args = Args {
         spec: PathBuf::new(),
         out: None,
-        threads: 0,
-        shard: None,
-        resume: false,
-        dry_run: false,
         trace_dir: None,
-        quiet: false,
+        no_cache: false,
+        common: cli::CommonArgs::default(),
     };
     while let Some(arg) = it.next() {
+        if args.common.try_flag(&arg, &mut it)? {
+            continue;
+        }
         match arg.as_str() {
             "--spec" => args.spec = PathBuf::from(cli::need_value(&mut it, "--spec")?),
             "--out" => args.out = Some(PathBuf::from(cli::need_value(&mut it, "--out")?)),
-            "--threads" => {
-                args.threads =
-                    cli::parse_count("--threads", &cli::need_value(&mut it, "--threads")?)?;
-            }
-            "--shard" => {
-                args.shard = Some(cli::parse_shard(&cli::need_value(&mut it, "--shard")?)?);
-            }
-            "--resume" => args.resume = true,
-            "--dry-run" => args.dry_run = true,
             "--trace-dir" => {
                 args.trace_dir = Some(PathBuf::from(cli::need_value(&mut it, "--trace-dir")?));
             }
-            "--quiet" => args.quiet = true,
+            "--no-cache" => args.no_cache = true,
             "--help" | "-h" => return Ok(Parsed::Help),
             other => return Err(cli::unknown_flag(other)),
         }
@@ -181,7 +171,7 @@ fn run() -> Result<(), String> {
     // Diagnostics go to stderr so stdout stays machine-parseable; `--quiet`
     // silences them without touching stdout or error reporting.
     let diag = |msg: String| {
-        if !args.quiet {
+        if !args.common.quiet {
             eprintln!("{msg}");
         }
     };
@@ -193,18 +183,21 @@ fn run() -> Result<(), String> {
 
     let mut campaign = Campaign::from_spec(&spec)
         .map_err(|e| format!("spec {}: {e}", args.spec.display()))?
-        .threads(args.threads);
-    if let Some((i, of)) = args.shard {
+        .threads(args.common.threads);
+    if let Some((i, of)) = args.common.shard {
         campaign = campaign.shard(i, of);
     }
     if args.trace_dir.is_some() {
         campaign = campaign.trace(obs::TraceSpec::ring());
     }
+    if args.no_cache {
+        campaign = campaign.without_artifact_cache();
+    }
     let wanted = campaign.cell_indices();
 
     // Validate-only mode: the spec parsed and resolved through every
     // registry, so report what a real run would cover and stop here.
-    if args.dry_run {
+    if args.common.dry_run {
         diag(format!(
             "dry run: spec {} is valid (fingerprint {})",
             args.spec.display(),
@@ -213,7 +206,7 @@ fn run() -> Result<(), String> {
         diag(format!(
             "  {} cells total{}; 0 executed",
             spec.cell_count(),
-            match args.shard {
+            match args.common.shard {
                 Some((i, of)) => format!(", shard {i}/{of} -> {} cells", wanted.len()),
                 None => String::new(),
             },
@@ -222,7 +215,7 @@ fn run() -> Result<(), String> {
     }
 
     // Cell-level resume: keep the lines already on disk, run only the rest.
-    let kept: Vec<(usize, String)> = if args.resume && out.exists() {
+    let kept: Vec<(usize, String)> = if args.common.resume && out.exists() {
         read_trajectory(&out, &spec)?
     } else {
         Vec::new()
@@ -239,11 +232,11 @@ fn run() -> Result<(), String> {
         args.spec.display(),
         spec.fingerprint(),
         spec.cell_count(),
-        match args.shard {
+        match args.common.shard {
             Some((i, of)) => format!(", shard {i}/{of} -> {} cells", wanted.len()),
             None => String::new(),
         },
-        if args.resume {
+        if args.common.resume {
             format!(
                 ", resume: {} cells to run ({} already present)",
                 missing.len(),
@@ -266,7 +259,7 @@ fn run() -> Result<(), String> {
     let report = campaign.run_cells(&missing);
     let wall = t0.elapsed().as_secs_f64();
     let summaries = report.summaries();
-    if !args.quiet {
+    if !args.common.quiet {
         eprint!("{}", report.to_table_with(&summaries));
     }
     diag(format!(
@@ -275,6 +268,18 @@ fn run() -> Result<(), String> {
         report.skipped_count(),
         report.all_protected_cells_agree(),
     ));
+    // Cache effectiveness, for humans and for the CI quality gate (which
+    // greps this stderr line).  Traced runs bypass the cache, so a zero
+    // lookup count there is expected, not a bug.
+    if let Some(cache) = campaign.artifact_cache_handle() {
+        diag(format!(
+            "artifact cache: {} hits, {} misses over {} (graph, compiler) pairs (hit rate {:.2})",
+            cache.hits(),
+            cache.misses(),
+            cache.len(),
+            cache.hit_rate(),
+        ));
+    }
     // The machine-parseable product of this run: one summary line per grid
     // cell, on stdout.
     for s in &summaries {
@@ -304,7 +309,7 @@ fn run() -> Result<(), String> {
             "wrote {written} trace files to {}",
             trace_dir.display()
         ));
-        if !args.quiet {
+        if !args.common.quiet {
             eprint!("{}", profile_table(&summaries));
         }
     }
@@ -405,18 +410,20 @@ mod tests {
             "--dry-run",
             "--trace-dir",
             "target/traces",
+            "--no-cache",
             "--quiet",
         ])
         .unwrap() else {
             panic!("expected a run");
         };
         assert_eq!(args.spec, PathBuf::from("s.json"));
-        assert_eq!(args.threads, 3);
-        assert_eq!(args.shard, Some((1, 4)));
-        assert!(args.resume);
-        assert!(args.dry_run);
+        assert_eq!(args.common.threads, 3);
+        assert_eq!(args.common.shard, Some((1, 4)));
+        assert!(args.common.resume);
+        assert!(args.common.dry_run);
         assert_eq!(args.trace_dir, Some(PathBuf::from("target/traces")));
-        assert!(args.quiet);
+        assert!(args.no_cache);
+        assert!(args.common.quiet);
     }
 
     #[test]

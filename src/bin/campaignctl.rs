@@ -43,26 +43,69 @@ const USAGE: &str = "usage: campaignctl [--addr HOST:PORT] [--quiet] COMMAND ...
 /// How often `watch` polls the server.
 const POLL_MS: u64 = 250;
 
-fn run() -> Result<(), String> {
-    let mut it = std::env::args().skip(1);
+/// The slice of the shared flag surface this client takes: everything else
+/// (threads, shards, resume) is the server's business.
+const COMMON: &[&str] = &["--quiet"];
+
+/// The global flags preceding the command word.
+#[cfg_attr(test, derive(Debug))]
+struct Globals {
+    addr: String,
+    common: cli::CommonArgs,
+    command: String,
+}
+
+/// What the pre-command part of an argument list parses to.
+#[cfg_attr(test, derive(Debug))]
+enum Parsed {
+    Run(Globals),
+    Help,
+}
+
+/// Parse the global flags up to and including the command word, leaving the
+/// command's own arguments on the iterator.  Split out of [`run`] so the
+/// unit tests below can drive it with plain vectors.
+fn parse_globals(it: &mut dyn Iterator<Item = String>) -> Result<Parsed, String> {
     let mut addr = "127.0.0.1:7070".to_string();
-    let mut quiet = false;
-    // Global flags may precede the command word.
-    let command = loop {
+    let mut common = cli::CommonArgs::default();
+    loop {
         match it.next() {
-            Some(arg) => match arg.as_str() {
-                "--addr" => addr = cli::need_value(&mut it, "--addr")?,
-                "--quiet" => quiet = true,
-                "--help" | "-h" => {
-                    println!("{USAGE}");
-                    return Ok(());
+            Some(arg) => {
+                if common.try_flag_among(&arg, it, COMMON)? {
+                    continue;
                 }
-                flag if flag.starts_with('-') => return Err(cli::unknown_flag(flag)),
-                command => break command.to_string(),
-            },
+                match arg.as_str() {
+                    "--addr" => addr = cli::need_value(it, "--addr")?,
+                    "--help" | "-h" => return Ok(Parsed::Help),
+                    flag if flag.starts_with('-') => return Err(cli::unknown_flag(flag)),
+                    command => {
+                        return Ok(Parsed::Run(Globals {
+                            addr,
+                            common,
+                            command: command.to_string(),
+                        }))
+                    }
+                }
+            }
             None => return Err("a command is required".to_string()),
         }
+    }
+}
+
+fn run() -> Result<(), String> {
+    let mut it = std::env::args().skip(1);
+    let Globals {
+        addr,
+        common,
+        command,
+    } = match parse_globals(&mut it)? {
+        Parsed::Run(globals) => globals,
+        Parsed::Help => {
+            println!("{USAGE}");
+            return Ok(());
+        }
     };
+    let quiet = common.quiet;
     let client = Client::new(addr);
     let progress = |status: &JobStatus| {
         if !quiet {
@@ -178,5 +221,68 @@ fn main() -> ExitCode {
             eprintln!("{USAGE}");
             ExitCode::FAILURE
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(argv: &[&str]) -> Result<Parsed, String> {
+        let mut it = argv
+            .iter()
+            .map(|s| s.to_string())
+            .collect::<Vec<_>>()
+            .into_iter();
+        parse_globals(&mut it)
+    }
+
+    #[test]
+    fn globals_parse_before_the_command_word() {
+        let Parsed::Run(globals) = parse(&["--addr", "0.0.0.0:9999", "--quiet", "list"]).unwrap()
+        else {
+            panic!("expected a run");
+        };
+        assert_eq!(globals.addr, "0.0.0.0:9999");
+        assert!(globals.common.quiet);
+        assert_eq!(globals.command, "list");
+    }
+
+    #[test]
+    fn the_command_word_stops_global_parsing() {
+        let mut it = ["status", "FP123", "--quiet"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect::<Vec<_>>()
+            .into_iter();
+        let Parsed::Run(globals) = parse_globals(&mut it).unwrap() else {
+            panic!("expected a run");
+        };
+        assert_eq!(globals.command, "status");
+        // The command's own arguments stay on the iterator, untouched.
+        assert_eq!(it.next().as_deref(), Some("FP123"));
+        assert_eq!(it.next().as_deref(), Some("--quiet"));
+    }
+
+    #[test]
+    fn a_command_is_required_and_help_short_circuits() {
+        assert_eq!(parse(&[]).unwrap_err(), "a command is required");
+        assert_eq!(parse(&["--quiet"]).unwrap_err(), "a command is required");
+        assert!(matches!(parse(&["--help"]), Ok(Parsed::Help)));
+        assert!(matches!(parse(&["-h", "submit"]), Ok(Parsed::Help)));
+    }
+
+    #[test]
+    fn flags_outside_this_clients_surface_are_unknown() {
+        assert_eq!(
+            parse(&["--frobnicate", "list"]).unwrap_err(),
+            "unknown flag `--frobnicate`"
+        );
+        // Shared flags the client does not take fail the same way.
+        for flag in ["--threads", "--shard", "--resume", "--dry-run"] {
+            let err = parse(&[flag, "2", "list"]).unwrap_err();
+            assert_eq!(err, format!("unknown flag `{flag}`"));
+        }
+        assert_eq!(parse(&["--addr"]).unwrap_err(), "--addr needs a value");
     }
 }

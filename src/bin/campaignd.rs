@@ -27,9 +27,12 @@ const USAGE: &str = "usage: campaignd --data-dir DIR [--addr HOST:PORT] [--threa
 struct Args {
     data_dir: std::path::PathBuf,
     addr: String,
-    threads: usize,
-    quiet: bool,
+    common: cli::CommonArgs,
 }
+
+/// The slice of the shared flag surface this daemon takes: sharding and
+/// resume semantics live in the store, not on the command line.
+const COMMON: &[&str] = &["--threads", "--quiet"];
 
 /// What a command line parses to: a server run, or an explicit help request.
 #[cfg_attr(test, derive(Debug))]
@@ -42,20 +45,17 @@ fn parse_args(mut it: impl Iterator<Item = String>) -> Result<Parsed, String> {
     let mut args = Args {
         data_dir: std::path::PathBuf::new(),
         addr: "127.0.0.1:7070".to_string(),
-        threads: 0,
-        quiet: false,
+        common: cli::CommonArgs::default(),
     };
     while let Some(arg) = it.next() {
+        if args.common.try_flag_among(&arg, &mut it, COMMON)? {
+            continue;
+        }
         match arg.as_str() {
             "--data-dir" => {
                 args.data_dir = std::path::PathBuf::from(cli::need_value(&mut it, "--data-dir")?);
             }
             "--addr" => args.addr = cli::need_value(&mut it, "--addr")?,
-            "--threads" => {
-                args.threads =
-                    cli::parse_count("--threads", &cli::need_value(&mut it, "--threads")?)?;
-            }
-            "--quiet" => args.quiet = true,
             "--help" | "-h" => return Ok(Parsed::Help),
             other => return Err(cli::unknown_flag(other)),
         }
@@ -76,9 +76,9 @@ fn run() -> Result<(), String> {
     };
     let mut config = Config::new(&args.data_dir);
     config.addr = args.addr;
-    config.quiet = args.quiet;
-    if args.threads > 0 {
-        config.workers = args.threads;
+    config.quiet = args.common.quiet;
+    if args.common.threads > 0 {
+        config.workers = args.common.threads;
     }
     let handle = start(config)?;
     // The one stdout line: lets scripts that bound port 0 find the server.
@@ -124,8 +124,18 @@ mod tests {
         };
         assert_eq!(args.data_dir, std::path::PathBuf::from("/tmp/d"));
         assert_eq!(args.addr, "0.0.0.0:9999");
-        assert_eq!(args.threads, 2);
-        assert!(args.quiet);
+        assert_eq!(args.common.threads, 2);
+        assert!(args.common.quiet);
+    }
+
+    #[test]
+    fn the_common_flags_outside_this_daemons_surface_are_unknown() {
+        // --shard/--resume/--dry-run are shared flags elsewhere, but this
+        // binary does not take them — they must fail as unknown, not parse.
+        for flag in ["--shard", "--resume", "--dry-run"] {
+            let err = parse(&["--data-dir", "d", flag, "1/2"]).unwrap_err();
+            assert_eq!(err, format!("unknown flag `{flag}`"));
+        }
     }
 
     #[test]

@@ -57,11 +57,7 @@ struct Args {
     spec: PathBuf,
     out: Option<PathBuf>,
     ce_dir: Option<PathBuf>,
-    threads: usize,
-    shard: Option<(usize, usize)>,
-    resume: bool,
-    dry_run: bool,
-    quiet: bool,
+    common: cli::CommonArgs,
 }
 
 /// What a command line parses to: a run, or an explicit help request.
@@ -79,27 +75,16 @@ fn parse_args(mut it: impl Iterator<Item = String>) -> Result<Parsed, String> {
         spec: PathBuf::new(),
         out: None,
         ce_dir: None,
-        threads: 0,
-        shard: None,
-        resume: false,
-        dry_run: false,
-        quiet: false,
+        common: cli::CommonArgs::default(),
     };
     while let Some(arg) = it.next() {
+        if args.common.try_flag(&arg, &mut it)? {
+            continue;
+        }
         match arg.as_str() {
             "--spec" => args.spec = PathBuf::from(cli::need_value(&mut it, "--spec")?),
             "--out" => args.out = Some(PathBuf::from(cli::need_value(&mut it, "--out")?)),
             "--ce-dir" => args.ce_dir = Some(PathBuf::from(cli::need_value(&mut it, "--ce-dir")?)),
-            "--threads" => {
-                args.threads =
-                    cli::parse_count("--threads", &cli::need_value(&mut it, "--threads")?)?;
-            }
-            "--shard" => {
-                args.shard = Some(cli::parse_shard(&cli::need_value(&mut it, "--shard")?)?);
-            }
-            "--resume" => args.resume = true,
-            "--dry-run" => args.dry_run = true,
-            "--quiet" => args.quiet = true,
             "--help" | "-h" => return Ok(Parsed::Help),
             other => return Err(cli::unknown_flag(other)),
         }
@@ -173,7 +158,7 @@ fn run() -> Result<(), String> {
         }
     };
     let diag = |msg: String| {
-        if !args.quiet {
+        if !args.common.quiet {
             eprintln!("{msg}");
         }
     };
@@ -189,13 +174,13 @@ fn run() -> Result<(), String> {
 
     let mut team = RedTeam::from_spec(&spec)
         .map_err(|e| format!("spec {}: {e}", args.spec.display()))?
-        .threads(args.threads);
-    if let Some((i, of)) = args.shard {
+        .threads(args.common.threads);
+    if let Some((i, of)) = args.common.shard {
         team = team.shard(i, of);
     }
     let wanted = team.unit_indices();
 
-    if args.dry_run {
+    if args.common.dry_run {
         diag(format!(
             "dry run: spec {} is valid (fingerprint {})",
             args.spec.display(),
@@ -206,7 +191,7 @@ fn run() -> Result<(), String> {
             spec.targets.len(),
             spec.search.chains,
             team.unit_count(),
-            match args.shard {
+            match args.common.shard {
                 Some((i, of)) => format!(", shard {i}/{of} -> {} units", wanted.len()),
                 None => String::new(),
             },
@@ -215,7 +200,7 @@ fn run() -> Result<(), String> {
     }
 
     // Unit-level resume: keep the lines already on disk, run only the rest.
-    let kept: Vec<(usize, String)> = if args.resume && out.exists() {
+    let kept: Vec<(usize, String)> = if args.common.resume && out.exists() {
         let text = std::fs::read_to_string(&out)
             .map_err(|e| format!("cannot read trajectory {}: {e}", out.display()))?;
         parse_trajectory(&text, &spec.fingerprint()).map_err(|e| {
@@ -239,11 +224,11 @@ fn run() -> Result<(), String> {
         args.spec.display(),
         spec.fingerprint(),
         team.unit_count(),
-        match args.shard {
+        match args.common.shard {
             Some((i, of)) => format!(", shard {i}/{of} -> {} units", wanted.len()),
             None => String::new(),
         },
-        if args.resume {
+        if args.common.resume {
             format!(
                 ", resume: {} units to run ({} already present)",
                 missing.len(),
@@ -369,9 +354,9 @@ mod tests {
         let Parsed::Run(args) = parsed else {
             panic!("expected a run");
         };
-        assert_eq!(args.threads, 3);
-        assert_eq!(args.shard, Some((1, 4)));
-        assert!(args.resume && args.dry_run && args.quiet);
+        assert_eq!(args.common.threads, 3);
+        assert_eq!(args.common.shard, Some((1, 4)));
+        assert!(args.common.resume && args.common.dry_run && args.common.quiet);
         assert_eq!(args.ce_dir.as_deref(), Some(Path::new("ce")));
     }
 

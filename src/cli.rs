@@ -44,6 +44,71 @@ pub fn unknown_flag(flag: &str) -> String {
     format!("unknown flag `{flag}`")
 }
 
+/// The execution flags the workspace binaries share — `--threads N`,
+/// `--shard I/OF`, `--resume`, `--dry-run`, `--quiet` — parsed by **one**
+/// code path so values, defaults and error wording can never drift between
+/// binaries.
+///
+/// Each binary folds [`CommonArgs::try_flag`] (or
+/// [`CommonArgs::try_flag_among`] for a narrower surface, e.g. `campaignd`
+/// takes only `--threads`/`--quiet`) into its flag loop: a consumed common
+/// flag returns `Ok(true)`, anything else falls through to the binary's own
+/// flags and, ultimately, its [`unknown_flag`] arm.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct CommonArgs {
+    /// Worker threads (`0` = all cores; never changes results).
+    pub threads: usize,
+    /// `--shard I/OF` partition, if any.
+    pub shard: Option<(usize, usize)>,
+    /// Skip work already present in the output file.
+    pub resume: bool,
+    /// Validate and report without executing.
+    pub dry_run: bool,
+    /// Suppress stderr diagnostics.
+    pub quiet: bool,
+}
+
+impl CommonArgs {
+    /// Every common flag, for binaries that accept the full surface.
+    pub const ALL: &'static [&'static str] =
+        &["--threads", "--shard", "--resume", "--dry-run", "--quiet"];
+
+    /// Consume `arg` if it is a common flag (pulling its value off `it` as
+    /// needed): `Ok(true)` when consumed, `Ok(false)` when the flag is not
+    /// ours and the caller should keep matching.
+    pub fn try_flag(
+        &mut self,
+        arg: &str,
+        it: &mut dyn Iterator<Item = String>,
+    ) -> Result<bool, String> {
+        self.try_flag_among(arg, it, Self::ALL)
+    }
+
+    /// [`CommonArgs::try_flag`] restricted to the flags in `allowed`: a
+    /// common flag the binary does not take falls through as `Ok(false)` and
+    /// lands in the caller's [`unknown_flag`] arm, exactly like any other
+    /// stranger.
+    pub fn try_flag_among(
+        &mut self,
+        arg: &str,
+        it: &mut dyn Iterator<Item = String>,
+        allowed: &[&str],
+    ) -> Result<bool, String> {
+        if !allowed.contains(&arg) {
+            return Ok(false);
+        }
+        match arg {
+            "--threads" => self.threads = parse_count("--threads", &need_value(it, "--threads")?)?,
+            "--shard" => self.shard = Some(parse_shard(&need_value(it, "--shard")?)?),
+            "--resume" => self.resume = true,
+            "--dry-run" => self.dry_run = true,
+            "--quiet" => self.quiet = true,
+            other => return Err(unknown_flag(other)), // not a common flag at all
+        }
+        Ok(true)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -110,5 +175,69 @@ mod tests {
     fn unknown_flags_are_named_in_backticks() {
         assert_eq!(unknown_flag("--frobnicate"), "unknown flag `--frobnicate`");
         assert_eq!(unknown_flag("-x"), "unknown flag `-x`");
+    }
+
+    #[test]
+    fn common_args_consume_the_shared_flags() {
+        let mut common = CommonArgs::default();
+        let mut it = args(&["3"]);
+        assert!(common.try_flag("--threads", &mut it).unwrap());
+        let mut it = args(&["1/4"]);
+        assert!(common.try_flag("--shard", &mut it).unwrap());
+        let mut it = args(&[]);
+        assert!(common.try_flag("--resume", &mut it).unwrap());
+        assert!(common.try_flag("--dry-run", &mut it).unwrap());
+        assert!(common.try_flag("--quiet", &mut it).unwrap());
+        assert_eq!(
+            common,
+            CommonArgs {
+                threads: 3,
+                shard: Some((1, 4)),
+                resume: true,
+                dry_run: true,
+                quiet: true,
+            }
+        );
+    }
+
+    #[test]
+    fn common_args_pass_on_foreign_flags() {
+        let mut common = CommonArgs::default();
+        let mut it = args(&["value"]);
+        assert!(!common.try_flag("--spec", &mut it).unwrap());
+        assert_eq!(it.next().as_deref(), Some("value"), "value untouched");
+        assert_eq!(common, CommonArgs::default());
+    }
+
+    #[test]
+    fn common_args_report_their_own_value_errors() {
+        let mut common = CommonArgs::default();
+        let mut it = args(&["four"]);
+        assert_eq!(
+            common.try_flag("--threads", &mut it).unwrap_err(),
+            "--threads needs a number"
+        );
+        let mut it = args(&[]);
+        assert_eq!(
+            common.try_flag("--shard", &mut it).unwrap_err(),
+            "--shard needs a value"
+        );
+    }
+
+    #[test]
+    fn narrowed_surfaces_reject_the_other_common_flags() {
+        // campaignd's surface: a --shard must fall through (and then hit the
+        // binary's unknown-flag arm), never half-parse.
+        let mut common = CommonArgs::default();
+        let mut it = args(&["1/4"]);
+        assert!(!common
+            .try_flag_among("--shard", &mut it, &["--threads", "--quiet"])
+            .unwrap());
+        assert_eq!(it.next().as_deref(), Some("1/4"), "value untouched");
+        let mut it = args(&["2"]);
+        assert!(common
+            .try_flag_among("--threads", &mut it, &["--threads", "--quiet"])
+            .unwrap());
+        assert_eq!(common.threads, 2);
     }
 }

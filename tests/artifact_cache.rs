@@ -1,0 +1,164 @@
+//! Acceptance tests for the campaign compile-artifact cache: cells sharing a
+//! `(GraphDef, CompilerDef)` pair hit the cache across seeds and
+//! adversaries, distinct defs (down to the packing version) miss, and
+//! campaign reports are byte-identical with the cache on or off at any
+//! thread count.
+
+use mobile_congest::harness::{ArtifactCache, Campaign, CampaignSpec};
+use proptest::prelude::*;
+
+fn e16_small_spec() -> CampaignSpec {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/specs/e16-small.json");
+    let text = std::fs::read_to_string(path).expect("specs/e16-small.json is checked in");
+    CampaignSpec::from_json(&text).expect("checked-in spec parses")
+}
+
+fn spec_of(json: &str) -> CampaignSpec {
+    CampaignSpec::from_json(json).expect("inline test spec parses")
+}
+
+#[test]
+fn cells_sharing_a_graph_compiler_pair_hit_the_cache() {
+    // 3 graphs × 3 adversaries × 3 compilers × 2 repetitions: each of the
+    // 9 (graph, compiler) pairs is looked up 6 times (3 adversaries × 2
+    // seed repetitions), so exactly one miss per pair and hits for the rest
+    // — including the pairs whose `prepare` fails (the clique compiler off
+    // the complete graph), which cache their typed error.
+    let spec = e16_small_spec();
+    let campaign = Campaign::from_spec(&spec).unwrap().threads(4);
+    let report = campaign.run();
+    assert_eq!(report.cells.len(), 54);
+
+    let cache = campaign
+        .artifact_cache_handle()
+        .expect("spec-built campaigns default to a cache");
+    assert_eq!(cache.misses(), 9, "one prepare per (graph, compiler) pair");
+    assert_eq!(cache.hits(), 54 - 9);
+    assert_eq!(cache.len(), 9);
+    assert!(cache.hit_rate() > 0.8);
+}
+
+#[test]
+fn distinct_packing_versions_are_distinct_cache_entries() {
+    // Same graph, same f/seed — only the packing version differs. The def
+    // JSON keys must keep the two apart: v1 and v2 artifacts hold different
+    // tree packings.
+    let spec = spec_of(
+        r#"{
+  "kind": "campaign-spec",
+  "seed": 11,
+  "repetitions": 2,
+  "grid": {
+    "graphs": [{"family":"watts-strogatz","n":24,"k":6,"beta":0.2,"seed":23062}],
+    "adversaries": [{"kind":"random-mobile","f":1}],
+    "compilers": [
+      {"id":"tree-packing","f":1,"seed":5,"packing":"v1"},
+      {"id":"tree-packing","f":1,"seed":5,"packing":"v2"}
+    ],
+    "payload": {"kind":"flood-broadcast","source":0,"value":7}
+  }
+}"#,
+    );
+    let campaign = Campaign::from_spec(&spec).unwrap().threads(2);
+    let report = campaign.run();
+    assert_eq!(report.cells.len(), 4);
+    assert!(report.cells.iter().all(|c| c.outcome.is_ok()));
+
+    let cache = campaign.artifact_cache_handle().unwrap();
+    assert_eq!(
+        cache.misses(),
+        2,
+        "v1 and v2 must prepare separately, never share an entry"
+    );
+    assert_eq!(cache.hits(), 2);
+}
+
+#[test]
+fn shared_cache_carries_across_campaign_runs() {
+    // The campaignd usage: one cache attached to several spec-built
+    // campaigns (daemon batches) — the second run's preparations are all
+    // hits.
+    let spec = e16_small_spec();
+    let shared = std::sync::Arc::new(ArtifactCache::new());
+    let first = Campaign::from_spec(&spec)
+        .unwrap()
+        .artifact_cache(std::sync::Arc::clone(&shared))
+        .threads(2);
+    let second = Campaign::from_spec(&spec)
+        .unwrap()
+        .artifact_cache(std::sync::Arc::clone(&shared))
+        .threads(2);
+    let a = first.run();
+    let misses_after_first = shared.misses();
+    let b = second.run();
+    assert_eq!(misses_after_first, 9);
+    assert_eq!(shared.misses(), 9, "second campaign prepares nothing");
+    assert_eq!(a.fingerprint(), b.fingerprint());
+}
+
+#[test]
+fn traced_campaigns_bypass_the_cache() {
+    // `prepare` emits packing spans into the cell event stream; a cache hit
+    // would elide them from all but the first cell, so traced runs must not
+    // consult the cache at all — and their fingerprints must still match
+    // between a defaulted and an explicitly disabled cache.
+    let spec = e16_small_spec();
+    let campaign = Campaign::from_spec(&spec)
+        .unwrap()
+        .threads(2)
+        .trace(mobile_congest::obs::TraceSpec::ring());
+    let traced = campaign.run();
+    let cache = campaign.artifact_cache_handle().unwrap();
+    assert_eq!(cache.hits() + cache.misses(), 0, "no lookups while tracing");
+
+    let untouched = Campaign::from_spec(&spec)
+        .unwrap()
+        .threads(2)
+        .without_artifact_cache()
+        .trace(mobile_congest::obs::TraceSpec::ring())
+        .run();
+    assert_eq!(traced.fingerprint(), untouched.fingerprint());
+}
+
+/// The determinism contract of the tentpole, checked for one campaign seed:
+/// the report fingerprint is byte-identical with the cache on or off, at 1,
+/// 2 and 8 worker threads.
+fn assert_cache_is_transparent(seed: u64) {
+    let mut spec = e16_small_spec();
+    spec.seed = seed;
+    let reference = Campaign::from_spec(&spec)
+        .unwrap()
+        .without_artifact_cache()
+        .threads(1)
+        .run();
+    for threads in [1usize, 2, 8] {
+        let cached = Campaign::from_spec(&spec).unwrap().threads(threads).run();
+        assert_eq!(
+            cached.fingerprint(),
+            reference.fingerprint(),
+            "cached run diverged at {threads} threads (campaign seed {seed})"
+        );
+        let uncached = Campaign::from_spec(&spec)
+            .unwrap()
+            .without_artifact_cache()
+            .threads(threads)
+            .run();
+        assert_eq!(
+            uncached.fingerprint(),
+            reference.fingerprint(),
+            "uncached run diverged at {threads} threads (campaign seed {seed})"
+        );
+    }
+}
+
+proptest! {
+    // Each case runs seven full campaigns, so keep the case count modest;
+    // the seeds vary the whole per-cell RNG story (adversary choices, key
+    // schedules, corruption draws).
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn cached_and_uncached_reports_are_byte_identical(seed in any::<u32>()) {
+        assert_cache_is_transparent(seed as u64);
+    }
+}
